@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches: default
+ * configuration with environment-variable scaling, and tabular output
+ * helpers that print the same rows/series the paper reports.
+ *
+ * Environment knobs:
+ *   RATSIM_WARMUP   warm-up cycles per run   (default 15000)
+ *   RATSIM_MEASURE  measured cycles per run  (default 60000)
+ *   RATSIM_JOBS     parallel simulations     (default: hw threads)
+ */
+
+#ifndef RAT_BENCH_BENCH_UTIL_HH
+#define RAT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/metrics.hh"
+#include "sim/workloads.hh"
+
+namespace rat::bench {
+
+/** Read an unsigned environment knob with a default. */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+/** Bench-default simulation config (Table 1 core, scaled windows). */
+inline sim::SimConfig
+benchConfig()
+{
+    sim::SimConfig cfg;
+    cfg.warmupCycles = envU64("RATSIM_WARMUP", 15000);
+    cfg.measureCycles = envU64("RATSIM_MEASURE", 60000);
+    return cfg;
+}
+
+/** Apply the RATSIM_JOBS override to a runner. */
+inline void
+applyJobs(sim::ExperimentRunner &runner)
+{
+    const std::uint64_t jobs = envU64("RATSIM_JOBS", 0);
+    if (jobs > 0)
+        runner.setParallelism(static_cast<unsigned>(jobs));
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *paper_claim)
+{
+    std::printf("==============================================================="
+                "=========\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper: Runahead Threads to Improve SMT Performance (HPCA"
+                " 2008)\n");
+    std::printf("expected shape: %s\n", paper_claim);
+    std::printf("==============================================================="
+                "=========\n");
+}
+
+/** One metric table: groups as rows, techniques as columns. */
+inline void
+printGroupTable(const char *title,
+                const std::vector<std::string> &technique_labels,
+                const std::map<std::string,
+                               std::vector<double>> &rows_by_group,
+                const std::vector<std::string> &group_order)
+{
+    std::printf("\n%s\n", title);
+    std::printf("%-8s", "group");
+    for (const auto &label : technique_labels)
+        std::printf(" %12s", label.c_str());
+    std::printf("\n");
+    for (const auto &group : group_order) {
+        std::printf("%-8s", group.c_str());
+        for (const double v : rows_by_group.at(group))
+            std::printf(" %12.3f", v);
+        std::printf("\n");
+    }
+    // Column means ("Avg" bar of the paper's figures).
+    std::printf("%-8s", "AVG");
+    const std::size_t cols = technique_labels.size();
+    for (std::size_t c = 0; c < cols; ++c) {
+        double sum = 0.0;
+        for (const auto &group : group_order)
+            sum += rows_by_group.at(group)[c];
+        std::printf(" %12.3f",
+                    sum / static_cast<double>(group_order.size()));
+    }
+    std::printf("\n");
+}
+
+/** Relative improvement in percent. */
+inline double
+pct(double v, double base)
+{
+    return base > 0.0 ? 100.0 * (v / base - 1.0) : 0.0;
+}
+
+} // namespace rat::bench
+
+#endif // RAT_BENCH_BENCH_UTIL_HH

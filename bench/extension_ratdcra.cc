@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Extension experiment — the hybrid the paper names as future work in
+ * Section 5.2: Runahead Threads combined with DCRA resource caps. RaT
+ * alone has no direct knowledge of resource allocation; DCRA gates
+ * threads that over-consume, which can matter when a runahead thread's
+ * speculative work competes with normal threads.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace rat;
+    using namespace rat::bench;
+
+    banner("Extension — RaT + DCRA hybrid (Section 5.2 future work)",
+           "the hybrid should track plain RaT closely; any gain shows up "
+           "where speculative runahead work would otherwise crowd out "
+           "normal threads");
+
+    sim::ExperimentRunner runner(benchConfig());
+    applyJobs(runner);
+
+    const sim::TechniqueSpec hybrid{"RaT+DCRA",
+                                    core::PolicyKind::RatDcra,
+                                    core::RatConfig{}};
+
+    std::printf("\n%-8s %12s %12s %12s %10s\n", "group", "DCRA", "RaT",
+                "RaT+DCRA", "vs RaT");
+    for (const sim::WorkloadGroup g : sim::allGroups()) {
+        const double dcra =
+            runner.runGroup(g, sim::dcraSpec()).meanThroughput;
+        const double rat =
+            runner.runGroup(g, sim::ratSpec()).meanThroughput;
+        const double both = runner.runGroup(g, hybrid).meanThroughput;
+        std::printf("%-8s %12.3f %12.3f %12.3f %+9.1f%%\n",
+                    sim::groupName(g), dcra, rat, both, pct(both, rat));
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Figure 2: throughput (a) and fairness (b) of the dynamic
+ * resource-control policies DCRA / Hill Climbing versus ICOUNT and
+ * Runahead Threads over the Table 2 workload groups.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace rat;
+    using namespace rat::bench;
+
+    banner("Figure 2 — resource-control policies vs RaT",
+           "DCRA >= HillClimbing on ILP, HillClimbing > DCRA on MIX; "
+           "RaT above both everywhere, biggest on MEM (~+75%/+53% vs "
+           "DCRA/HillClimbing in the paper)");
+
+    sim::ExperimentRunner runner(benchConfig());
+    applyJobs(runner);
+
+    const std::vector<sim::TechniqueSpec> lineup = {
+        sim::icountSpec(), sim::dcraSpec(), sim::hillClimbingSpec(),
+        sim::ratSpec()};
+    std::vector<std::string> labels;
+    for (const auto &t : lineup)
+        labels.push_back(t.label);
+
+    std::map<std::string, std::vector<double>> thr_rows, fair_rows;
+    std::vector<std::string> group_order;
+
+    for (const sim::WorkloadGroup g : sim::allGroups()) {
+        const std::string gname = sim::groupName(g);
+        group_order.push_back(gname);
+        for (const auto &tech : lineup) {
+            const sim::GroupMetrics gm = runner.runGroup(g, tech);
+            thr_rows[gname].push_back(gm.meanThroughput);
+            fair_rows[gname].push_back(gm.meanFairness);
+        }
+    }
+
+    printGroupTable("Fig. 2(a) Throughput (Eq. 1 IPC)", labels, thr_rows,
+                    group_order);
+    printGroupTable("Fig. 2(b) Fairness (Eq. 2 harmonic mean)", labels,
+                    fair_rows, group_order);
+
+    std::printf("\nheadline (throughput): paper vs measured\n");
+    std::printf("  RaT vs DCRA, MEM2: paper +75%%, measured %+.0f%%\n",
+                pct(thr_rows.at("MEM2")[3], thr_rows.at("MEM2")[1]));
+    std::printf("  RaT vs DCRA, MEM4: paper +74%%, measured %+.0f%%\n",
+                pct(thr_rows.at("MEM4")[3], thr_rows.at("MEM4")[1]));
+    std::printf("  RaT vs HillClimbing, MEM2: paper +53%%, measured "
+                "%+.0f%%\n",
+                pct(thr_rows.at("MEM2")[3], thr_rows.at("MEM2")[2]));
+    std::printf("  RaT vs HillClimbing, MEM4: paper +58%%, measured "
+                "%+.0f%%\n",
+                pct(thr_rows.at("MEM4")[3], thr_rows.at("MEM4")[2]));
+    return 0;
+}

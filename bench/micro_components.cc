@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the simulator's hot components
+ * (engineering health, not a paper figure): cache access, perceptron
+ * prediction, trace synthesis, and whole-core cycle throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/perceptron.hh"
+#include "core/smt_core.hh"
+#include "mem/hierarchy.hh"
+#include "policy/factory.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace rat;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.ways = 4;
+    mem::Cache cache(cfg);
+    Addr evicted = 0;
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        cache.install(a, 0, 0, evicted);
+    Addr a = 0;
+    Cycle now = 1;
+    for (auto _ : state) {
+        Cycle ready = 0;
+        benchmark::DoNotOptimize(cache.access(a & 0xFFFF, ++now, ready));
+        a += 64;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HierarchyColdMiss(benchmark::State &state)
+{
+    mem::MemoryHierarchy h{mem::MemConfig{}};
+    Addr a = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        now += 500; // let MSHRs drain
+        benchmark::DoNotOptimize(h.readData(0, a, now));
+        a += 4096; // fresh set each time: worst case walk
+    }
+}
+BENCHMARK(BM_HierarchyColdMiss);
+
+void
+BM_PerceptronPredict(benchmark::State &state)
+{
+    branch::PerceptronPredictor p;
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        const auto out = p.predict(0, pc);
+        p.update(0, pc, (pc >> 4) & 1, out);
+        pc += 4;
+    }
+}
+BENCHMARK(BM_PerceptronPredict);
+
+void
+BM_TraceGenerate(benchmark::State &state)
+{
+    const trace::TraceGenerator gen(trace::spec2000("gcc"), 1,
+                                    Addr{1} << 40);
+    InstSeq i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.at(++i));
+}
+BENCHMARK(BM_TraceGenerate);
+
+void
+BM_CoreCycle(benchmark::State &state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    core::CoreConfig cfg;
+    cfg.numThreads = threads;
+    cfg.policy = core::PolicyKind::Rat;
+    mem::MemoryHierarchy memory{mem::MemConfig{}};
+    const char *programs[] = {"art", "gzip", "mcf", "swim"};
+    std::vector<std::unique_ptr<trace::TraceGenerator>> gens;
+    std::vector<const trace::TraceSource *> streams;
+    for (unsigned t = 0; t < threads; ++t) {
+        gens.push_back(std::make_unique<trace::TraceGenerator>(
+            trace::spec2000(programs[t]), t + 1,
+            (static_cast<Addr>(t) + 1) << 40));
+        streams.push_back(gens.back().get());
+    }
+    auto policy = policy::makePolicy(core::PolicyKind::Rat);
+    core::SmtCore smt(cfg, memory, *policy, std::move(streams));
+    smt.run(5000); // get past cold start
+    for (auto _ : state)
+        smt.tick();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreCycle)->Arg(1)->Arg(2)->Arg(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Compare all six scheduling techniques on a chosen multiprogrammed
+ * workload — the experiment the paper's Figures 1 and 2 run at scale.
+ *
+ * Usage:
+ *   policy_faceoff [prog1 prog2 [prog3 prog4]]
+ * Default workload: art,mcf (a MEM2 pair where RaT shines).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rat;
+
+    std::vector<std::string> programs;
+    for (int i = 1; i < argc; ++i) {
+        if (!trace::isSpec2000(argv[i])) {
+            std::fprintf(stderr, "unknown program '%s'; known: ",
+                         argv[i]);
+            for (const auto &n : trace::spec2000Names())
+                std::fprintf(stderr, "%s ", n.c_str());
+            std::fprintf(stderr, "\n");
+            return 1;
+        }
+        programs.emplace_back(argv[i]);
+    }
+    if (programs.empty())
+        programs = {"art", "mcf"};
+
+    sim::SimConfig cfg;
+    cfg.warmupCycles = 20000;
+    cfg.measureCycles = 100000;
+    sim::ExperimentRunner runner(cfg);
+
+    sim::Workload w;
+    w.programs = programs;
+    for (const auto &p : programs)
+        w.name += (w.name.empty() ? "" : ",") + p;
+
+    const auto base = runner.baselinesFor(w);
+    std::printf("workload: %s\n\n", w.name.c_str());
+    std::printf("%-14s %12s %10s %14s\n", "technique", "throughput",
+                "fairness", "per-thread IPC");
+
+    const std::vector<sim::TechniqueSpec> lineup = {
+        sim::icountSpec(),       sim::stallSpec(), sim::flushSpec(),
+        sim::dcraSpec(),         sim::hillClimbingSpec(),
+        sim::ratSpec(),
+    };
+    for (const auto &tech : lineup) {
+        const sim::SimResult r = runner.runWorkload(w, tech);
+        std::string ipcs;
+        for (const auto &t : r.threads) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%s%.2f",
+                          ipcs.empty() ? "" : "/", t.ipc);
+            ipcs += buf;
+        }
+        std::printf("%-14s %12.3f %10.3f %14s\n", tech.label.c_str(),
+                    sim::throughput(r), sim::fairness(r, base),
+                    ipcs.c_str());
+    }
+
+    std::printf("\nsingle-thread baselines: ");
+    for (const auto &[prog, ipc] : base)
+        std::printf("%s=%.2f ", prog.c_str(), ipc);
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Register-file sizing study (the Section 6.2 / Figure 6 experiment)
+ * on a user-chosen workload: sweep the renaming-register count and
+ * compare FLUSH against Runahead Threads.
+ *
+ * Usage:
+ *   regfile_explorer [prog1 prog2 ...]   (default: art,mcf)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rat;
+
+    std::vector<std::string> programs;
+    for (int i = 1; i < argc; ++i) {
+        if (!trace::isSpec2000(argv[i])) {
+            std::fprintf(stderr, "unknown program '%s'\n", argv[i]);
+            return 1;
+        }
+        programs.emplace_back(argv[i]);
+    }
+    if (programs.empty())
+        programs = {"art", "mcf"};
+
+    sim::Workload w;
+    w.programs = programs;
+    for (const auto &p : programs)
+        w.name += (w.name.empty() ? "" : ",") + p;
+
+    const unsigned sizes[] = {64, 128, 192, 256, 320};
+
+    std::printf("workload: %s\n\n", w.name.c_str());
+    std::printf("%8s %12s %12s %12s\n", "regs", "FLUSH", "RaT",
+                "RaT/FLUSH");
+    for (const unsigned regs : sizes) {
+        sim::SimConfig cfg;
+        cfg.warmupCycles = 15000;
+        cfg.measureCycles = 60000;
+        cfg.core.intRegs = regs;
+        cfg.core.fpRegs = regs;
+        sim::ExperimentRunner runner(cfg);
+        const double flush =
+            sim::throughput(runner.runWorkload(w, sim::flushSpec()));
+        const double rat =
+            sim::throughput(runner.runWorkload(w, sim::ratSpec()));
+        std::printf("%8u %12.3f %12.3f %11.2fx\n", regs, flush, rat,
+                    flush > 0 ? rat / flush : 0.0);
+    }
+    std::printf("\nPaper's claim (Section 6.2): RaT with small register"
+                " files stays close to (or above)\nFLUSH with the full"
+                " 320-register file on memory-bound workloads.\n");
+    return 0;
+}

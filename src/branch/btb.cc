@@ -1,0 +1,80 @@
+#include "branch/btb.hh"
+
+#include "common/logging.hh"
+
+namespace rat::branch {
+
+Btb::Btb(const BtbConfig &config) : config_(config)
+{
+    if (config_.sets == 0 || config_.ways == 0)
+        fatal("BTB needs non-zero sets and ways");
+    entries_.resize(static_cast<std::size_t>(config_.sets) * config_.ways);
+}
+
+bool
+Btb::lookup(Addr pc, Addr &target)
+{
+    ++lookups_;
+    Entry *set = &entries_[static_cast<std::size_t>(setOf(pc)) *
+                           config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (set[w].valid && set[w].tag == pc) {
+            set[w].lastUse = ++useClock_;
+            target = set[w].target;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry *set = &entries_[static_cast<std::size_t>(setOf(pc)) *
+                           config_.ways];
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (set[w].valid && set[w].tag == pc) {
+            set[w].target = target;
+            set[w].lastUse = ++useClock_;
+            return;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+        } else if (victim->valid && set[w].lastUse < victim->lastUse) {
+            victim = &set[w];
+        }
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = target;
+    victim->lastUse = ++useClock_;
+}
+
+void
+Btb::resetStats()
+{
+    lookups_ = 0;
+    misses_ = 0;
+}
+
+void
+ReturnAddressStack::push(Addr ret_addr)
+{
+    if (stack_.size() == depth_)
+        stack_.erase(stack_.begin());
+    stack_.push_back(ret_addr);
+}
+
+bool
+ReturnAddressStack::pop(Addr &target)
+{
+    if (stack_.empty())
+        return false;
+    target = stack_.back();
+    stack_.pop_back();
+    return true;
+}
+
+} // namespace rat::branch

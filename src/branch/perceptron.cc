@@ -1,0 +1,109 @@
+#include "branch/perceptron.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace rat::branch {
+
+PerceptronPredictor::PerceptronPredictor(const PerceptronConfig &config)
+    : config_(config)
+{
+    if (config_.historyBits == 0 || config_.historyBits > 63)
+        fatal("perceptron history length %u out of range [1,63]",
+              config_.historyBits);
+    if (config_.tableEntries == 0)
+        fatal("perceptron table must have entries");
+    theta_ = static_cast<int>(1.93 * config_.historyBits + 14);
+    historyMaskBits_ = config_.historyBits;
+    weights_.assign(static_cast<std::size_t>(config_.tableEntries) *
+                        (config_.historyBits + 1),
+                    0);
+}
+
+unsigned
+PerceptronPredictor::indexOf(Addr pc) const
+{
+    // Branch PCs are word-aligned; fold high bits in to spread indices.
+    const std::uint64_t h = (pc >> 2) ^ (pc >> 13);
+    return static_cast<unsigned>(h % config_.tableEntries);
+}
+
+std::int32_t
+PerceptronPredictor::dot(const std::int8_t *w, std::uint64_t hist) const
+{
+    std::int32_t y = w[0]; // bias weight
+    for (unsigned i = 0; i < historyMaskBits_; ++i) {
+        const bool bit = (hist >> i) & 1;
+        y += bit ? w[i + 1] : -w[i + 1];
+    }
+    return y;
+}
+
+PerceptronOutput
+PerceptronPredictor::predict(ThreadId tid, Addr pc)
+{
+    RAT_ASSERT(tid < kMaxThreads, "bad thread id %u", tid);
+    const std::int8_t *w =
+        &weights_[static_cast<std::size_t>(indexOf(pc)) *
+                  (historyMaskBits_ + 1)];
+    PerceptronOutput out;
+    out.historyBefore = history_[tid];
+    out.sum = dot(w, out.historyBefore);
+    out.taken = out.sum >= 0;
+    // Speculative history update with the *predicted* direction.
+    history_[tid] = ((history_[tid] << 1) | (out.taken ? 1 : 0)) &
+                    ((std::uint64_t{1} << historyMaskBits_) - 1);
+    ++lookups_;
+    return out;
+}
+
+void
+PerceptronPredictor::update(ThreadId tid, Addr pc, bool taken,
+                            const PerceptronOutput &out)
+{
+    RAT_ASSERT(tid < kMaxThreads, "bad thread id %u", tid);
+    if (taken != out.taken) {
+        ++mispredicts_;
+        // Repair the speculative history: re-apply with the real outcome.
+        history_[tid] = ((out.historyBefore << 1) | (taken ? 1 : 0)) &
+                        ((std::uint64_t{1} << historyMaskBits_) - 1);
+    }
+
+    const bool needs_training =
+        taken != out.taken || std::abs(out.sum) <= theta_;
+    if (!needs_training)
+        return;
+
+    std::int8_t *w = &weights_[static_cast<std::size_t>(indexOf(pc)) *
+                               (historyMaskBits_ + 1)];
+    const int t = taken ? 1 : -1;
+    const auto clamp = [this](int v) {
+        return static_cast<std::int8_t>(
+            std::clamp(v, -config_.weightLimit, config_.weightLimit));
+    };
+    w[0] = clamp(w[0] + t);
+    for (unsigned i = 0; i < historyMaskBits_; ++i) {
+        const bool bit = (out.historyBefore >> i) & 1;
+        const int x = bit ? 1 : -1;
+        w[i + 1] = clamp(w[i + 1] + t * x);
+    }
+}
+
+void
+PerceptronPredictor::restoreHistory(ThreadId tid, std::uint64_t history)
+{
+    RAT_ASSERT(tid < kMaxThreads, "bad thread id %u", tid);
+    history_[tid] = history & ((std::uint64_t{1} << historyMaskBits_) - 1);
+}
+
+void
+PerceptronPredictor::resetStats()
+{
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
+} // namespace rat::branch

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small integer-math helpers used by cache indexing and sizing code.
+ */
+
+#ifndef RAT_COMMON_INTMATH_HH
+#define RAT_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+namespace rat {
+
+/** True iff @p n is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Floor of log2(n); n must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned p = 0;
+    while (n >>= 1)
+        ++p;
+    return p;
+}
+
+/** Ceiling of integer division a/b; b must be non-zero. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace rat
+
+#endif // RAT_COMMON_INTMATH_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom.
+ *
+ * `panic()` is for conditions that indicate a bug in the simulator itself
+ * (aborts). `fatal()` is for user configuration errors (clean exit(1)).
+ * `warn()` and `inform()` print advisory messages and continue.
+ */
+
+#ifndef RAT_COMMON_LOGGING_HH
+#define RAT_COMMON_LOGGING_HH
+
+#include <cstdarg>
+
+namespace rat {
+
+/** Print a formatted bug message and abort(). Never returns. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted user-error message and exit(1). Never returns. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted informational message to stderr and continue. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Implementation helper for RAT_ASSERT; formats and aborts. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Assert a simulator invariant; on failure, panic with location info and
+ * an optional printf-style message. Enabled in all build types: internal
+ * consistency matters more than the last few percent of simulation speed.
+ */
+#define RAT_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            _Pragma("GCC diagnostic push")                                  \
+            _Pragma("GCC diagnostic ignored \"-Wformat-zero-length\"")      \
+            ::rat::panicAssert(#cond, __FILE__, __LINE__, "" __VA_ARGS__);  \
+            _Pragma("GCC diagnostic pop")                                   \
+        }                                                                   \
+    } while (0)
+
+} // namespace rat
+
+#endif // RAT_COMMON_LOGGING_HH

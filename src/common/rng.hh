@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * The trace substrate requires that every thread's instruction stream be a
+ * *pure function* of (profile, seed, instruction index) so that runahead
+ * rollback can rewind and regenerate identical instructions. SplitMix64
+ * provides stateless hashing of indices; Xoshiro256** provides a fast
+ * sequential stream for stateful generators.
+ */
+
+#ifndef RAT_COMMON_RNG_HH
+#define RAT_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace rat {
+
+/**
+ * Stateless 64-bit mix function (SplitMix64 finalizer).
+ *
+ * Maps any 64-bit value to a well-distributed 64-bit value; used to derive
+ * per-index random draws without maintaining generator state.
+ */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit values into one well-mixed hash. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return splitmix64(a ^ (splitmix64(b) + 0x9e3779b97f4a7c15ULL));
+}
+
+/**
+ * Xoshiro256** PRNG (Blackman & Vigna). Fast, high-quality, 256-bit state.
+ */
+class Xoshiro256
+{
+  public:
+    /** Seed the four state words from a single 64-bit seed via SplitMix64. */
+    explicit Xoshiro256(std::uint64_t seed = 0x2545f4914f6cdd1dULL)
+    {
+        std::uint64_t s = seed;
+        for (auto &word : state_) {
+            s = splitmix64(s);
+            word = s | 1; // never all-zero state
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform draw in [0, bound). bound must be > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Multiply-shift mapping; bias is negligible for simulator use.
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p) { return nextDouble() < p; }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace rat
+
+#endif // RAT_COMMON_RNG_HH

@@ -1,0 +1,60 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace rat {
+
+Histogram::Histogram(std::uint64_t bucket_width, unsigned num_buckets)
+    : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+{
+    RAT_ASSERT(bucket_width > 0, "histogram bucket width must be > 0");
+    RAT_ASSERT(num_buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    const std::uint64_t idx = v / bucketWidth_;
+    if (idx < buckets_.size())
+        ++buckets_[idx];
+    else
+        ++overflow_;
+    ++total_;
+    sumD_ += static_cast<double>(v);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    overflow_ = 0;
+    total_ = 0;
+    sumD_ = 0.0;
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return std::string(buf);
+}
+
+} // namespace rat

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Dynamic (in-flight) instruction record and the generation-checked
+ * arena that owns all of them.
+ *
+ * Handles are (slot, generation) pairs: any stale reference — e.g. a
+ * completion event for an instruction that was squashed — fails the
+ * generation check and is ignored. This is what makes squash (branch
+ * flush, FLUSH policy, runahead exit) safe without hunting down every
+ * outstanding reference.
+ */
+
+#ifndef RAT_CORE_DYNINST_HH
+#define RAT_CORE_DYNINST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/perceptron.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "mem/hierarchy.hh"
+#include "trace/microop.hh"
+
+namespace rat::core {
+
+/** Rename-map entry encoding: a physical register or a sentinel. */
+using MapEntry = std::uint16_t;
+/** Value committed to the architectural file (no rename reg held). */
+inline constexpr MapEntry kMapArch = 0xFFFE;
+/** Value is runahead-invalid (INV); no rename reg held. */
+inline constexpr MapEntry kMapInv = 0xFFFD;
+
+/** True if the map entry names a real physical register. */
+constexpr bool
+isPhysEntry(MapEntry e)
+{
+    return e != kMapArch && e != kMapInv;
+}
+
+/** Lifecycle of a dynamic instruction. */
+enum class InstStatus : std::uint8_t {
+    InFetchQueue, ///< fetched, waiting for rename eligibility
+    InQueue,      ///< renamed, waiting in an issue queue
+    Executing,    ///< issued to a functional unit / memory
+    Complete,     ///< result produced (or folded INV), awaiting retire
+    Retired,      ///< committed or pseudo-retired (slot about to free)
+};
+
+/** Readiness state of one renamed source operand. */
+enum class SrcState : std::uint8_t {
+    Ready,   ///< value available
+    Waiting, ///< waiting on a physical register tag
+    Invalid, ///< runahead INV operand
+};
+
+/** Generation-checked reference to a pooled DynInst. */
+struct InstHandle {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+
+    bool operator==(const InstHandle &) const = default;
+};
+
+/** One in-flight instruction. */
+struct DynInst {
+    // Identity.
+    std::uint64_t uid = 0; ///< global age order (monotonic)
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+    ThreadId tid = 0;
+    trace::MicroOp op;
+
+    InstStatus status = InstStatus::InFetchQueue;
+    /** Runahead-invalid: folded, result meaningless. */
+    bool inv = false;
+    /** Fetched while the thread was in runahead mode. */
+    bool runahead = false;
+    /** Never entered an issue queue (folded at rename or wakeup). */
+    bool folded = false;
+
+    // Rename state.
+    bool renamed = false;
+    bool dstIsFp = false;
+    MapEntry dstPhys = kMapInv;  ///< allocated rename reg (if any)
+    bool hasDstReg = false;      ///< dstPhys holds a live rename reg
+    MapEntry prevMap = kMapArch; ///< map entry this instruction replaced
+    /** Allocation generation of prevMap when it names a register. */
+    std::uint16_t prevMapGen = 0;
+
+    // Source operands after rename. srcIsFp tells which file a tag
+    // belongs to.
+    static constexpr unsigned kMaxSrcs = 4;
+    MapEntry srcTag[kMaxSrcs] = {};
+    SrcState srcState[kMaxSrcs] = {};
+    bool srcIsFp[kMaxSrcs] = {};
+    std::uint8_t numSrcs = 0;
+
+    // Memory state.
+    bool memIssued = false;
+    mem::HitLevel memLevel = mem::HitLevel::L1;
+    /** Store this load waits on for forwarding (0 = none). */
+    std::uint64_t depStoreUid = 0;
+    bool forwarded = false;
+    /** Counted in the thread's pending-L2-miss tally. */
+    bool countedL2Miss = false;
+    /**
+     * The access is long-latency: a fresh L2 miss or a merge with an
+     * in-flight fill that completes far in the future. Long-latency
+     * loads trigger/fold under runahead and count as pending misses.
+     */
+    bool longLatency = false;
+
+    // Branch state.
+    bool predTaken = false;
+    bool mispredicted = false;
+    branch::PerceptronOutput pred{};
+
+    // Timing.
+    Cycle fetchedAt = 0;
+    Cycle renameReadyAt = 0; ///< when it may leave the fetch queue
+    Cycle completeAt = kNoCycle;
+
+    /** Handle to this instruction. */
+    InstHandle handle() const { return {slot, gen}; }
+
+    /** All sources ready (none waiting, none invalid)? */
+    bool
+    allSrcsReady() const
+    {
+        for (unsigned i = 0; i < numSrcs; ++i) {
+            if (srcState[i] != SrcState::Ready)
+                return false;
+        }
+        return depStoreUid == 0;
+    }
+
+    /** Any source invalid? */
+    bool
+    anySrcInvalid() const
+    {
+        for (unsigned i = 0; i < numSrcs; ++i) {
+            if (srcState[i] == SrcState::Invalid)
+                return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * Fixed-capacity arena of DynInst with generation-checked handles.
+ */
+class InstPool
+{
+  public:
+    explicit InstPool(std::size_t capacity)
+    {
+        slots_.resize(capacity);
+        freeList_.reserve(capacity);
+        for (std::size_t i = capacity; i-- > 0;)
+            freeList_.push_back(static_cast<std::uint32_t>(i));
+        for (std::size_t i = 0; i < capacity; ++i) {
+            slots_[i].slot = static_cast<std::uint32_t>(i);
+            slots_[i].gen = 1;
+        }
+    }
+
+    /** Allocate a fresh instruction; panics if the pool is exhausted. */
+    DynInst *
+    alloc(ThreadId tid)
+    {
+        RAT_ASSERT(!freeList_.empty(), "instruction pool exhausted");
+        const std::uint32_t slot = freeList_.back();
+        freeList_.pop_back();
+        DynInst &inst = slots_[slot];
+        const std::uint32_t gen = inst.gen + 1;
+        inst = DynInst{};
+        inst.slot = slot;
+        inst.gen = gen;
+        inst.uid = ++nextUid_;
+        inst.tid = tid;
+        return &inst;
+    }
+
+    /** Return an instruction to the pool; its handles become stale. */
+    void
+    release(DynInst *inst)
+    {
+        RAT_ASSERT(inst != nullptr, "releasing null instruction");
+        ++inst->gen; // invalidate outstanding handles
+        freeList_.push_back(inst->slot);
+    }
+
+    /** Resolve a handle; nullptr if stale. */
+    DynInst *
+    get(InstHandle h)
+    {
+        if (h.slot >= slots_.size())
+            return nullptr;
+        DynInst &inst = slots_[h.slot];
+        return inst.gen == h.gen ? &inst : nullptr;
+    }
+
+    /** Number of live instructions. */
+    std::size_t
+    liveCount() const
+    {
+        return slots_.size() - freeList_.size();
+    }
+
+    /** Total capacity. */
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    std::vector<DynInst> slots_;
+    std::vector<std::uint32_t> freeList_;
+    std::uint64_t nextUid_ = 0;
+};
+
+} // namespace rat::core
+
+#endif // RAT_CORE_DYNINST_HH

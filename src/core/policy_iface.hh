@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Abstract interface between the SMT core and the fetch / resource
+ * scheduling policies (ICOUNT, STALL, FLUSH, DCRA, Hill Climbing).
+ *
+ * The core calls the policy once per cycle for the fetch priority order,
+ * consults per-thread gating, and delivers long-latency-load events at
+ * their detection time (one L2-lookup latency after issue, matching the
+ * trigger the STALL/FLUSH paper uses).
+ */
+
+#ifndef RAT_CORE_POLICY_IFACE_HH
+#define RAT_CORE_POLICY_IFACE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rat::core {
+
+class SmtCore;
+struct DynInst;
+
+/**
+ * Base class of all scheduling policies. Stateless policies only
+ * implement fetchOrder(); resource-control policies add gating and
+ * event handling.
+ */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    /** Called once when the core is constructed or reset. */
+    virtual void reset(const SmtCore &core) { (void)core; }
+
+    /** Called at the start of every cycle, before any stage runs. */
+    virtual void beginCycle(SmtCore &core) { (void)core; }
+
+    /**
+     * Produce the fetch priority order (highest priority first). The
+     * core then skips unfetchable threads itself.
+     */
+    virtual void fetchOrder(const SmtCore &core,
+                            std::vector<ThreadId> &order) = 0;
+
+    /** Per-thread fetch gate (resource caps, stall-on-miss, ...). */
+    virtual bool
+    mayFetch(const SmtCore &core, ThreadId tid)
+    {
+        (void)core;
+        (void)tid;
+        return true;
+    }
+
+    /**
+     * A demand load of @p tid has been identified as an L2 miss (fired
+     * one L2 latency after issue). FLUSH reacts by squashing.
+     */
+    virtual void
+    onL2MissDetected(SmtCore &core, ThreadId tid, const DynInst &inst)
+    {
+        (void)core;
+        (void)tid;
+        (void)inst;
+    }
+
+    /** Policy display name. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace rat::core
+
+#endif // RAT_CORE_POLICY_IFACE_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Physical (rename) register file and per-thread rename maps.
+ *
+ * The register model follows the rename-buffer organisation implied by
+ * the paper's Section 6.2: each thread's 32+32 architectural values live
+ * in per-context architectural state, while the INT/FP "registers" of
+ * Table 1 (320/320) are the *renaming* registers shared by all threads.
+ * A renaming register is held from rename until the owning instruction
+ * commits (value moves to architectural state) — or, under Runahead
+ * Threads, until the instruction is invalidated or pseudo-retired, which
+ * is the early-release property Figures 5 and 6 measure.
+ */
+
+#ifndef RAT_CORE_REGFILE_HH
+#define RAT_CORE_REGFILE_HH
+
+#include <array>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/dyninst.hh"
+
+namespace rat::core {
+
+/**
+ * One class (INT or FP) of shared renaming registers.
+ */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(unsigned num_regs) : regs_(num_regs)
+    {
+        freeList_.reserve(num_regs);
+        for (unsigned i = num_regs; i-- > 0;)
+            freeList_.push_back(static_cast<PhysReg>(i));
+    }
+
+    /** Number of registers not currently allocated. */
+    unsigned freeCount() const
+    {
+        return static_cast<unsigned>(freeList_.size());
+    }
+
+    /** Number currently allocated (Fig. 5 occupancy). */
+    unsigned allocatedCount() const
+    {
+        return static_cast<unsigned>(regs_.size() - freeList_.size());
+    }
+
+    /** Total size of this file. */
+    unsigned size() const { return static_cast<unsigned>(regs_.size()); }
+
+    /** Allocate one register (not-ready). Caller must check freeCount. */
+    PhysReg
+    allocate()
+    {
+        RAT_ASSERT(!freeList_.empty(), "rename register underflow");
+        const PhysReg r = freeList_.back();
+        freeList_.pop_back();
+        regs_[r].allocated = true;
+        regs_[r].ready = false;
+        ++regs_[r].gen;
+        return r;
+    }
+
+    /** Is the register currently allocated? */
+    bool
+    isAllocated(PhysReg r) const
+    {
+        RAT_ASSERT(r < regs_.size(), "bad register %u", r);
+        return regs_[r].allocated;
+    }
+
+    /**
+     * Allocation generation of a register. A saved mapping is only
+     * restorable while the register still holds the same allocation;
+     * squash-walk restores compare generations to detect mappings whose
+     * producer has committed (and the register been recycled) — those
+     * restore to architecturally-backed state instead.
+     */
+    std::uint16_t
+    allocGen(PhysReg r) const
+    {
+        RAT_ASSERT(r < regs_.size(), "bad register %u", r);
+        return regs_[r].gen;
+    }
+
+    /** Release a register back to the free list. */
+    void
+    release(PhysReg r)
+    {
+        RAT_ASSERT(r < regs_.size() && regs_[r].allocated,
+                   "releasing free register %u", r);
+        regs_[r].allocated = false;
+        freeList_.push_back(r);
+    }
+
+    /** Value availability of an allocated register. */
+    bool
+    isReady(PhysReg r) const
+    {
+        RAT_ASSERT(r < regs_.size(), "bad register %u", r);
+        return regs_[r].ready;
+    }
+
+    /** Mark a register's value produced. */
+    void
+    setReady(PhysReg r)
+    {
+        RAT_ASSERT(r < regs_.size() && regs_[r].allocated,
+                   "setReady on free register %u", r);
+        regs_[r].ready = true;
+    }
+
+  private:
+    struct Reg {
+        bool allocated = false;
+        bool ready = false;
+        std::uint16_t gen = 0;
+    };
+
+    std::vector<Reg> regs_;
+    std::vector<PhysReg> freeList_;
+};
+
+/**
+ * Per-thread rename map for one register class: architectural register →
+ * MapEntry (renaming register, architectural backing, or runahead-INV).
+ */
+class RenameMap
+{
+  public:
+    RenameMap() { reset(); }
+
+    /** All entries back to committed architectural state. */
+    void
+    reset()
+    {
+        map_.fill(kMapArch);
+    }
+
+    /** Current mapping of @p arch. */
+    MapEntry get(ArchReg arch) const { return map_[arch]; }
+
+    /** Overwrite the mapping, returning the previous entry. */
+    MapEntry
+    set(ArchReg arch, MapEntry entry)
+    {
+        const MapEntry prev = map_[arch];
+        map_[arch] = entry;
+        return prev;
+    }
+
+    /** Number of entries currently naming renaming registers. */
+    unsigned
+    livePhysCount() const
+    {
+        unsigned n = 0;
+        for (MapEntry e : map_) {
+            if (isPhysEntry(e))
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    std::array<MapEntry, kNumArchRegs> map_;
+};
+
+} // namespace rat::core
+
+#endif // RAT_CORE_REGFILE_HH

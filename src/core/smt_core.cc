@@ -1,0 +1,1168 @@
+#include "core/smt_core.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace rat::core {
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::RoundRobin:
+        return "RR";
+      case PolicyKind::Icount:
+        return "ICOUNT";
+      case PolicyKind::Stall:
+        return "STALL";
+      case PolicyKind::Flush:
+        return "FLUSH";
+      case PolicyKind::Dcra:
+        return "DCRA";
+      case PolicyKind::HillClimbing:
+        return "HillClimbing";
+      case PolicyKind::Rat:
+        return "RaT";
+      case PolicyKind::RatDcra:
+        return "RaT+DCRA";
+      case PolicyKind::MlpAware:
+        return "MLP";
+    }
+    return "?";
+}
+
+SmtCore::SmtCore(const CoreConfig &config, mem::MemoryHierarchy &mem,
+                 SchedulingPolicy &policy,
+                 std::vector<const trace::TraceSource *> streams)
+    : config_(config), mem_(mem), policy_(policy),
+      pool_(config.robEntries +
+            static_cast<std::size_t>(config.numThreads) *
+                config.fetchQueueEntries +
+            64),
+      rob_(config.robEntries),
+      iqs_{IssueQueue{"intIQ", config.intIqEntries},
+           IssueQueue{"lsIQ", config.lsIqEntries},
+           IssueQueue{"fpIQ", config.fpIqEntries}},
+      lsq_(config.lsqEntries), intRegs_(config.intRegs),
+      fpRegs_(config.fpRegs), intUnits_("intFU", config.intUnits),
+      fpUnits_("fpFU", config.fpUnits), memUnits_("memFU", config.memUnits),
+      predictor_(config.predictor), btb_(), raCache_(
+          config.rat.runaheadCacheLines)
+{
+    if (config.numThreads == 0 || config.numThreads > kMaxThreads)
+        fatal("numThreads %u out of range [1,%u]", config.numThreads,
+              kMaxThreads);
+    if (streams.size() != config.numThreads)
+        fatal("need %u trace streams, got %zu", config.numThreads,
+              streams.size());
+    threads_.resize(config.numThreads);
+    for (unsigned t = 0; t < config.numThreads; ++t) {
+        RAT_ASSERT(streams[t] != nullptr, "null trace stream");
+        threads_[t].gen = streams[t];
+    }
+    policy_.reset(*this);
+}
+
+unsigned
+SmtCore::opLatency(trace::OpClass op)
+{
+    using trace::OpClass;
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Call:
+      case OpClass::Return:
+      case OpClass::Lock:
+      case OpClass::Unlock:
+        return 1;
+      case OpClass::IntMul:
+        return 3;
+      case OpClass::IntDiv:
+        return 20;
+      case OpClass::FpAdd:
+        return 2;
+      case OpClass::FpMul:
+        return 4;
+      case OpClass::FpDiv:
+        return 12;
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::FpLoad:
+      case OpClass::FpStore:
+        return 1; // AGU; cache latency added by the hierarchy
+      case OpClass::NumClasses:
+        break;
+    }
+    panic("opLatency on invalid op class");
+}
+
+unsigned
+SmtCore::fuOccupancy(trace::OpClass op)
+{
+    // Divides are unpipelined and hold their unit for the full latency.
+    if (op == trace::OpClass::IntDiv || op == trace::OpClass::FpDiv)
+        return opLatency(op);
+    return 1;
+}
+
+FuncUnitPool &
+SmtCore::poolOf(trace::OpClass op)
+{
+    if (trace::isMemOp(op))
+        return memUnits_;
+    if (trace::isFpComputeOp(op))
+        return fpUnits_;
+    return intUnits_;
+}
+
+void
+SmtCore::run(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        tick();
+}
+
+void
+SmtCore::prewarm(InstSeq insts)
+{
+    mem::Cache &l1i = mem_.l1i();
+    mem::Cache &l1d = mem_.l1d();
+    mem::Cache &l2 = mem_.l2();
+    Addr evicted = 0;
+
+    for (InstSeq i = 0; i < insts; ++i) {
+        // Interleave threads so the shared L2's replacement state sees
+        // the same competition it will see during timing simulation.
+        for (unsigned t = 0; t < config_.numThreads; ++t) {
+            ThreadState &ts = threads_[t];
+            const trace::MicroOp op = ts.gen->at(ts.nextSeq + i);
+            const Cycle pseudo_now = i;
+
+            l1i.install(l1i.lineAlign(op.pc), pseudo_now, pseudo_now,
+                        evicted);
+            l2.install(l2.lineAlign(op.pc), pseudo_now, pseudo_now,
+                       evicted);
+            if (trace::isMemOp(op.op)) {
+                l1d.install(l1d.lineAlign(op.effAddr), pseudo_now,
+                            pseudo_now, evicted);
+                l2.install(l2.lineAlign(op.effAddr), pseudo_now,
+                           pseudo_now, evicted);
+            }
+            if (op.op == trace::OpClass::Branch) {
+                const auto out = predictor_.predict(
+                    static_cast<ThreadId>(t), op.pc);
+                predictor_.update(static_cast<ThreadId>(t), op.pc,
+                                  op.taken, out);
+            }
+            if (op.taken && (op.op == trace::OpClass::Branch ||
+                             op.op == trace::OpClass::Call)) {
+                btb_.update(op.pc, op.target);
+            }
+        }
+    }
+    for (unsigned t = 0; t < config_.numThreads; ++t)
+        threads_[t].nextSeq += insts;
+
+    // The pseudo-time used for LRU stamps must lie in the past of all
+    // timing cycles, so fast-forward the core clock past it.
+    cycle_ = std::max(cycle_, static_cast<Cycle>(insts) + 1);
+}
+
+void
+SmtCore::tick()
+{
+    policy_.beginCycle(*this);
+    processCompletions();
+    checkRunaheadTransitions();
+    commitStage();
+    issueStage();
+    renameStage();
+    fetchStage();
+    sampleCycle();
+    ++cycle_;
+}
+
+void
+SmtCore::resetStats()
+{
+    stats_ = {};
+    predictor_.resetStats();
+    btb_.resetStats();
+}
+
+// ---------------------------------------------------------------------------
+// Completion / writeback
+// ---------------------------------------------------------------------------
+
+void
+SmtCore::processCompletions()
+{
+    while (!completions_.empty() && completions_.top().at <= cycle_) {
+        const InstHandle h = completions_.top().inst;
+        completions_.pop();
+        DynInst *inst = pool_.get(h);
+        if (!inst || inst->status != InstStatus::Executing)
+            continue; // squashed or folded since scheduling
+        completeInst(*inst);
+    }
+
+    // Long-latency detection events for the policies (STALL/FLUSH/DCRA
+    // learn about an L2 miss one L2 lookup after issue).
+    while (!l2Detections_.empty() && l2Detections_.top().at <= cycle_) {
+        const InstHandle h = l2Detections_.top().inst;
+        l2Detections_.pop();
+        DynInst *inst = pool_.get(h);
+        if (!inst || !inst->countedL2Miss)
+            continue;
+        if (threads_[inst->tid].inRunahead)
+            continue;
+        policy_.onL2MissDetected(*this, inst->tid, *inst);
+    }
+
+    // Drain any INV cascade started by the wakeups above.
+    while (!foldQueue_.empty()) {
+        const InstHandle h = foldQueue_.back();
+        foldQueue_.pop_back();
+        if (DynInst *inst = pool_.get(h))
+            foldInst(*inst);
+    }
+}
+
+void
+SmtCore::completeInst(DynInst &inst)
+{
+    ThreadState &t = threads_[inst.tid];
+    inst.status = InstStatus::Complete;
+
+    if (inst.countedL2Miss) {
+        RAT_ASSERT(t.pendingL2Misses > 0, "pending L2 miss underflow");
+        --t.pendingL2Misses;
+        inst.countedL2Miss = false;
+    }
+
+    if (inst.hasDstReg) {
+        fileOf(inst.dstIsFp).setReady(inst.dstPhys);
+        wakeConsumers(inst.dstIsFp, inst.dstPhys, /*inv=*/false);
+    }
+
+    if (trace::isStoreOp(inst.op.op))
+        wakeStoreDependents(inst, /*inv=*/false);
+
+    if (trace::isControlOp(inst.op.op))
+        resolveControl(inst);
+
+    // Drain the INV cascade possibly started by the wakeups.
+    while (!foldQueue_.empty()) {
+        const InstHandle h = foldQueue_.back();
+        foldQueue_.pop_back();
+        if (DynInst *folded = pool_.get(h))
+            foldInst(*folded);
+    }
+}
+
+void
+SmtCore::resolveControl(DynInst &inst)
+{
+    ThreadState &t = threads_[inst.tid];
+    if (inst.op.op == trace::OpClass::Branch) {
+        ++stats_[inst.tid].branches;
+        if (inst.mispredicted)
+            ++stats_[inst.tid].branchMispredicts;
+        predictor_.update(inst.tid, inst.op.pc, inst.op.taken, inst.pred);
+    }
+    if (inst.op.taken && (inst.op.op == trace::OpClass::Branch ||
+                          inst.op.op == trace::OpClass::Call)) {
+        btb_.update(inst.op.pc, inst.op.target);
+    }
+    if (inst.mispredicted && t.waitingBranch &&
+        t.blockingBranch == inst.handle()) {
+        t.waitingBranch = false;
+        t.fetchBlockedUntil = std::max(
+            t.fetchBlockedUntil, cycle_ + Cycle{config_.mispredictRedirect});
+    }
+}
+
+void
+SmtCore::wakeConsumers(bool is_fp, MapEntry tag, bool inv)
+{
+    for (auto &iq : iqs_) {
+        for (const InstHandle h : iq.entries()) {
+            DynInst *c = pool_.get(h);
+            if (!c || c->status != InstStatus::InQueue)
+                continue;
+            for (unsigned i = 0; i < c->numSrcs; ++i) {
+                if (c->srcState[i] == SrcState::Waiting &&
+                    c->srcIsFp[i] == is_fp && c->srcTag[i] == tag) {
+                    c->srcState[i] =
+                        inv ? SrcState::Invalid : SrcState::Ready;
+                    if (inv)
+                        foldQueue_.push_back(h);
+                }
+            }
+        }
+    }
+}
+
+void
+SmtCore::wakeStoreDependents(const DynInst &store, bool inv)
+{
+    IssueQueue &mem_iq = queueOf(IqClass::Mem);
+    for (const InstHandle h : mem_iq.entries()) {
+        DynInst *c = pool_.get(h);
+        if (!c || c->depStoreUid != store.uid)
+            continue;
+        c->depStoreUid = 0;
+        if (inv)
+            foldQueue_.push_back(h);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runahead (Section 3)
+// ---------------------------------------------------------------------------
+
+void
+SmtCore::releaseDest(DynInst &inst, bool make_inv)
+{
+    if (!inst.hasDstReg)
+        return;
+    ThreadState &t = threads_[inst.tid];
+    RenameMap &map = mapOf(inst.tid, inst.dstIsFp);
+    if (map.get(inst.op.dst) == inst.dstPhys)
+        map.set(inst.op.dst, make_inv ? kMapInv : kMapArch);
+    fileOf(inst.dstIsFp).release(inst.dstPhys);
+    if (inst.dstIsFp)
+        --t.fpRegsHeld;
+    else
+        --t.intRegsHeld;
+    inst.hasDstReg = false;
+}
+
+void
+SmtCore::foldInst(DynInst &inst)
+{
+    if (inst.inv || inst.status == InstStatus::Retired)
+        return;
+    ThreadState &t = threads_[inst.tid];
+
+    if (inst.status == InstStatus::InQueue) {
+        queueOf(iqClassOf(inst.op.op)).remove(inst.handle());
+        --t.iqCount[static_cast<unsigned>(iqClassOf(inst.op.op))];
+        RAT_ASSERT(t.icount > 0, "icount underflow on fold");
+        --t.icount;
+    }
+    // Executing instructions can be folded at runahead entry (the
+    // blocking load). Their in-flight completion event goes stale.
+
+    inst.inv = true;
+    inst.folded = true;
+    inst.status = InstStatus::Complete;
+    ++stats_[inst.tid].invalidInsts;
+
+    if (inst.countedL2Miss) {
+        RAT_ASSERT(t.pendingL2Misses > 0, "pending L2 miss underflow");
+        --t.pendingL2Misses;
+        inst.countedL2Miss = false;
+    }
+
+    // Propagate INV through the register file: wake consumers first
+    // (they inherit INV), then release the register early — this is the
+    // "invalid registers can be freed and used by the rest of the
+    // threads" property (Section 3.3, Register control).
+    if (inst.hasDstReg) {
+        wakeConsumers(inst.dstIsFp, inst.dstPhys, /*inv=*/true);
+        releaseDest(inst, /*make_inv=*/true);
+    } else if (inst.op.hasDst && inst.renamed) {
+        // Destination was never backed by a register (folded at rename);
+        // the map already holds kMapInv.
+    }
+
+    if (trace::isStoreOp(inst.op.op))
+        wakeStoreDependents(inst, /*inv=*/true);
+
+    // An INV branch cannot be detected as mispredicted; the thread
+    // continues past it (on the trace path — see DESIGN.md limitations).
+    if (trace::isControlOp(inst.op.op) && t.waitingBranch &&
+        t.blockingBranch == inst.handle()) {
+        t.waitingBranch = false;
+        t.fetchBlockedUntil =
+            std::max(t.fetchBlockedUntil, cycle_ + Cycle{1});
+    }
+}
+
+void
+SmtCore::enterRunahead(ThreadId tid, DynInst &blocking_load)
+{
+    ThreadState &t = threads_[tid];
+    RAT_ASSERT(!t.inRunahead, "nested runahead entry");
+    RAT_ASSERT(blocking_load.completeAt != kNoCycle,
+               "blocking load has no completion time");
+
+    t.inRunahead = true;
+    t.raResumeSeq = blocking_load.op.seq;
+    t.raExitAt = blocking_load.completeAt;
+    t.raHistCheckpoint = predictor_.history(tid);
+    t.raPrefetchSnapshot = mem_.threadStats(tid).raMemPrefetches +
+                           mem_.threadStats(tid).raL2Prefetches;
+    ++stats_[tid].runaheadEntries;
+
+    // The blocking load's destination becomes INV (bogus value); the
+    // load pseudo-retires from the ROB head on the next commit pass.
+    foldInst(blocking_load);
+
+    // "Other long-latency loads are also invalidated just like the load
+    // that started the runahead mode" (Section 3.2): every in-flight
+    // L2-missing load of this thread folds now; its fill continues in
+    // the hierarchy as a prefetch. Without this, runahead progress would
+    // serialize behind the very misses it is meant to overlap.
+    const std::vector<InstHandle> mem_ops(lsq_.threadList(tid).begin(),
+                                          lsq_.threadList(tid).end());
+    for (const InstHandle h : mem_ops) {
+        DynInst *inst = pool_.get(h);
+        if (inst && trace::isLoadOp(inst->op.op) &&
+            inst->status == InstStatus::Executing && inst->memIssued &&
+            inst->longLatency) {
+            foldInst(*inst);
+        }
+    }
+
+    // Drain the INV cascade now so dependants fold promptly.
+    while (!foldQueue_.empty()) {
+        const InstHandle h = foldQueue_.back();
+        foldQueue_.pop_back();
+        if (DynInst *inst = pool_.get(h))
+            foldInst(*inst);
+    }
+}
+
+void
+SmtCore::checkRunaheadTransitions()
+{
+    for (unsigned tid = 0; tid < config_.numThreads; ++tid) {
+        ThreadState &t = threads_[tid];
+        if (t.inRunahead && cycle_ >= t.raExitAt)
+            exitRunahead(static_cast<ThreadId>(tid));
+    }
+}
+
+void
+SmtCore::exitRunahead(ThreadId tid)
+{
+    ThreadState &t = threads_[tid];
+
+    // Squash the whole speculative window: front-end queue first, then
+    // the ROB from the tail. The checkpointed architectural state covers
+    // every register, so maps are bulk-restored rather than walked.
+    while (!t.fetchQueue.empty()) {
+        DynInst *inst = pool_.get(t.fetchQueue.back());
+        t.fetchQueue.pop_back();
+        RAT_ASSERT(inst != nullptr, "stale fetch-queue entry");
+        scrubInst(*inst, /*restore_map=*/false);
+    }
+    while (!rob_.empty(tid)) {
+        DynInst *inst = pool_.get(rob_.tail(tid));
+        rob_.popTail(tid);
+        RAT_ASSERT(inst != nullptr, "stale ROB entry");
+        scrubInst(*inst, /*restore_map=*/false);
+    }
+
+    t.intMap.reset();
+    t.fpMap.reset();
+    RAT_ASSERT(t.intRegsHeld == 0 && t.fpRegsHeld == 0,
+               "registers leaked across runahead exit");
+    RAT_ASSERT(t.icount == 0, "icount leaked across runahead exit");
+    t.pendingL2Misses = 0;
+
+    const std::uint64_t episode_prefetches =
+        mem_.threadStats(tid).raMemPrefetches +
+        mem_.threadStats(tid).raL2Prefetches - t.raPrefetchSnapshot;
+    if (episode_prefetches == 0)
+        ++stats_[tid].uselessRunaheadEpisodes;
+
+    predictor_.restoreHistory(tid, t.raHistCheckpoint);
+    raCache_.clear(tid);
+
+    t.inRunahead = false;
+    t.waitingBranch = false;
+    t.nextSeq = t.raResumeSeq;
+    t.lastFetchLine = ~Addr{0};
+    t.fetchBlockedUntil = cycle_ + config_.mispredictRedirect;
+}
+
+void
+SmtCore::dumpThreadHead(ThreadId tid) const
+{
+    const ThreadState &t = threads_[tid];
+    if (rob_.empty(tid)) {
+        std::fprintf(stderr,
+                     "[t%u] ROB empty; nextSeq=%llu blockedUntil=%llu "
+                     "waitingBranch=%d fetchQ=%zu\n",
+                     tid, static_cast<unsigned long long>(t.nextSeq),
+                     static_cast<unsigned long long>(t.fetchBlockedUntil),
+                     t.waitingBranch, t.fetchQueue.size());
+        return;
+    }
+    const DynInst *h =
+        const_cast<InstPool &>(pool_).get(rob_.head(tid));
+    std::fprintf(
+        stderr,
+        "[t%u] head seq=%llu op=%u status=%u inv=%d memIssued=%d "
+        "longLat=%d depStore=%llu completeAt=%llu srcs=[",
+        tid, static_cast<unsigned long long>(h->op.seq),
+        static_cast<unsigned>(h->op.op),
+        static_cast<unsigned>(h->status), h->inv, h->memIssued,
+        h->longLatency,
+        static_cast<unsigned long long>(h->depStoreUid),
+        static_cast<unsigned long long>(h->completeAt));
+    for (unsigned i = 0; i < h->numSrcs; ++i) {
+        std::fprintf(stderr, "%u:%u ", static_cast<unsigned>(h->srcTag[i]),
+                     static_cast<unsigned>(h->srcState[i]));
+    }
+    std::fprintf(stderr, "] cycle=%llu\n",
+                 static_cast<unsigned long long>(cycle_));
+}
+
+// ---------------------------------------------------------------------------
+// Squash machinery
+// ---------------------------------------------------------------------------
+
+void
+SmtCore::scrubInst(DynInst &inst, bool restore_map)
+{
+    ThreadState &t = threads_[inst.tid];
+
+    switch (inst.status) {
+      case InstStatus::InFetchQueue:
+        RAT_ASSERT(t.icount > 0, "icount underflow on scrub");
+        --t.icount;
+        break;
+      case InstStatus::InQueue:
+        queueOf(iqClassOf(inst.op.op)).remove(inst.handle());
+        --t.iqCount[static_cast<unsigned>(iqClassOf(inst.op.op))];
+        RAT_ASSERT(t.icount > 0, "icount underflow on scrub");
+        --t.icount;
+        break;
+      case InstStatus::Executing:
+      case InstStatus::Complete:
+        break;
+      case InstStatus::Retired:
+        panic("scrubbing a retired instruction");
+    }
+
+    if (inst.renamed && trace::isMemOp(inst.op.op))
+        lsq_.remove(inst);
+
+    if (inst.countedL2Miss) {
+        RAT_ASSERT(t.pendingL2Misses > 0, "pending L2 miss underflow");
+        --t.pendingL2Misses;
+        inst.countedL2Miss = false;
+    }
+
+    if (restore_map && inst.renamed && inst.op.hasDst) {
+        // Reverse-order walk restore (FLUSH path). A saved mapping is
+        // only valid while that register still holds the same
+        // allocation; if the previous producer committed since, its
+        // value lives in the architectural backing instead.
+        MapEntry restore = inst.prevMap;
+        if (isPhysEntry(restore)) {
+            const auto r = static_cast<PhysReg>(restore);
+            PhysRegFile &file = fileOf(inst.dstIsFp);
+            if (!file.isAllocated(r) ||
+                file.allocGen(r) != inst.prevMapGen) {
+                restore = kMapArch;
+            }
+        }
+        mapOf(inst.tid, inst.dstIsFp).set(inst.op.dst, restore);
+    }
+    if (inst.hasDstReg) {
+        fileOf(inst.dstIsFp).release(inst.dstPhys);
+        if (inst.dstIsFp)
+            --t.fpRegsHeld;
+        else
+            --t.intRegsHeld;
+        inst.hasDstReg = false;
+    }
+
+    if (t.waitingBranch && t.blockingBranch == inst.handle())
+        t.waitingBranch = false;
+
+    ++stats_[inst.tid].squashedInsts;
+    inst.status = InstStatus::Retired;
+    pool_.release(&inst);
+}
+
+void
+SmtCore::squashYoungerThan(ThreadId tid, InstSeq seq)
+{
+    ThreadState &t = threads_[tid];
+
+    while (!t.fetchQueue.empty()) {
+        DynInst *inst = pool_.get(t.fetchQueue.back());
+        RAT_ASSERT(inst != nullptr, "stale fetch-queue entry");
+        if (inst->op.seq <= seq)
+            break;
+        t.fetchQueue.pop_back();
+        scrubInst(*inst, /*restore_map=*/true);
+    }
+    while (!rob_.empty(tid)) {
+        DynInst *inst = pool_.get(rob_.tail(tid));
+        RAT_ASSERT(inst != nullptr, "stale ROB entry");
+        if (inst->op.seq <= seq)
+            break;
+        rob_.popTail(tid);
+        scrubInst(*inst, /*restore_map=*/true);
+    }
+
+    t.nextSeq = seq + 1;
+    t.lastFetchLine = ~Addr{0};
+    t.fetchBlockedUntil = std::max(t.fetchBlockedUntil, cycle_ + Cycle{1});
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------------
+
+bool
+SmtCore::retireHead(ThreadId tid)
+{
+    ThreadState &t = threads_[tid];
+    if (rob_.empty(tid))
+        return false;
+    DynInst *head = pool_.get(rob_.head(tid));
+    RAT_ASSERT(head != nullptr, "stale ROB head");
+
+    if (t.inRunahead) {
+        if (head->status != InstStatus::Complete)
+            return false;
+        // Pseudo-retire (Section 3.1): no architectural or memory update.
+        if (trace::isStoreOp(head->op.op) && config_.rat.useRunaheadCache &&
+            head->renamed) {
+            raCache_.write(tid, mem_.l1d().lineAlign(head->op.effAddr),
+                           /*data_valid=*/!head->inv);
+        }
+        releaseDest(*head, /*make_inv=*/head->inv);
+        if (trace::isMemOp(head->op.op))
+            lsq_.remove(*head);
+        rob_.popHead(tid);
+        ++stats_[tid].pseudoRetired;
+        head->status = InstStatus::Retired;
+        pool_.release(head);
+        return true;
+    }
+
+    if (head->status == InstStatus::Complete) {
+        if (trace::isStoreOp(head->op.op)) {
+            const auto res =
+                mem_.writeData(tid, head->op.effAddr, cycle_);
+            if (res.rejected)
+                return false; // write-buffer/MSHR pressure stalls commit
+        }
+        releaseDest(*head, /*make_inv=*/false);
+        if (trace::isMemOp(head->op.op))
+            lsq_.remove(*head);
+        rob_.popHead(tid);
+        ++stats_[tid].committedInsts;
+        head->status = InstStatus::Retired;
+        pool_.release(head);
+        return true;
+    }
+
+    // Head not complete. A long-latency load blocking the head is the
+    // runahead trigger (Section 3.1).
+    if (runaheadEnabled(config_.policy) &&
+        trace::isLoadOp(head->op.op) && head->memIssued &&
+        head->longLatency &&
+        !t.raSuppressedLoads.count(head->op.seq)) {
+        enterRunahead(tid, *head);
+        return true; // consumed a commit slot taking the checkpoint
+    }
+    return false;
+}
+
+void
+SmtCore::commitStage()
+{
+    unsigned budget = config_.commitWidth;
+    const unsigned n = config_.numThreads;
+    for (unsigned i = 0; i < n && budget > 0; ++i) {
+        const auto tid = static_cast<ThreadId>((commitRR_ + i) % n);
+        while (budget > 0 && retireHead(tid))
+            --budget;
+    }
+    commitRR_ = (commitRR_ + 1) % n;
+}
+
+// ---------------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------------
+
+bool
+SmtCore::tryIssueInst(DynInst &inst)
+{
+    ThreadState &t = threads_[inst.tid];
+    const trace::OpClass op = inst.op.op;
+
+    auto start_execution = [&](Cycle complete_at) {
+        ++stats_[inst.tid].executedInsts;
+        queueOf(iqClassOf(op)).remove(inst.handle());
+        --t.iqCount[static_cast<unsigned>(iqClassOf(op))];
+        RAT_ASSERT(t.icount > 0, "icount underflow on issue");
+        --t.icount;
+        inst.status = InstStatus::Executing;
+        inst.completeAt = complete_at;
+        completions_.push({complete_at, inst.handle()});
+    };
+
+    if (trace::isLoadOp(op)) {
+        const Addr line = mem_.l1d().lineAlign(inst.op.effAddr);
+
+        // In-flight store-to-load communication (same thread).
+        DynInst *match = nullptr;
+        for (const InstHandle h : lsq_.threadList(inst.tid)) {
+            DynInst *other = pool_.get(h);
+            if (!other || other->uid >= inst.uid)
+                break; // program-ordered list: done once we reach self
+            if (trace::isStoreOp(other->op.op) &&
+                mem_.l1d().lineAlign(other->op.effAddr) == line) {
+                match = other; // keep youngest older match
+            }
+        }
+        if (match) {
+            if (match->inv) {
+                foldInst(inst); // INV store data propagates to the load
+                return false;
+            }
+            if (match->status != InstStatus::Complete &&
+                match->status != InstStatus::Executing) {
+                inst.depStoreUid = match->uid; // wait for the store
+                return false;
+            }
+            if (match->status == InstStatus::Executing) {
+                inst.depStoreUid = match->uid;
+                return false;
+            }
+            // Forward from the completed store.
+            if (!memUnits_.tryIssue(cycle_, 1))
+                return false;
+            start_execution(cycle_ + 1);
+            inst.forwarded = true;
+            return true;
+        }
+
+        // Communication from pseudo-retired runahead stores (the
+        // runahead cache, Section 3.3).
+        if (t.inRunahead && config_.rat.useRunaheadCache) {
+            bool data_valid = false;
+            if (raCache_.lookup(inst.tid, line, data_valid)) {
+                if (!data_valid) {
+                    foldInst(inst);
+                    return false;
+                }
+                if (!memUnits_.tryIssue(cycle_, 1))
+                    return false;
+                start_execution(cycle_ + 1);
+                inst.forwarded = true;
+                return true;
+            }
+        }
+
+        // Fig. 4 "no prefetch" ablation: runahead loads may not touch
+        // the L2 or memory; would-be L2 misses fold without prefetching
+        // and are barred from re-triggering runahead after recovery.
+        if (t.inRunahead && config_.rat.disablePrefetch) {
+            const auto level = mem_.probe(inst.op.effAddr, cycle_);
+            if (level != mem::HitLevel::L1) {
+                t.raSuppressedLoads.insert(inst.op.seq);
+                foldInst(inst);
+                return false;
+            }
+        }
+
+        if (!memUnits_.tryIssue(cycle_, 1))
+            return false;
+        const auto res = mem_.readData(inst.tid, inst.op.effAddr, cycle_,
+                                       /*speculative=*/t.inRunahead);
+        if (res.rejected)
+            return true; // port burned; retry next cycle
+        inst.memIssued = true;
+        inst.memLevel = res.level;
+        // Long-latency = fresh L2 miss, or a merge with an in-flight
+        // fill whose data is still far away. Both behave as "the L2
+        // missed" for runahead and the long-latency policies.
+        inst.longLatency =
+            res.level == mem::HitLevel::Memory ||
+            res.completeAt > cycle_ + Cycle{mem_.l1d().latency() +
+                                            mem_.l2().latency() + 2};
+
+        if (t.inRunahead && inst.longLatency) {
+            // The access already installed/merged the line fill: that is
+            // the prefetch. The load itself is invalidated (Section 3.2).
+            ++stats_[inst.tid].executedInsts; // the AGU + access ran
+            foldInst(inst);
+            return true;
+        }
+        start_execution(res.completeAt);
+        if (!t.inRunahead && inst.longLatency) {
+            inst.countedL2Miss = true;
+            ++t.pendingL2Misses;
+            l2Detections_.push(
+                {cycle_ + mem_.l1d().latency() + mem_.l2().latency(),
+                 inst.handle()});
+        }
+        return true;
+    }
+
+    if (trace::isStoreOp(op)) {
+        if (!memUnits_.tryIssue(cycle_, 1))
+            return false;
+        inst.memIssued = true;
+        start_execution(cycle_ + 1); // AGU; memory written at commit
+        return true;
+    }
+
+    FuncUnitPool &pool = poolOf(op);
+    if (!pool.tryIssue(cycle_, fuOccupancy(op)))
+        return false;
+    if (trace::isFpComputeOp(op))
+        t.lastFpIssue = cycle_;
+    start_execution(cycle_ + opLatency(op));
+    return true;
+}
+
+void
+SmtCore::issueStage()
+{
+    readyScratch_.clear();
+    for (const auto &iq : iqs_) {
+        for (const InstHandle h : iq.entries()) {
+            const DynInst *inst = pool_.get(h);
+            if (inst && inst->status == InstStatus::InQueue &&
+                inst->allSrcsReady()) {
+                readyScratch_.push_back(h);
+            }
+        }
+    }
+    std::sort(readyScratch_.begin(), readyScratch_.end(),
+              [this](InstHandle a, InstHandle b) {
+                  const DynInst *ia = pool_.get(a);
+                  const DynInst *ib = pool_.get(b);
+                  return ia->uid < ib->uid; // oldest first
+              });
+
+    unsigned budget = config_.issueWidth;
+    for (const InstHandle h : readyScratch_) {
+        if (budget == 0)
+            break;
+        DynInst *inst = pool_.get(h);
+        if (!inst || inst->status != InstStatus::InQueue)
+            continue; // folded by an earlier issue this cycle
+        if (!inst->allSrcsReady())
+            continue; // acquired a store dependence this cycle
+        if (tryIssueInst(*inst))
+            --budget;
+    }
+
+    // Drain INV cascades started by at-issue folding.
+    while (!foldQueue_.empty()) {
+        const InstHandle h = foldQueue_.back();
+        foldQueue_.pop_back();
+        if (DynInst *inst = pool_.get(h))
+            foldInst(*inst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rename / dispatch
+// ---------------------------------------------------------------------------
+
+bool
+SmtCore::renameOne(ThreadId tid)
+{
+    ThreadState &t = threads_[tid];
+    if (t.fetchQueue.empty())
+        return false;
+    DynInst *inst = pool_.get(t.fetchQueue.front());
+    RAT_ASSERT(inst != nullptr, "stale fetch-queue head");
+    if (inst->renameReadyAt > cycle_)
+        return false;
+    if (rob_.full())
+        return false;
+
+    const trace::OpClass op = inst->op.op;
+    const IqClass cls = iqClassOf(op);
+
+    // Resolve source mappings (also needed to decide runahead folding).
+    inst->numSrcs = 0;
+    bool any_src_inv = false;
+    auto add_src = [&](ArchReg r, bool fp) {
+        const MapEntry e = mapOf(tid, fp).get(r);
+        const unsigned i = inst->numSrcs++;
+        inst->srcIsFp[i] = fp;
+        if (e == kMapArch) {
+            inst->srcState[i] = SrcState::Ready;
+        } else if (e == kMapInv) {
+            inst->srcState[i] = SrcState::Invalid;
+            any_src_inv = true;
+        } else {
+            inst->srcTag[i] = e;
+            inst->srcState[i] = fileOf(fp).isReady(static_cast<PhysReg>(e))
+                                    ? SrcState::Ready
+                                    : SrcState::Waiting;
+        }
+    };
+    for (unsigned i = 0; i < inst->op.numSrcInt; ++i)
+        add_src(inst->op.srcInt[i], false);
+    for (unsigned i = 0; i < inst->op.numSrcFp; ++i)
+        add_src(inst->op.srcFp[i], true);
+
+    // Runahead folding decision (Section 3.3): INV sources, FP compute
+    // under the FP-drop optimisation, and synchronization ops all fold.
+    bool fold = false;
+    if (t.inRunahead) {
+        fold = any_src_inv ||
+               (config_.rat.dropFpInRunahead &&
+                trace::isFpComputeOp(op)) ||
+               op == trace::OpClass::Lock || op == trace::OpClass::Unlock;
+    } else {
+        RAT_ASSERT(!any_src_inv, "INV mapping outside runahead");
+    }
+
+    // FP loads under FP-drop still execute for their prefetch effect but
+    // take no FP destination register (Section 3.3).
+    const bool prefetch_only =
+        t.inRunahead && config_.rat.dropFpInRunahead && !fold &&
+        op == trace::OpClass::FpLoad;
+    const bool needs_dst_reg = inst->op.hasDst && !fold && !prefetch_only;
+
+    if (!fold) {
+        if (queueOf(cls).full())
+            return false;
+        if (trace::isMemOp(op) && lsq_.full())
+            return false;
+        if (needs_dst_reg && fileOf(inst->op.dstIsFp).freeCount() == 0)
+            return false;
+    }
+
+    // Commit the rename.
+    t.fetchQueue.pop_front();
+    inst->renamed = true;
+    inst->runahead = t.inRunahead;
+    inst->dstIsFp = inst->op.dstIsFp;
+
+    if (fold) {
+        inst->inv = true;
+        inst->folded = true;
+        inst->status = InstStatus::Complete;
+        ++stats_[tid].invalidInsts;
+        RAT_ASSERT(t.icount > 0, "icount underflow on rename fold");
+        --t.icount;
+        if (inst->op.hasDst) {
+            inst->prevMap =
+                mapOf(tid, inst->op.dstIsFp).set(inst->op.dst, kMapInv);
+            if (isPhysEntry(inst->prevMap)) {
+                inst->prevMapGen = fileOf(inst->op.dstIsFp).allocGen(
+                    static_cast<PhysReg>(inst->prevMap));
+            }
+        }
+        if (trace::isControlOp(op) && t.waitingBranch &&
+            t.blockingBranch == inst->handle()) {
+            t.waitingBranch = false;
+            t.fetchBlockedUntil =
+                std::max(t.fetchBlockedUntil, cycle_ + Cycle{1});
+        }
+        rob_.push(*inst);
+        return true;
+    }
+
+    if (inst->op.hasDst) {
+        if (needs_dst_reg) {
+            const PhysReg r = fileOf(inst->op.dstIsFp).allocate();
+            inst->dstPhys = r;
+            inst->hasDstReg = true;
+            if (inst->op.dstIsFp)
+                ++t.fpRegsHeld;
+            else
+                ++t.intRegsHeld;
+            inst->prevMap =
+                mapOf(tid, inst->op.dstIsFp).set(inst->op.dst, r);
+        } else {
+            // prefetch-only FP load: consumers see INV.
+            inst->prevMap =
+                mapOf(tid, inst->op.dstIsFp).set(inst->op.dst, kMapInv);
+        }
+        if (isPhysEntry(inst->prevMap)) {
+            inst->prevMapGen = fileOf(inst->op.dstIsFp).allocGen(
+                static_cast<PhysReg>(inst->prevMap));
+        }
+    }
+
+    rob_.push(*inst);
+    if (trace::isMemOp(op))
+        lsq_.insert(*inst);
+    queueOf(cls).insert(inst->handle());
+    ++t.iqCount[static_cast<unsigned>(cls)];
+    inst->status = InstStatus::InQueue;
+    return true;
+}
+
+void
+SmtCore::renameStage()
+{
+    const unsigned n = config_.numThreads;
+    unsigned budget = config_.renameWidth;
+    bool stalled[kMaxThreads] = {};
+    unsigned stalled_count = 0;
+
+    unsigned rr = renameRR_;
+    while (budget > 0 && stalled_count < n) {
+        const auto tid = static_cast<ThreadId>(rr % n);
+        rr = (rr + 1) % n;
+        if (stalled[tid])
+            continue;
+        if (renameOne(tid)) {
+            --budget;
+        } else {
+            stalled[tid] = true;
+            ++stalled_count;
+        }
+    }
+    renameRR_ = (renameRR_ + 1) % n;
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------------
+
+void
+SmtCore::fetchThread(ThreadId tid, unsigned &budget)
+{
+    ThreadState &t = threads_[tid];
+    while (budget > 0 &&
+           t.fetchQueue.size() < config_.fetchQueueEntries) {
+        const trace::MicroOp op = t.gen->at(t.nextSeq);
+
+        // Instruction-cache access on line crossings, with a
+        // stream-buffer-style sequential prefetch of the next lines.
+        const Addr line = mem_.l1i().lineAlign(op.pc);
+        if (line != t.lastFetchLine) {
+            const auto res = mem_.fetchInst(tid, op.pc, cycle_);
+            if (res.rejected) {
+                t.fetchBlockedUntil = cycle_ + 1;
+                break;
+            }
+            t.lastFetchLine = line;
+            const unsigned line_bytes = mem_.l1i().lineBytes();
+            for (unsigned i = 1; i <= config_.ifetchPrefetchLines; ++i)
+                mem_.prefetchInst(tid, line + i * line_bytes, cycle_);
+            if (res.completeAt > cycle_ + Cycle{mem_.l1i().latency()}) {
+                t.fetchBlockedUntil = res.completeAt;
+                break;
+            }
+        }
+
+        DynInst *inst = pool_.alloc(tid);
+        inst->op = op;
+        inst->fetchedAt = cycle_;
+        inst->renameReadyAt = cycle_ + config_.frontendDelay;
+        inst->status = InstStatus::InFetchQueue;
+
+        bool stop = false;
+        if (trace::isControlOp(op.op)) {
+            Addr predicted_target = 0;
+            bool target_known = false;
+            switch (op.op) {
+              case trace::OpClass::Branch:
+                inst->pred = predictor_.predict(tid, op.pc);
+                inst->predTaken = inst->pred.taken;
+                break;
+              case trace::OpClass::Call:
+                inst->predTaken = true;
+                t.ras.push(op.pc + 4);
+                break;
+              case trace::OpClass::Return:
+                inst->predTaken = true;
+                target_known = t.ras.pop(predicted_target);
+                break;
+              default:
+                break;
+            }
+            if (inst->predTaken) {
+                if (op.op != trace::OpClass::Return)
+                    target_known = btb_.lookup(op.pc, predicted_target);
+                if (!target_known) {
+                    // Decode-time redirect bubble.
+                    t.fetchBlockedUntil =
+                        cycle_ + config_.btbMissPenalty;
+                }
+                stop = true; // taken control flow ends the fetch group
+            }
+            if (op.op == trace::OpClass::Branch &&
+                inst->predTaken != op.taken) {
+                inst->mispredicted = true;
+                t.waitingBranch = true;
+                t.blockingBranch = inst->handle();
+                stop = true;
+            }
+        }
+
+        t.fetchQueue.push_back(inst->handle());
+        ++t.icount;
+        ++stats_[tid].fetchedInsts;
+        ++t.nextSeq;
+        --budget;
+        if (stop)
+            break;
+    }
+}
+
+void
+SmtCore::fetchStage()
+{
+    fetchOrder_.clear();
+    policy_.fetchOrder(*this, fetchOrder_);
+
+    unsigned budget = config_.fetchWidth;
+    unsigned threads_used = 0;
+    for (const ThreadId tid : fetchOrder_) {
+        if (budget == 0 || threads_used >= config_.fetchThreads)
+            break;
+        ThreadState &t = threads_[tid];
+        if (t.waitingBranch || t.fetchBlockedUntil > cycle_)
+            continue;
+        if (t.fetchQueue.size() >= config_.fetchQueueEntries)
+            continue;
+        if (config_.rat.noFetchInRunahead && t.inRunahead)
+            continue; // Fig. 4 resource-availability ablation
+        if (!policy_.mayFetch(*this, tid))
+            continue;
+        const unsigned before = budget;
+        fetchThread(tid, budget);
+        if (budget < before)
+            ++threads_used;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-cycle sampling
+// ---------------------------------------------------------------------------
+
+void
+SmtCore::sampleCycle()
+{
+    for (unsigned tid = 0; tid < config_.numThreads; ++tid) {
+        ThreadState &t = threads_[tid];
+        ThreadStats &s = stats_[tid];
+        const unsigned held = t.intRegsHeld + t.fpRegsHeld;
+        if (t.inRunahead) {
+            ++s.runaheadCycles;
+            s.runaheadRegCycles += held;
+        } else {
+            ++s.normalCycles;
+            s.normalRegCycles += held;
+        }
+    }
+}
+
+} // namespace rat::core

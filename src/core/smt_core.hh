@@ -1,0 +1,300 @@
+/**
+ * @file
+ * The simultaneous-multithreaded out-of-order core, including the
+ * Runahead Threads mechanism (the paper's contribution).
+ *
+ * Pipeline model (evaluated oldest-stage-first each cycle):
+ *   1. completions  — writeback: wake consumers, resolve branches
+ *   2. runahead exit — blocking miss returned: restore checkpoint
+ *   3. commit       — per-thread in-order retire / pseudo-retire;
+ *                     runahead *entry* happens here (L2-miss load at the
+ *                     thread's ROB head, Section 3.1)
+ *   4. issue        — oldest-first select over the three issue queues
+ *   5. rename       — round-robin over threads, shared width; runahead
+ *                     INV folding happens here
+ *   6. fetch        — policy-ordered ICOUNT.2.8 style fetch
+ *   7. sampling     — statistics and policy end-of-cycle work
+ *
+ * Branch handling is the standard trace-driven bubble model: a detected
+ * misprediction stalls the thread's fetch until the branch resolves and
+ * then charges a redirect penalty; wrong-path instructions are not
+ * fetched (documented in DESIGN.md).
+ */
+
+#ifndef RAT_CORE_SMT_CORE_HH
+#define RAT_CORE_SMT_CORE_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "branch/btb.hh"
+#include "branch/perceptron.hh"
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/dyninst.hh"
+#include "core/policy_iface.hh"
+#include "core/regfile.hh"
+#include "core/stats.hh"
+#include "core/structures.hh"
+#include "mem/hierarchy.hh"
+#include "trace/generator.hh"
+#include "trace/source.hh"
+
+namespace rat::core {
+
+/**
+ * The SMT processor core.
+ */
+class SmtCore
+{
+  public:
+    /**
+     * @param config  Core configuration (Table 1 defaults).
+     * @param mem     Shared memory hierarchy (not owned).
+     * @param policy  Scheduling policy (not owned).
+     * @param streams One trace generator per hardware thread (not owned);
+     *                size must equal config.numThreads.
+     */
+    SmtCore(const CoreConfig &config, mem::MemoryHierarchy &mem,
+            SchedulingPolicy &policy,
+            std::vector<const trace::TraceSource *> streams);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Advance @p n cycles. */
+    void run(Cycle n);
+
+    /**
+     * Functional warm-up: walk @p insts instructions of every thread's
+     * trace with zero-latency cache installs and predictor/BTB training,
+     * then start timing simulation at that trace position. This is the
+     * standard trace-driven substitute for the long cache-warming phase
+     * of execution-driven methodology (see DESIGN.md).
+     */
+    void prewarm(InstSeq insts);
+
+    /** Current cycle. */
+    Cycle cycle() const { return cycle_; }
+
+    /** Reset statistics (state, caches and progress are preserved). */
+    void resetStats();
+
+    // --- introspection (policies, tests, benches) ------------------------
+
+    const CoreConfig &config() const { return config_; }
+    unsigned numThreads() const { return config_.numThreads; }
+    const ThreadStats &threadStats(ThreadId tid) const
+    {
+        return stats_[tid];
+    }
+    /** ICOUNT value: in-flight front-end + issue-queue instructions. */
+    unsigned icount(ThreadId tid) const { return threads_[tid].icount; }
+    /** Thread's ROB occupancy. */
+    unsigned robOccupancy(ThreadId tid) const
+    {
+        return rob_.threadCount(tid);
+    }
+    /** Shared-ROB free entries. */
+    unsigned robFree() const { return rob_.freeEntries(); }
+    /** Thread's issue-queue occupancy for one class. */
+    unsigned iqOccupancy(IqClass cls, ThreadId tid) const
+    {
+        return threads_[tid].iqCount[static_cast<unsigned>(cls)];
+    }
+    /** Thread's held renaming registers in one class. */
+    unsigned regsHeld(ThreadId tid, bool fp) const
+    {
+        return fp ? threads_[tid].fpRegsHeld : threads_[tid].intRegsHeld;
+    }
+    /** Thread's LSQ occupancy. */
+    unsigned lsqOccupancy(ThreadId tid) const
+    {
+        return lsq_.threadCount(tid);
+    }
+    /** Is the thread in runahead mode? */
+    bool inRunahead(ThreadId tid) const
+    {
+        return threads_[tid].inRunahead;
+    }
+    /** Does the thread have an outstanding demand L2 miss? */
+    bool hasPendingL2Miss(ThreadId tid) const
+    {
+        return threads_[tid].pendingL2Misses > 0;
+    }
+    /** Has the thread issued an FP op recently (DCRA activity)? */
+    Cycle lastFpIssue(ThreadId tid) const
+    {
+        return threads_[tid].lastFpIssue;
+    }
+    /** Next trace index to fetch. */
+    InstSeq nextFetchSeq(ThreadId tid) const
+    {
+        return threads_[tid].nextSeq;
+    }
+    /** The branch predictor (shared). */
+    const branch::PerceptronPredictor &predictor() const
+    {
+        return predictor_;
+    }
+    /** Allocated renaming registers in a class across threads. */
+    unsigned allocatedRegs(bool fp) const
+    {
+        return fp ? fpRegs_.allocatedCount() : intRegs_.allocatedCount();
+    }
+
+    /**
+     * Print a one-line diagnostic description of a thread's ROB head to
+     * stderr (debugging aid; stable API for tooling and tests).
+     */
+    void dumpThreadHead(ThreadId tid) const;
+
+    // --- actions available to policies ------------------------------------
+
+    /**
+     * Squash all of @p tid's instructions younger than @p seq (the FLUSH
+     * policy action). The trace cursor rewinds to seq + 1.
+     */
+    void squashYoungerThan(ThreadId tid, InstSeq seq);
+
+  private:
+    // Per-thread microarchitectural state.
+    struct ThreadState {
+        const trace::TraceSource *gen = nullptr;
+        InstSeq nextSeq = 0;
+
+        // Front end.
+        std::deque<InstHandle> fetchQueue;
+        Cycle fetchBlockedUntil = 0;
+        bool waitingBranch = false;
+        InstHandle blockingBranch{};
+        Addr lastFetchLine = ~Addr{0};
+        branch::ReturnAddressStack ras{16};
+
+        // Rename state.
+        RenameMap intMap;
+        RenameMap fpMap;
+
+        // Occupancy counters.
+        unsigned icount = 0;
+        unsigned iqCount[kNumIqClasses] = {0, 0, 0};
+        unsigned intRegsHeld = 0;
+        unsigned fpRegsHeld = 0;
+
+        // Long-latency tracking.
+        unsigned pendingL2Misses = 0;
+        Cycle lastFpIssue = 0;
+
+        // Runahead state (Section 3).
+        bool inRunahead = false;
+        InstSeq raResumeSeq = 0;
+        Cycle raExitAt = 0;
+        std::uint64_t raHistCheckpoint = 0;
+        /** Prefetch count at episode entry (useless-episode stat). */
+        std::uint64_t raPrefetchSnapshot = 0;
+        /** Loads that must not re-trigger runahead (Fig. 4 ablation). */
+        std::unordered_set<InstSeq> raSuppressedLoads;
+    };
+
+    // Timed event referencing a pooled instruction.
+    struct InstEvent {
+        Cycle at;
+        InstHandle inst;
+        bool operator>(const InstEvent &o) const { return at > o.at; }
+    };
+
+    using EventQueue =
+        std::priority_queue<InstEvent, std::vector<InstEvent>,
+                            std::greater<InstEvent>>;
+
+    // --- pipeline stages --------------------------------------------------
+    void processCompletions();
+    void checkRunaheadTransitions();
+    void commitStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+    void sampleCycle();
+
+    // --- helpers ----------------------------------------------------------
+    void fetchThread(ThreadId tid, unsigned &budget);
+    bool renameOne(ThreadId tid);
+    bool tryIssueInst(DynInst &inst);
+    void completeInst(DynInst &inst);
+    void resolveControl(DynInst &inst);
+
+    /** Fold an instruction as runahead-INV; cascades to consumers. */
+    void foldInst(DynInst &inst);
+    /** Release the renaming register and fix the map after retire/fold. */
+    void releaseDest(DynInst &inst, bool make_inv);
+    /** Wake issue-queue consumers of a completed/INV register. */
+    void wakeConsumers(bool is_fp, MapEntry tag, bool inv);
+    /** Wake loads waiting on a completed/INV store. */
+    void wakeStoreDependents(const DynInst &store, bool inv);
+
+    void enterRunahead(ThreadId tid, DynInst &blocking_load);
+    void exitRunahead(ThreadId tid);
+    /** Retire one instruction (commit or pseudo-retire). */
+    bool retireHead(ThreadId tid);
+
+    /** Remove an instruction from all structures and release it. */
+    void scrubInst(DynInst &inst, bool restore_map);
+
+    RenameMap &mapOf(ThreadId tid, bool fp)
+    {
+        return fp ? threads_[tid].fpMap : threads_[tid].intMap;
+    }
+    PhysRegFile &fileOf(bool fp) { return fp ? fpRegs_ : intRegs_; }
+    IssueQueue &queueOf(IqClass cls)
+    {
+        return iqs_[static_cast<unsigned>(cls)];
+    }
+
+    /** Latency of an op class. */
+    static unsigned opLatency(trace::OpClass op);
+    /** Occupancy of the functional unit (latency if unpipelined). */
+    static unsigned fuOccupancy(trace::OpClass op);
+    FuncUnitPool &poolOf(trace::OpClass op);
+
+    // --- members ----------------------------------------------------------
+    CoreConfig config_;
+    mem::MemoryHierarchy &mem_;
+    SchedulingPolicy &policy_;
+
+    Cycle cycle_ = 0;
+
+    InstPool pool_;
+    Rob rob_;
+    std::array<IssueQueue, kNumIqClasses> iqs_;
+    Lsq lsq_;
+    PhysRegFile intRegs_;
+    PhysRegFile fpRegs_;
+    FuncUnitPool intUnits_;
+    FuncUnitPool fpUnits_;
+    FuncUnitPool memUnits_;
+
+    branch::PerceptronPredictor predictor_;
+    branch::Btb btb_;
+    RunaheadCache raCache_;
+
+    std::vector<ThreadState> threads_;
+    std::array<ThreadStats, kMaxThreads> stats_{};
+
+    EventQueue completions_;
+    EventQueue l2Detections_;
+
+    unsigned renameRR_ = 0;
+    unsigned commitRR_ = 0;
+
+    std::vector<ThreadId> fetchOrder_; // scratch
+    std::vector<InstHandle> readyScratch_;
+    std::vector<InstHandle> foldQueue_; // INV cascade worklist
+};
+
+} // namespace rat::core
+
+#endif // RAT_CORE_SMT_CORE_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Shared pipeline structures: issue queues, load/store queue, reorder
+ * buffer, functional-unit pools, and the optional runahead cache.
+ *
+ * All capacity is shared among hardware threads (the paper's
+ * complete-resource-sharing organisation, Section 4); per-thread
+ * occupancy is tracked for the resource-control policies.
+ */
+
+#ifndef RAT_CORE_STRUCTURES_HH
+#define RAT_CORE_STRUCTURES_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/dyninst.hh"
+
+namespace rat::core {
+
+/** Issue-queue class (Table 1: separate INT / FP / LS queues). */
+enum class IqClass : std::uint8_t { Int = 0, Mem = 1, Fp = 2 };
+
+/** Number of issue-queue classes. */
+inline constexpr unsigned kNumIqClasses = 3;
+
+/** Issue-queue class an op dispatches to. */
+constexpr IqClass
+iqClassOf(trace::OpClass op)
+{
+    if (trace::isMemOp(op))
+        return IqClass::Mem;
+    if (trace::isFpComputeOp(op))
+        return IqClass::Fp;
+    return IqClass::Int;
+}
+
+/**
+ * One issue queue: unordered slots holding handles; selection and wakeup
+ * scan the (small, <= 64-entry) array.
+ */
+class IssueQueue
+{
+  public:
+    IssueQueue(std::string name, unsigned capacity)
+        : name_(std::move(name)), capacity_(capacity)
+    {
+        entries_.reserve(capacity);
+    }
+
+    bool full() const { return entries_.size() >= capacity_; }
+    unsigned size() const { return static_cast<unsigned>(entries_.size()); }
+    unsigned capacity() const { return capacity_; }
+    const std::string &name() const { return name_; }
+
+    /** Insert a renamed instruction. Caller must check full(). */
+    void
+    insert(InstHandle h)
+    {
+        RAT_ASSERT(entries_.size() < capacity_, "%s overflow",
+                   name_.c_str());
+        entries_.push_back(h);
+    }
+
+    /** Remove by handle (swap-with-back). */
+    void
+    remove(InstHandle h)
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i] == h) {
+                entries_[i] = entries_.back();
+                entries_.pop_back();
+                return;
+            }
+        }
+    }
+
+    /** All current entries (for scans by the core). */
+    const std::vector<InstHandle> &entries() const { return entries_; }
+
+  private:
+    std::string name_;
+    unsigned capacity_;
+    std::vector<InstHandle> entries_;
+};
+
+/**
+ * Load/store queue: shared capacity, per-thread program-ordered lists
+ * used for store-to-load forwarding and INV propagation through memory.
+ */
+class Lsq
+{
+  public:
+    explicit Lsq(unsigned capacity) : capacity_(capacity) {}
+
+    bool full() const { return used_ >= capacity_; }
+    unsigned used() const { return used_; }
+    unsigned capacity() const { return capacity_; }
+
+    /** Append a memory op in program order. Caller must check full(). */
+    void
+    insert(const DynInst &inst)
+    {
+        RAT_ASSERT(used_ < capacity_, "LSQ overflow");
+        lists_[inst.tid].push_back(inst.handle());
+        ++used_;
+    }
+
+    /** Remove a retiring or squashed memory op. */
+    void
+    remove(const DynInst &inst)
+    {
+        auto &list = lists_[inst.tid];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (list[i] == inst.handle()) {
+                list.erase(list.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+                --used_;
+                return;
+            }
+        }
+    }
+
+    /** Program-ordered handles of one thread's in-flight memory ops. */
+    const std::deque<InstHandle> &threadList(ThreadId tid) const
+    {
+        return lists_[tid];
+    }
+
+    /** Per-thread occupancy (for resource policies). */
+    unsigned
+    threadCount(ThreadId tid) const
+    {
+        return static_cast<unsigned>(lists_[tid].size());
+    }
+
+  private:
+    unsigned capacity_;
+    unsigned used_ = 0;
+    std::array<std::deque<InstHandle>, kMaxThreads> lists_{};
+};
+
+/**
+ * Reorder buffer: shared entry pool with per-thread in-order lists.
+ * Allocation competes across threads (the contention the paper studies);
+ * each thread retires its own stream in order.
+ */
+class Rob
+{
+  public:
+    explicit Rob(unsigned capacity) : capacity_(capacity) {}
+
+    bool full() const { return used_ >= capacity_; }
+    unsigned used() const { return used_; }
+    unsigned freeEntries() const { return capacity_ - used_; }
+    unsigned capacity() const { return capacity_; }
+
+    void
+    push(const DynInst &inst)
+    {
+        RAT_ASSERT(used_ < capacity_, "ROB overflow");
+        lists_[inst.tid].push_back(inst.handle());
+        ++used_;
+    }
+
+    /** Oldest instruction of a thread; nullopt-like empty handle check
+     * via empty(). */
+    InstHandle head(ThreadId tid) const { return lists_[tid].front(); }
+
+    bool empty(ThreadId tid) const { return lists_[tid].empty(); }
+
+    void
+    popHead(ThreadId tid)
+    {
+        RAT_ASSERT(!lists_[tid].empty(), "ROB underflow");
+        lists_[tid].pop_front();
+        --used_;
+    }
+
+    /** Youngest instruction of a thread. */
+    InstHandle tail(ThreadId tid) const { return lists_[tid].back(); }
+
+    void
+    popTail(ThreadId tid)
+    {
+        RAT_ASSERT(!lists_[tid].empty(), "ROB underflow");
+        lists_[tid].pop_back();
+        --used_;
+    }
+
+    unsigned
+    threadCount(ThreadId tid) const
+    {
+        return static_cast<unsigned>(lists_[tid].size());
+    }
+
+  private:
+    unsigned capacity_;
+    unsigned used_ = 0;
+    std::array<std::deque<InstHandle>, kMaxThreads> lists_{};
+};
+
+/**
+ * A pool of identical functional units. Pipelined ops occupy a unit for
+ * one cycle; unpipelined ops (divides) hold it for their full latency.
+ */
+class FuncUnitPool
+{
+  public:
+    FuncUnitPool(std::string name, unsigned units)
+        : name_(std::move(name)), busyUntil_(units, 0)
+    {
+    }
+
+    /** Try to claim a unit at @p now for @p occupy cycles. */
+    bool
+    tryIssue(Cycle now, unsigned occupy)
+    {
+        for (Cycle &b : busyUntil_) {
+            if (b <= now) {
+                b = now + occupy;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Units free at @p now. */
+    unsigned
+    freeUnits(Cycle now) const
+    {
+        unsigned n = 0;
+        for (Cycle b : busyUntil_) {
+            if (b <= now)
+                ++n;
+        }
+        return n;
+    }
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(busyUntil_.size());
+    }
+
+  private:
+    std::string name_;
+    std::vector<Cycle> busyUntil_;
+};
+
+/**
+ * Optional runahead cache (Mutlu et al. [11], discussed and measured
+ * insignificant in Section 3.3): tracks, per thread, the INV status of
+ * lines written by pseudo-retired runahead stores so that later runahead
+ * loads can inherit it. Bounded, FIFO-evicted, cleared at runahead exit.
+ */
+class RunaheadCache
+{
+  public:
+    explicit RunaheadCache(unsigned lines_per_thread)
+        : capacity_(lines_per_thread)
+    {
+    }
+
+    /** Record the status of a line written by a pseudo-retired store. */
+    void
+    write(ThreadId tid, Addr line, bool data_valid)
+    {
+        auto &entries = entries_[tid];
+        for (auto &e : entries) {
+            if (e.line == line) {
+                e.valid = data_valid;
+                return;
+            }
+        }
+        if (entries.size() >= capacity_)
+            entries.pop_front();
+        entries.push_back({line, data_valid});
+    }
+
+    /**
+     * Look up a line. @return true if present, with the stored data
+     * validity in @p data_valid.
+     */
+    bool
+    lookup(ThreadId tid, Addr line, bool &data_valid) const
+    {
+        for (const auto &e : entries_[tid]) {
+            if (e.line == line) {
+                data_valid = e.valid;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Drop a thread's entries (runahead exit). */
+    void clear(ThreadId tid) { entries_[tid].clear(); }
+
+  private:
+    struct Entry {
+        Addr line;
+        bool valid;
+    };
+
+    unsigned capacity_;
+    std::array<std::deque<Entry>, kMaxThreads> entries_{};
+};
+
+} // namespace rat::core
+
+#endif // RAT_CORE_STRUCTURES_HH

@@ -1,0 +1,189 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace rat::mem {
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    if (!isPowerOf2(config.lineBytes))
+        fatal("cache '%s': line size %u not a power of two",
+              config.name.c_str(), config.lineBytes);
+    if (config.ways == 0 || config.sizeBytes == 0)
+        fatal("cache '%s': zero ways or size", config.name.c_str());
+    const std::uint64_t num_lines = config.sizeBytes / config.lineBytes;
+    if (num_lines % config.ways != 0)
+        fatal("cache '%s': %llu lines not divisible by %u ways",
+              config.name.c_str(),
+              static_cast<unsigned long long>(num_lines), config.ways);
+    numSets_ = static_cast<unsigned>(num_lines / config.ways);
+    if (!isPowerOf2(numSets_))
+        fatal("cache '%s': %u sets not a power of two", config.name.c_str(),
+              numSets_);
+    lineShift_ = floorLog2(config.lineBytes);
+    lineMask_ = config.lineBytes - 1;
+    setMask_ = numSets_ - 1;
+    lines_.resize(static_cast<std::size_t>(numSets_) * config.ways);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const Addr tag = tagOf(addr);
+    Line *set = &lines_[static_cast<std::size_t>(setIndex(addr)) *
+                        config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+LookupResult
+Cache::probe(Addr addr, Cycle now) const
+{
+    const Line *line = findLine(addr);
+    if (!line)
+        return LookupResult::Miss;
+    return line->readyAt > now ? LookupResult::HitPending
+                               : LookupResult::Hit;
+}
+
+LookupResult
+Cache::access(Addr addr, Cycle now, Cycle &ready_at)
+{
+    Line *line = findLine(addr);
+    if (!line) {
+        ++misses_;
+        return LookupResult::Miss;
+    }
+    line->lastUse = now;
+    if (line->readyAt > now) {
+        ready_at = line->readyAt;
+        // A merged access is neither a fresh miss nor a clean hit; count
+        // it as a hit for hit-rate purposes (it found the line present).
+        ++hits_;
+        return LookupResult::HitPending;
+    }
+    ready_at = now;
+    ++hits_;
+    return LookupResult::Hit;
+}
+
+bool
+Cache::install(Addr addr, Cycle now, Cycle ready_at, Addr &evicted)
+{
+    if (Line *line = findLine(addr)) {
+        // Re-install of a present line (e.g. refresh): update fill time
+        // only if it makes the line available earlier.
+        line->lastUse = now;
+        line->readyAt = std::min(line->readyAt, ready_at);
+        return false;
+    }
+    Line *set = &lines_[static_cast<std::size_t>(setIndex(addr)) *
+                        config_.ways];
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    const bool had_victim = victim->valid;
+    if (had_victim) {
+        ++evictions_;
+        evicted = victim->tag << lineShift_;
+    }
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->lastUse = now;
+    victim->readyAt = ready_at;
+    return had_victim;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr))
+        line->valid = false;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+void
+Cache::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+}
+
+MshrFile::MshrFile(unsigned entries) : entries_(entries)
+{
+    RAT_ASSERT(entries > 0, "MSHR file needs at least one entry");
+    active_.reserve(entries);
+}
+
+void
+MshrFile::expire(Cycle now) const
+{
+    std::erase_if(active_,
+                  [now](const Entry &e) { return e.completeAt <= now; });
+}
+
+bool
+MshrFile::isOutstanding(Addr line_addr, Cycle now) const
+{
+    return completionOf(line_addr, now) != kNoCycle;
+}
+
+Cycle
+MshrFile::completionOf(Addr line_addr, Cycle now) const
+{
+    expire(now);
+    for (const Entry &e : active_) {
+        if (e.lineAddr == line_addr)
+            return e.completeAt;
+    }
+    return kNoCycle;
+}
+
+bool
+MshrFile::canAllocate(Cycle now) const
+{
+    expire(now);
+    return active_.size() < entries_;
+}
+
+void
+MshrFile::allocate(Addr line_addr, Cycle now, Cycle complete_at)
+{
+    expire(now);
+    RAT_ASSERT(active_.size() < entries_, "MSHR overflow");
+    active_.push_back({line_addr, complete_at});
+}
+
+unsigned
+MshrFile::occupancy(Cycle now) const
+{
+    expire(now);
+    return static_cast<unsigned>(active_.size());
+}
+
+} // namespace rat::mem

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Set-associative cache model with true-LRU replacement and
+ * fill-latency-aware lines.
+ *
+ * The hierarchy is queried functionally at access time: an access walks
+ * the levels, determines where it hits, installs lines on the way back,
+ * and returns the completion cycle. Outstanding-fill merging is modelled
+ * through each line's `readyAt` cycle — an access to a line that is still
+ * being filled completes when the fill does, which is exactly MSHR
+ * merge behaviour. A separate MshrFile bounds the number of distinct
+ * outstanding line fills per cache (structural back-pressure).
+ */
+
+#ifndef RAT_MEM_CACHE_HH
+#define RAT_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rat::mem {
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig {
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned ways = 4;
+    unsigned lineBytes = 64;
+    /** Access (hit) latency in cycles. */
+    unsigned latency = 1;
+    /** Maximum distinct outstanding line fills. */
+    unsigned mshrs = 32;
+};
+
+/** Result of a single-level lookup. */
+enum class LookupResult : std::uint8_t {
+    Hit,        ///< present and filled
+    HitPending, ///< present but still being filled (merge with fill)
+    Miss        ///< not present
+};
+
+/**
+ * One cache level. Tag/LRU state only; no data storage (the simulator is
+ * timing-only).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Probe for a line without modifying replacement state.
+     * @param addr Byte address.
+     * @param now  Current cycle (classifies Hit vs HitPending).
+     */
+    LookupResult probe(Addr addr, Cycle now) const;
+
+    /**
+     * Access a line: on presence, update LRU and return Hit/HitPending
+     * with the fill-completion cycle in @p ready_at (now for plain hits).
+     * On a miss, no state changes; callers install the line explicitly.
+     */
+    LookupResult access(Addr addr, Cycle now, Cycle &ready_at);
+
+    /**
+     * Install a line that will finish filling at @p ready_at, evicting the
+     * LRU way of its set if needed. Returns the evicted line address in
+     * @p evicted (valid iff the return value is true).
+     */
+    bool install(Addr addr, Cycle now, Cycle ready_at, Addr &evicted);
+
+    /** Invalidate a line if present (backing store for eviction tests). */
+    void invalidate(Addr addr);
+
+    /** Remove all lines. */
+    void flushAll();
+
+    /** Line-aligned address. */
+    Addr lineAlign(Addr addr) const { return addr & ~Addr{lineMask_}; }
+
+    /** Number of sets. */
+    unsigned numSets() const { return numSets_; }
+    /** Associativity. */
+    unsigned numWays() const { return config_.ways; }
+    /** Hit latency. */
+    unsigned latency() const { return config_.latency; }
+    /** Line size in bytes. */
+    unsigned lineBytes() const { return config_.lineBytes; }
+    /** Config this cache was built from. */
+    const CacheConfig &config() const { return config_; }
+
+    // --- statistics ------------------------------------------------------
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    /** Reset statistics (not contents). */
+    void resetStats();
+
+  private:
+    struct Line {
+        Addr tag = 0;
+        bool valid = false;
+        Cycle lastUse = 0;
+        Cycle readyAt = 0;
+    };
+
+    unsigned setIndex(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> lineShift_) & setMask_);
+    }
+    Addr tagOf(Addr addr) const { return addr >> lineShift_; }
+
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    CacheConfig config_;
+    unsigned numSets_;
+    unsigned lineShift_;
+    std::uint64_t lineMask_;
+    std::uint64_t setMask_;
+    std::vector<Line> lines_; // numSets_ * ways, set-major
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+/**
+ * Bounded set of outstanding line fills (miss status holding registers).
+ *
+ * Tracks distinct line addresses with their completion cycles; accesses to
+ * an already-outstanding line merge. Full MSHRs reject new misses, which
+ * the core turns into issue back-pressure.
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned entries);
+
+    /** True if a fill for this line is outstanding at @p now. */
+    bool isOutstanding(Addr line_addr, Cycle now) const;
+
+    /** Completion cycle of an outstanding fill; kNoCycle if none. */
+    Cycle completionOf(Addr line_addr, Cycle now) const;
+
+    /** True if a new fill can be accepted at @p now. */
+    bool canAllocate(Cycle now) const;
+
+    /** Record a new outstanding fill. Caller must check canAllocate. */
+    void allocate(Addr line_addr, Cycle now, Cycle complete_at);
+
+    /** Capacity. */
+    unsigned entries() const { return entries_; }
+
+    /** Outstanding fills at @p now (lazy expiry). */
+    unsigned occupancy(Cycle now) const;
+
+  private:
+    void expire(Cycle now) const;
+
+    struct Entry {
+        Addr lineAddr;
+        Cycle completeAt;
+    };
+
+    unsigned entries_;
+    mutable std::vector<Entry> active_;
+};
+
+} // namespace rat::mem
+
+#endif // RAT_MEM_CACHE_HH

@@ -1,0 +1,176 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rat::mem {
+
+MemoryHierarchy::MemoryHierarchy(const MemConfig &config)
+    : l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2),
+      l1iMshrs_(config.l1i.mshrs), l1dMshrs_(config.l1d.mshrs),
+      l2Mshrs_(config.l2.mshrs), memLatency_(config.memLatency)
+{
+}
+
+AccessResult
+MemoryHierarchy::accessThrough(Cache &l1, MshrFile &mshr1, Addr addr,
+                               Cycle now)
+{
+    AccessResult res;
+    const Addr line = l1.lineAlign(addr);
+
+    Cycle l1_ready = 0;
+    switch (l1.access(line, now, l1_ready)) {
+      case LookupResult::Hit:
+        res.completeAt = now + l1.latency();
+        res.level = HitLevel::L1;
+        return res;
+      case LookupResult::HitPending:
+        // Merge with the in-flight fill; the original requester already
+        // holds the MSHR, so no new allocation is needed.
+        res.completeAt = std::max(l1_ready, now + Cycle{l1.latency()});
+        res.level = HitLevel::L1;
+        return res;
+      case LookupResult::Miss:
+        break;
+    }
+
+    if (!mshr1.canAllocate(now)) {
+        res.rejected = true;
+        return res;
+    }
+
+    // L2 lookup. The L2 may itself have the line pending (fill racing in
+    // from memory for another requester).
+    Cycle l2_ready = 0;
+    const Addr l2_line = l2_.lineAlign(addr);
+    switch (l2_.access(l2_line, now, l2_ready)) {
+      case LookupResult::Hit: {
+        const Cycle done = now + l2_.latency();
+        Addr evicted = 0;
+        l1.install(line, now, done, evicted);
+        mshr1.allocate(line, now, done);
+        res.completeAt = done;
+        res.level = HitLevel::L2;
+        return res;
+      }
+      case LookupResult::HitPending: {
+        const Cycle done = std::max(l2_ready, now + Cycle{l2_.latency()});
+        Addr evicted = 0;
+        l1.install(line, now, done, evicted);
+        mshr1.allocate(line, now, done);
+        res.completeAt = done;
+        res.level = HitLevel::L2;
+        return res;
+      }
+      case LookupResult::Miss:
+        break;
+    }
+
+    if (!l2Mshrs_.canAllocate(now)) {
+        res.rejected = true;
+        return res;
+    }
+
+    const Cycle done = now + memLatency_;
+    Addr evicted = 0;
+    l2_.install(l2_line, now, done, evicted);
+    l1.install(line, now, done, evicted);
+    l2Mshrs_.allocate(l2_line, now, done);
+    mshr1.allocate(line, now, done);
+    res.completeAt = done;
+    res.level = HitLevel::Memory;
+    return res;
+}
+
+AccessResult
+MemoryHierarchy::readData(ThreadId tid, Addr addr, Cycle now,
+                          bool speculative)
+{
+    RAT_ASSERT(tid < kMaxThreads, "bad thread id %u", tid);
+    AccessResult res = accessThrough(l1d_, l1dMshrs_, addr, now);
+    if (res.rejected)
+        return res;
+
+    ThreadMemStats &s = stats_[tid];
+    if (speculative) {
+        if (res.level == HitLevel::Memory)
+            ++s.raMemPrefetches;
+        else if (res.level == HitLevel::L2)
+            ++s.raL2Prefetches;
+    } else {
+        ++s.loads;
+        if (res.level != HitLevel::L1)
+            ++s.l1dMisses;
+        if (res.level == HitLevel::Memory)
+            ++s.l2DemandMisses;
+    }
+    return res;
+}
+
+AccessResult
+MemoryHierarchy::writeData(ThreadId tid, Addr addr, Cycle now)
+{
+    RAT_ASSERT(tid < kMaxThreads, "bad thread id %u", tid);
+    AccessResult res = accessThrough(l1d_, l1dMshrs_, addr, now);
+    if (res.rejected)
+        return res;
+    ThreadMemStats &s = stats_[tid];
+    ++s.stores;
+    if (res.level != HitLevel::L1)
+        ++s.l1dMisses;
+    if (res.level == HitLevel::Memory)
+        ++s.l2DemandMisses;
+    return res;
+}
+
+AccessResult
+MemoryHierarchy::fetchInst(ThreadId tid, Addr pc, Cycle now)
+{
+    RAT_ASSERT(tid < kMaxThreads, "bad thread id %u", tid);
+    AccessResult res = accessThrough(l1i_, l1iMshrs_, pc, now);
+    if (res.rejected)
+        return res;
+    ThreadMemStats &s = stats_[tid];
+    if (res.level != HitLevel::L1)
+        ++s.ifetchL1Misses;
+    if (res.level == HitLevel::Memory)
+        ++s.ifetchL2Misses;
+    return res;
+}
+
+void
+MemoryHierarchy::prefetchInst(ThreadId tid, Addr pc, Cycle now)
+{
+    RAT_ASSERT(tid < kMaxThreads, "bad thread id %u", tid);
+    const Addr line = l1i_.lineAlign(pc);
+    if (l1i_.probe(line, now) != LookupResult::Miss)
+        return;
+    if (!l1iMshrs_.canAllocate(now))
+        return;
+    const AccessResult res = accessThrough(l1i_, l1iMshrs_, line, now);
+    if (!res.rejected)
+        ++stats_[tid].ifetchPrefetches;
+}
+
+HitLevel
+MemoryHierarchy::probe(Addr addr, Cycle now) const
+{
+    if (l1d_.probe(l1d_.lineAlign(addr), now) != LookupResult::Miss)
+        return HitLevel::L1;
+    if (l2_.probe(l2_.lineAlign(addr), now) != LookupResult::Miss)
+        return HitLevel::L2;
+    return HitLevel::Memory;
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    l1i_.resetStats();
+    l1d_.resetStats();
+    l2_.resetStats();
+    stats_ = {};
+}
+
+} // namespace rat::mem

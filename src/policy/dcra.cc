@@ -1,0 +1,66 @@
+#include "policy/dcra.hh"
+
+namespace rat::policy {
+
+void
+DcraPolicy::beginCycle(core::SmtCore &core)
+{
+    const unsigned n = core.numThreads();
+    const auto &cfg = core.config();
+    const Cycle now = core.cycle();
+
+    // Classify threads.
+    bool slow[kMaxThreads] = {};
+    bool fp_active[kMaxThreads] = {};
+    for (unsigned t = 0; t < n; ++t) {
+        slow[t] = core.hasPendingL2Miss(static_cast<ThreadId>(t)) ||
+                  core.inRunahead(static_cast<ThreadId>(t));
+        const Cycle last = core.lastFpIssue(static_cast<ThreadId>(t));
+        fp_active[t] =
+            last + config_.fpActivityWindow >= now && last != 0;
+    }
+
+    // Per-resource totals.
+    const double totals[kNumResources] = {
+        static_cast<double>(cfg.intIqEntries),
+        static_cast<double>(cfg.lsIqEntries),
+        static_cast<double>(cfg.fpIqEntries),
+        static_cast<double>(cfg.intRegs),
+        static_cast<double>(cfg.fpRegs),
+    };
+
+    for (unsigned r = 0; r < kNumResources; ++r) {
+        const bool fp_resource = (r == kFpIq || r == kFpRegs);
+        double weight_sum = 0.0;
+        double weights[kMaxThreads] = {};
+        for (unsigned t = 0; t < n; ++t) {
+            const bool active = !fp_resource || fp_active[t];
+            weights[t] = !active ? config_.inactiveWeight
+                         : slow[t] ? config_.slowBoost
+                                   : 1.0;
+            weight_sum += weights[t];
+        }
+        for (unsigned t = 0; t < n; ++t)
+            caps_[t][r] = totals[r] * weights[t] / weight_sum;
+    }
+}
+
+bool
+DcraPolicy::mayFetch(const core::SmtCore &core, ThreadId tid)
+{
+    using core::IqClass;
+    const double usage[kNumResources] = {
+        static_cast<double>(core.iqOccupancy(IqClass::Int, tid)),
+        static_cast<double>(core.iqOccupancy(IqClass::Mem, tid)),
+        static_cast<double>(core.iqOccupancy(IqClass::Fp, tid)),
+        static_cast<double>(core.regsHeld(tid, /*fp=*/false)),
+        static_cast<double>(core.regsHeld(tid, /*fp=*/true)),
+    };
+    for (unsigned r = 0; r < kNumResources; ++r) {
+        if (usage[r] > caps_[tid][r])
+            return false;
+    }
+    return true;
+}
+
+} // namespace rat::policy

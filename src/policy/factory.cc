@@ -1,0 +1,39 @@
+#include "policy/factory.hh"
+
+#include "common/logging.hh"
+#include "policy/dcra.hh"
+#include "policy/fetch_policies.hh"
+#include "policy/hill_climbing.hh"
+#include "policy/mlp_aware.hh"
+
+namespace rat::policy {
+
+std::unique_ptr<core::SchedulingPolicy>
+makePolicy(core::PolicyKind kind)
+{
+    using core::PolicyKind;
+    switch (kind) {
+      case PolicyKind::RoundRobin:
+        return std::make_unique<RoundRobinPolicy>();
+      case PolicyKind::Icount:
+      case PolicyKind::Rat: // RaT uses ICOUNT priority (Section 3)
+        return std::make_unique<IcountPolicy>();
+      case PolicyKind::Stall:
+        return std::make_unique<StallPolicy>();
+      case PolicyKind::Flush:
+        return std::make_unique<FlushPolicy>();
+      case PolicyKind::Dcra:
+        return std::make_unique<DcraPolicy>();
+      case PolicyKind::RatDcra:
+        // The future-work hybrid of Section 5.2: the core runs runahead
+        // while DCRA gates over-consuming threads.
+        return std::make_unique<DcraPolicy>();
+      case PolicyKind::HillClimbing:
+        return std::make_unique<HillClimbingPolicy>();
+      case PolicyKind::MlpAware:
+        return std::make_unique<MlpAwarePolicy>();
+    }
+    panic("unknown policy kind");
+}
+
+} // namespace rat::policy

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Factory mapping a PolicyKind to a concrete scheduling-policy object.
+ *
+ * Note that Runahead Threads is not itself a fetch policy: RaT runs on
+ * top of plain ICOUNT priority (the core performs the mode switching),
+ * so PolicyKind::Rat maps to an IcountPolicy instance.
+ */
+
+#ifndef RAT_POLICY_FACTORY_HH
+#define RAT_POLICY_FACTORY_HH
+
+#include <memory>
+
+#include "core/config.hh"
+#include "core/policy_iface.hh"
+
+namespace rat::policy {
+
+/** Create the scheduling policy object for @p kind. */
+std::unique_ptr<core::SchedulingPolicy> makePolicy(core::PolicyKind kind);
+
+} // namespace rat::policy
+
+#endif // RAT_POLICY_FACTORY_HH

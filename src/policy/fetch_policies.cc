@@ -1,0 +1,54 @@
+#include "policy/fetch_policies.hh"
+
+#include <algorithm>
+
+namespace rat::policy {
+
+void
+RoundRobinPolicy::fetchOrder(const core::SmtCore &core,
+                             std::vector<ThreadId> &order)
+{
+    const unsigned n = core.numThreads();
+    order.clear();
+    for (unsigned i = 0; i < n; ++i)
+        order.push_back(static_cast<ThreadId>((next_ + i) % n));
+    next_ = (next_ + 1) % n;
+}
+
+void
+IcountPolicy::fetchOrder(const core::SmtCore &core,
+                         std::vector<ThreadId> &order)
+{
+    const unsigned n = core.numThreads();
+    order.clear();
+    for (unsigned i = 0; i < n; ++i)
+        order.push_back(static_cast<ThreadId>((tiebreak_ + i) % n));
+    std::stable_sort(order.begin(), order.end(),
+                     [&core](ThreadId a, ThreadId b) {
+                         return core.icount(a) < core.icount(b);
+                     });
+    tiebreak_ = (tiebreak_ + 1) % n;
+}
+
+bool
+StallPolicy::mayFetch(const core::SmtCore &core, ThreadId tid)
+{
+    return !core.hasPendingL2Miss(tid);
+}
+
+bool
+FlushPolicy::mayFetch(const core::SmtCore &core, ThreadId tid)
+{
+    return !core.hasPendingL2Miss(tid);
+}
+
+void
+FlushPolicy::onL2MissDetected(core::SmtCore &core, ThreadId tid,
+                              const core::DynInst &inst)
+{
+    // Squash everything younger than the missing load; fetch stays gated
+    // (mayFetch) until the miss completes, then the thread re-fetches.
+    core.squashYoungerThan(tid, inst.op.seq);
+}
+
+} // namespace rat::policy

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Static instruction-fetch policies: Round Robin and ICOUNT [18], plus
+ * the long-latency-load handling schemes STALL and FLUSH [17] built on
+ * top of ICOUNT, exactly the comparison set of the paper's Section 5.1.
+ */
+
+#ifndef RAT_POLICY_FETCH_POLICIES_HH
+#define RAT_POLICY_FETCH_POLICIES_HH
+
+#include <vector>
+
+#include "core/policy_iface.hh"
+#include "core/smt_core.hh"
+
+namespace rat::policy {
+
+/** Simple rotating fetch priority; no resource awareness. */
+class RoundRobinPolicy : public core::SchedulingPolicy
+{
+  public:
+    void fetchOrder(const core::SmtCore &core,
+                    std::vector<ThreadId> &order) override;
+    const char *name() const override { return "RR"; }
+
+  private:
+    unsigned next_ = 0;
+};
+
+/**
+ * ICOUNT [18]: prioritize the threads with the fewest instructions in
+ * the front end and issue queues. The paper's reference baseline.
+ */
+class IcountPolicy : public core::SchedulingPolicy
+{
+  public:
+    void fetchOrder(const core::SmtCore &core,
+                    std::vector<ThreadId> &order) override;
+    const char *name() const override { return "ICOUNT"; }
+
+  private:
+    unsigned tiebreak_ = 0;
+};
+
+/**
+ * STALL [17]: ICOUNT priority; a thread with a detected outstanding L2
+ * miss stops fetching until the miss is serviced. Its already-allocated
+ * resources are held throughout.
+ */
+class StallPolicy : public IcountPolicy
+{
+  public:
+    bool mayFetch(const core::SmtCore &core, ThreadId tid) override;
+    const char *name() const override { return "STALL"; }
+};
+
+/**
+ * FLUSH [17]: like STALL, but on detection the thread's instructions
+ * younger than the missing load are squashed, releasing its resources
+ * at the cost of re-fetching them later.
+ */
+class FlushPolicy : public IcountPolicy
+{
+  public:
+    bool mayFetch(const core::SmtCore &core, ThreadId tid) override;
+    void onL2MissDetected(core::SmtCore &core, ThreadId tid,
+                          const core::DynInst &inst) override;
+    const char *name() const override { return "FLUSH"; }
+};
+
+} // namespace rat::policy
+
+#endif // RAT_POLICY_FETCH_POLICIES_HH

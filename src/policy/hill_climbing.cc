@@ -1,0 +1,126 @@
+#include "policy/hill_climbing.hh"
+
+#include <algorithm>
+
+namespace rat::policy {
+
+void
+HillClimbingPolicy::reset(const core::SmtCore &core)
+{
+    numThreads_ = core.numThreads();
+    const double even = 1.0 / numThreads_;
+    base_.fill(0.0);
+    current_.fill(0.0);
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        base_[t] = even;
+        current_[t] = even;
+    }
+    epochStart_ = 0;
+    epochStartInsts_ = 0;
+    trialIndex_ = 0;
+    inRound_ = false;
+    trialScore_.fill(0.0);
+}
+
+std::uint64_t
+HillClimbingPolicy::totalCommitted(const core::SmtCore &core) const
+{
+    std::uint64_t sum = 0;
+    for (unsigned t = 0; t < numThreads_; ++t)
+        sum += core.threadStats(static_cast<ThreadId>(t)).committedInsts;
+    return sum;
+}
+
+void
+HillClimbingPolicy::clampAndNormalize(
+    std::array<double, kMaxThreads> &shares) const
+{
+    double sum = 0.0;
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        shares[t] = std::max(shares[t], config_.minShare);
+        sum += shares[t];
+    }
+    for (unsigned t = 0; t < numThreads_; ++t)
+        shares[t] /= sum;
+}
+
+void
+HillClimbingPolicy::applyTrial(unsigned trial_thread)
+{
+    current_ = base_;
+    if (numThreads_ < 2)
+        return;
+    const double give = config_.delta / (numThreads_ - 1);
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        current_[t] += (t == trial_thread) ? config_.delta : -give;
+    }
+    clampAndNormalize(current_);
+}
+
+void
+HillClimbingPolicy::beginCycle(core::SmtCore &core)
+{
+    if (numThreads_ < 2)
+        return; // nothing to partition
+
+    const Cycle now = core.cycle();
+    if (now < epochStart_ + config_.epochLength)
+        return;
+
+    // Epoch boundary: score the epoch that just ended.
+    const std::uint64_t committed = totalCommitted(core);
+    const double score =
+        static_cast<double>(committed - epochStartInsts_);
+
+    if (inRound_) {
+        trialScore_[trialIndex_] = score;
+        ++trialIndex_;
+        if (trialIndex_ >= numThreads_) {
+            // Round complete: adopt the best trial as the new base.
+            unsigned best = 0;
+            for (unsigned t = 1; t < numThreads_; ++t) {
+                if (trialScore_[t] > trialScore_[best])
+                    best = t;
+            }
+            applyTrial(best);
+            base_ = current_;
+            inRound_ = false;
+            trialIndex_ = 0;
+        } else {
+            applyTrial(trialIndex_);
+        }
+    } else {
+        // Start a new round of trials.
+        inRound_ = true;
+        trialIndex_ = 0;
+        applyTrial(0);
+    }
+
+    epochStart_ = now;
+    epochStartInsts_ = committed;
+}
+
+bool
+HillClimbingPolicy::mayFetch(const core::SmtCore &core, ThreadId tid)
+{
+    if (numThreads_ < 2)
+        return true;
+    using core::IqClass;
+    const auto &cfg = core.config();
+    const double share = current_[tid];
+    if (core.robOccupancy(tid) > share * cfg.robEntries)
+        return false;
+    if (core.regsHeld(tid, false) > share * cfg.intRegs)
+        return false;
+    if (core.regsHeld(tid, true) > share * cfg.fpRegs)
+        return false;
+    if (core.iqOccupancy(IqClass::Int, tid) > share * cfg.intIqEntries)
+        return false;
+    if (core.iqOccupancy(IqClass::Mem, tid) > share * cfg.lsIqEntries)
+        return false;
+    if (core.iqOccupancy(IqClass::Fp, tid) > share * cfg.fpIqEntries)
+        return false;
+    return true;
+}
+
+} // namespace rat::policy

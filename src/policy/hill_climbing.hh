@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Hill Climbing resource distribution (Choi & Yeung, ISCA-33 [3]),
+ * Hill-Thru variant: the performance function is raw throughput, the
+ * only variant the paper evaluates (Section 5.2 explains why).
+ *
+ * Per-thread shares partition the ROB, issue queues and renaming
+ * registers. Learning is epoch-based gradient descent: each round runs
+ * one trial epoch per thread, shifting that thread's share up by delta
+ * (others down equally); after all trials the best-performing shift is
+ * adopted as the new base allocation.
+ */
+
+#ifndef RAT_POLICY_HILL_CLIMBING_HH
+#define RAT_POLICY_HILL_CLIMBING_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/policy_iface.hh"
+#include "core/smt_core.hh"
+#include "policy/fetch_policies.hh"
+
+namespace rat::policy {
+
+/** Tunables for Hill Climbing. */
+struct HillClimbingConfig {
+    /** Cycles per measurement epoch. */
+    Cycle epochLength = 4096;
+    /** Share shift applied to the trial thread in each trial epoch. */
+    double delta = 0.04;
+    /** Minimum share any thread may hold. */
+    double minShare = 0.05;
+};
+
+/** The Hill Climbing resource-control policy. */
+class HillClimbingPolicy : public IcountPolicy
+{
+  public:
+    explicit HillClimbingPolicy(const HillClimbingConfig &config = {})
+        : config_(config)
+    {
+    }
+
+    void reset(const core::SmtCore &core) override;
+    void beginCycle(core::SmtCore &core) override;
+    bool mayFetch(const core::SmtCore &core, ThreadId tid) override;
+    const char *name() const override { return "HillClimbing"; }
+
+    /** Current base share of a thread (exposed for tests). */
+    double share(ThreadId tid) const { return base_[tid]; }
+
+  private:
+    /** Shares in effect during the current epoch. */
+    void applyTrial(unsigned trial_thread);
+    void clampAndNormalize(std::array<double, kMaxThreads> &shares) const;
+    std::uint64_t totalCommitted(const core::SmtCore &core) const;
+
+    HillClimbingConfig config_;
+    unsigned numThreads_ = 1;
+
+    std::array<double, kMaxThreads> base_{};
+    std::array<double, kMaxThreads> current_{};
+
+    // Epoch state machine.
+    Cycle epochStart_ = 0;
+    std::uint64_t epochStartInsts_ = 0;
+    unsigned trialIndex_ = 0; ///< which thread's boost is being tried
+    bool inRound_ = false;
+    std::array<double, kMaxThreads> trialScore_{};
+};
+
+} // namespace rat::policy
+
+#endif // RAT_POLICY_HILL_CLIMBING_HH

@@ -1,0 +1,65 @@
+#include "policy/mlp_aware.hh"
+
+#include <algorithm>
+
+namespace rat::policy {
+
+void
+MlpAwarePolicy::beginCycle(core::SmtCore &core)
+{
+    // Episode bookkeeping: when a thread's pending misses drain, the
+    // episode ends and the MLP predictor trains on what was observed.
+    for (unsigned t = 0; t < core.numThreads(); ++t) {
+        EpisodeState &es = state_[t];
+        if (!es.active)
+            continue;
+        if (!core.hasPendingL2Miss(static_cast<ThreadId>(t))) {
+            // Train: next time, fetch as far as the farthest extra miss
+            // we found this episode (bounded by hardware).
+            const InstSeq span =
+                es.farthestMiss > es.episodeStart
+                    ? es.farthestMiss - es.episodeStart
+                    : config_.minWindow;
+            predicted_[t] = std::clamp<unsigned>(
+                static_cast<unsigned>(span), config_.minWindow,
+                config_.maxWindow);
+            es = {};
+        }
+    }
+}
+
+bool
+MlpAwarePolicy::mayFetch(const core::SmtCore &core, ThreadId tid)
+{
+    EpisodeState &es = state_[tid];
+    if (!es.active)
+        return true;
+    if (core.nextFetchSeq(tid) <= es.fetchLimit)
+        return true; // still exposing MLP inside the predicted window
+    es.stopped = true;
+    return false; // window exhausted: stall until the miss resolves
+}
+
+void
+MlpAwarePolicy::onL2MissDetected(core::SmtCore &core, ThreadId tid,
+                                 const core::DynInst &inst)
+{
+    EpisodeState &es = state_[tid];
+    if (!es.active) {
+        es.active = true;
+        es.stopped = false;
+        es.episodeStart = inst.op.seq;
+        es.fetchLimit = inst.op.seq + predicted_[tid];
+        es.farthestMiss = inst.op.seq;
+        return;
+    }
+    // An additional long-latency load inside the episode: remember how
+    // far it was (the long-latency shift register's job).
+    es.farthestMiss = std::max(es.farthestMiss, inst.op.seq);
+    if (config_.flushOnStop && es.stopped) {
+        // Flush variant: release everything beyond the window.
+        core.squashYoungerThan(tid, es.fetchLimit);
+    }
+}
+
+} // namespace rat::policy

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MLP-aware fetch policy (Eyerman & Eeckhout, HPCA-13 [15]) — the
+ * related-work technique the paper contrasts RaT against in Section 2.
+ *
+ * On detecting a long-latency load, the thread is allowed to fetch a
+ * bounded number of *extra* instructions — enough to expose the
+ * memory-level parallelism an MLP predictor expects within that window
+ * — and is then stalled (or flushed) until the miss resolves. The
+ * hardware bound on the window is exactly the limitation the paper
+ * points out: "not all distant MLP can be exploited", which unbounded
+ * runahead does not suffer from.
+ *
+ * The MLP predictor is modelled after the paper's long-latency shift
+ * register: per thread it remembers, over recent miss episodes, the
+ * farthest instruction distance at which an additional long-latency
+ * load was found, saturating at the configured window size.
+ */
+
+#ifndef RAT_POLICY_MLP_AWARE_HH
+#define RAT_POLICY_MLP_AWARE_HH
+
+#include <array>
+
+#include "core/policy_iface.hh"
+#include "core/smt_core.hh"
+#include "policy/fetch_policies.hh"
+
+namespace rat::policy {
+
+/** Tunables for the MLP-aware policy. */
+struct MlpConfig {
+    /** Hardware bound of the MLP window (shift-register length). */
+    unsigned maxWindow = 256;
+    /** Initial / minimum predicted window. */
+    unsigned minWindow = 32;
+    /** Flush (instead of stall) once the window is exhausted. */
+    bool flushOnStop = false;
+};
+
+/** The MLP-aware fetch policy. */
+class MlpAwarePolicy : public IcountPolicy
+{
+  public:
+    explicit MlpAwarePolicy(const MlpConfig &config = {})
+        : config_(config)
+    {
+        predicted_.fill(config.minWindow);
+        state_ = {};
+    }
+
+    void beginCycle(core::SmtCore &core) override;
+    bool mayFetch(const core::SmtCore &core, ThreadId tid) override;
+    void onL2MissDetected(core::SmtCore &core, ThreadId tid,
+                          const core::DynInst &inst) override;
+    const char *name() const override { return "MLP"; }
+
+    /** Current predicted MLP window of a thread (for tests). */
+    unsigned predictedWindow(ThreadId tid) const
+    {
+        return predicted_[tid];
+    }
+
+    /** Is the thread currently in a bounded MLP episode? */
+    bool inEpisode(ThreadId tid) const { return state_[tid].active; }
+
+  private:
+    struct EpisodeState {
+        bool active = false;       ///< episode in progress
+        bool stopped = false;      ///< window exhausted, fetch gated
+        InstSeq episodeStart = 0;  ///< seq of the triggering load
+        InstSeq fetchLimit = 0;    ///< last seq the thread may fetch
+        InstSeq farthestMiss = 0;  ///< farthest extra miss observed
+    };
+
+    MlpConfig config_;
+    std::array<unsigned, kMaxThreads> predicted_{};
+    std::array<EpisodeState, kMaxThreads> state_{};
+};
+
+} // namespace rat::policy
+
+#endif // RAT_POLICY_MLP_AWARE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Experiment runner shared by the bench binaries: runs (technique x
+ * workload) grids with cached single-thread baselines and parallel
+ * execution of independent simulations.
+ */
+
+#ifndef RAT_SIM_EXPERIMENT_HH
+#define RAT_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+#include "sim/workloads.hh"
+
+namespace rat::sim {
+
+/** One evaluated technique: a label plus the core-policy setting. */
+struct TechniqueSpec {
+    std::string label;
+    core::PolicyKind policy = core::PolicyKind::Icount;
+    core::RatConfig rat{};
+};
+
+/** The standard technique lineups used by the paper's figures. */
+TechniqueSpec icountSpec();
+TechniqueSpec stallSpec();
+TechniqueSpec flushSpec();
+TechniqueSpec dcraSpec();
+TechniqueSpec hillClimbingSpec();
+TechniqueSpec ratSpec();
+
+/** Aggregated metrics of a technique over one workload group. */
+struct GroupMetrics {
+    std::string technique;
+    WorkloadGroup group{};
+    double meanThroughput = 0.0;
+    double meanFairness = 0.0;
+    double meanEd2 = 0.0;
+    std::vector<SimResult> results; ///< one per workload in the group
+};
+
+/**
+ * Shared runner. Thread-safe baseline cache; group runs farm the
+ * independent simulations out to a pool of worker threads.
+ */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param base Baseline configuration. Policy/RaT fields are
+     *             overridden per technique; numThreads per workload.
+     */
+    explicit ExperimentRunner(SimConfig base);
+
+    /** Apply a technique to a config copy. */
+    SimConfig configFor(const TechniqueSpec &tech,
+                        unsigned num_threads) const;
+
+    /** Run one workload under one technique. */
+    SimResult runWorkload(const Workload &workload,
+                          const TechniqueSpec &tech) const;
+
+    /**
+     * Single-thread reference IPC of a program (ICOUNT, one thread),
+     * memoized across calls.
+     */
+    double singleThreadIpc(const std::string &program);
+
+    /** Baselines for every program in @p workload. */
+    BaselineIpcMap baselinesFor(const Workload &workload);
+
+    /** Run a full group under a technique, in parallel. */
+    GroupMetrics runGroup(WorkloadGroup group, const TechniqueSpec &tech);
+
+    /** Worker threads used for parallel runs (>=1). */
+    unsigned parallelism() const { return parallelism_; }
+    /** Override worker count. */
+    void setParallelism(unsigned n) { parallelism_ = n ? n : 1; }
+
+    /** The base configuration. */
+    const SimConfig &baseConfig() const { return base_; }
+    /** Mutable base configuration (e.g. register-file sweeps). */
+    SimConfig &baseConfig() { return base_; }
+
+  private:
+    SimConfig base_;
+    unsigned parallelism_;
+    std::mutex cacheMutex_;
+    std::map<std::string, double> baselineCache_;
+};
+
+/**
+ * Run @p jobs callables on up to @p workers threads (library-level
+ * helper; each job must be independent).
+ */
+void runParallel(const std::vector<std::function<void()>> &jobs,
+                 unsigned workers);
+
+} // namespace rat::sim
+
+#endif // RAT_SIM_EXPERIMENT_HH

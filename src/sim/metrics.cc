@@ -1,0 +1,52 @@
+#include "sim/metrics.hh"
+
+#include "common/logging.hh"
+
+namespace rat::sim {
+
+double
+throughput(const SimResult &result)
+{
+    return result.throughputEq1();
+}
+
+double
+fairness(const SimResult &result, const BaselineIpcMap &baseline)
+{
+    if (result.threads.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (const ThreadResult &t : result.threads) {
+        const auto it = baseline.find(t.program);
+        if (it == baseline.end())
+            fatal("fairness: no single-thread baseline for '%s'",
+                  t.program.c_str());
+        if (t.ipc <= 0.0)
+            return 0.0;
+        denom += it->second / t.ipc;
+    }
+    return static_cast<double>(result.threads.size()) / denom;
+}
+
+double
+ed2(const SimResult &result)
+{
+    const double thr = result.throughputEq1();
+    if (thr <= 0.0)
+        return 0.0;
+    const double cpi = 1.0 / thr;
+    return static_cast<double>(result.executedTotal()) * cpi * cpi;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace rat::sim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Evaluation metrics from Section 5: throughput (Eq. 1), the
+ * fairness/performance-balance harmonic mean (Eq. 2, from Luo et
+ * al. [9]), and the Energy-Delay^2 proxy of Section 5.3.
+ */
+
+#ifndef RAT_SIM_METRICS_HH
+#define RAT_SIM_METRICS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace rat::sim {
+
+/** Single-thread reference IPC per program (for Eq. 2). */
+using BaselineIpcMap = std::map<std::string, double>;
+
+/** Paper Eq. 1: average per-thread IPC of the multithreaded run. */
+double throughput(const SimResult &result);
+
+/**
+ * Paper Eq. 2: n / sum_i(IPC_ST,i / IPC_MT,i) — the harmonic mean of
+ * per-thread speedups relative to their single-thread runs.
+ * Returns 0 if any thread committed nothing.
+ */
+double fairness(const SimResult &result, const BaselineIpcMap &baseline);
+
+/**
+ * Section 5.3 efficiency proxy: executed instructions x CPI^2, with CPI
+ * the reciprocal of Eq. 1 throughput. Report normalized to a baseline
+ * technique's value on the same workload.
+ */
+double ed2(const SimResult &result);
+
+/** Arithmetic mean over a vector; 0 when empty. */
+double mean(const std::vector<double> &values);
+
+} // namespace rat::sim
+
+#endif // RAT_SIM_METRICS_HH

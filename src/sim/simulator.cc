@@ -1,0 +1,105 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "policy/factory.hh"
+#include "trace/profile.hh"
+
+namespace rat::sim {
+
+double
+SimResult::totalIpc() const
+{
+    double sum = 0.0;
+    for (const ThreadResult &t : threads)
+        sum += t.ipc;
+    return sum;
+}
+
+double
+SimResult::throughputEq1() const
+{
+    return threads.empty() ? 0.0 : totalIpc() / threads.size();
+}
+
+std::uint64_t
+SimResult::committedTotal() const
+{
+    std::uint64_t sum = 0;
+    for (const ThreadResult &t : threads)
+        sum += t.core.committedInsts;
+    return sum;
+}
+
+std::uint64_t
+SimResult::executedTotal() const
+{
+    std::uint64_t sum = 0;
+    for (const ThreadResult &t : threads)
+        sum += t.core.executedInsts;
+    return sum;
+}
+
+Simulator::Simulator(SimConfig config, std::vector<std::string> programs)
+    : config_(std::move(config)), programs_(std::move(programs))
+{
+    if (programs_.empty())
+        fatal("simulator needs at least one program");
+    config_.core.numThreads = static_cast<unsigned>(programs_.size());
+
+    mem_ = std::make_unique<mem::MemoryHierarchy>(config_.mem);
+
+    // Each program instance gets a private, widely separated address
+    // space (separate ASIDs) and a distinct seed.
+    std::vector<const trace::TraceSource *> streams;
+    for (std::size_t i = 0; i < programs_.size(); ++i) {
+        const auto &profile = trace::spec2000(programs_[i]);
+        const std::uint64_t seed =
+            hashCombine(config_.seed, hashCombine(i + 1, 0x7261747321ULL));
+        const Addr base = (static_cast<Addr>(i) + 1) << 40; // 1 TiB apart
+        gens_.push_back(std::make_unique<trace::TraceGenerator>(
+            profile, seed, base));
+        streams.push_back(gens_.back().get());
+    }
+
+    policy_ = policy::makePolicy(config_.core.policy);
+    core_ = std::make_unique<core::SmtCore>(config_.core, *mem_, *policy_,
+                                            std::move(streams));
+}
+
+Simulator::~Simulator() = default;
+
+SimResult
+Simulator::run()
+{
+    core_->prewarm(config_.prewarmInsts);
+    core_->run(config_.warmupCycles);
+    core_->resetStats();
+    mem_->resetStats();
+
+    const Cycle start = core_->cycle();
+    core_->run(config_.measureCycles);
+    const Cycle elapsed = core_->cycle() - start;
+
+    SimResult result;
+    result.cycles = elapsed;
+    for (std::size_t i = 0; i < programs_.size(); ++i) {
+        const auto tid = static_cast<ThreadId>(i);
+        ThreadResult tr;
+        tr.program = programs_[i];
+        tr.core = core_->threadStats(tid);
+        tr.mem = mem_->threadStats(tid);
+        tr.ipc = elapsed ? static_cast<double>(tr.core.committedInsts) /
+                               static_cast<double>(elapsed)
+                         : 0.0;
+        tr.l2Mpki =
+            tr.core.committedInsts
+                ? 1000.0 * static_cast<double>(tr.mem.l2DemandMisses) /
+                      static_cast<double>(tr.core.committedInsts)
+                : 0.0;
+        result.threads.push_back(std::move(tr));
+    }
+    return result;
+}
+
+} // namespace rat::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Top-level simulator: wires trace generators, the memory hierarchy, a
+ * scheduling policy and the SMT core together, runs warm-up plus a
+ * measured window, and reports per-thread results.
+ *
+ * Measurement methodology: all threads execute continuously for the
+ * entire measured window (synthetic traces never run dry), so every
+ * thread is fully represented in the measurement — the property the
+ * FAME methodology [19] establishes for finite traces (see DESIGN.md).
+ */
+
+#ifndef RAT_SIM_SIMULATOR_HH
+#define RAT_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/policy_iface.hh"
+#include "core/smt_core.hh"
+#include "core/stats.hh"
+#include "mem/hierarchy.hh"
+#include "trace/generator.hh"
+
+namespace rat::sim {
+
+/** Full simulation configuration. */
+struct SimConfig {
+    core::CoreConfig core{};
+    mem::MemConfig mem{};
+    /**
+     * Functional warm-up instructions per thread (zero-latency cache /
+     * predictor training before timing starts; see SmtCore::prewarm).
+     */
+    InstSeq prewarmInsts = 1000000;
+    /** Timed cycles simulated before statistics are reset. */
+    Cycle warmupCycles = 20000;
+    /** Cycles of the measured window. */
+    Cycle measureCycles = 100000;
+    /** Workload seed (varies trace instances). */
+    std::uint64_t seed = 1;
+};
+
+/** Measured results for one hardware thread. */
+struct ThreadResult {
+    std::string program;
+    core::ThreadStats core;
+    mem::ThreadMemStats mem;
+    double ipc = 0.0;
+    /** Demand L2 misses per kilo committed instruction. */
+    double l2Mpki = 0.0;
+};
+
+/** Results of one simulation run. */
+struct SimResult {
+    Cycle cycles = 0;
+    std::vector<ThreadResult> threads;
+
+    /** Sum of per-thread IPC. */
+    double totalIpc() const;
+    /** Paper Eq. 1: average of per-thread IPC. */
+    double throughputEq1() const;
+    /** Total committed instructions. */
+    std::uint64_t committedTotal() const;
+    /** Total executed (renamed) instructions — the ED^2 energy proxy. */
+    std::uint64_t executedTotal() const;
+};
+
+/**
+ * One simulation instance: owns every component. Instances are fully
+ * independent, so parameter sweeps may run many in parallel threads.
+ */
+class Simulator
+{
+  public:
+    /**
+     * @param config   Simulation configuration. core.numThreads is set
+     *                 from programs.size().
+     * @param programs SPEC2000 profile names, one per hardware thread.
+     */
+    Simulator(SimConfig config, std::vector<std::string> programs);
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Run warm-up + measured window and return the results. */
+    SimResult run();
+
+    /** The core (tests and detailed inspection). */
+    core::SmtCore &smtCore() { return *core_; }
+    /** The memory hierarchy. */
+    mem::MemoryHierarchy &memory() { return *mem_; }
+    /** Effective configuration. */
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+    std::vector<std::string> programs_;
+    std::unique_ptr<mem::MemoryHierarchy> mem_;
+    std::vector<std::unique_ptr<trace::TraceGenerator>> gens_;
+    std::unique_ptr<core::SchedulingPolicy> policy_;
+    std::unique_ptr<core::SmtCore> core_;
+};
+
+} // namespace rat::sim
+
+#endif // RAT_SIM_SIMULATOR_HH

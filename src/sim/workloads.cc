@@ -1,0 +1,170 @@
+#include "sim/workloads.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "trace/profile.hh"
+
+namespace rat::sim {
+
+namespace {
+
+Workload
+make(std::initializer_list<const char *> programs)
+{
+    Workload w;
+    std::ostringstream name;
+    bool first = true;
+    for (const char *p : programs) {
+        RAT_ASSERT(trace::isSpec2000(p), "unknown program '%s'", p);
+        if (!first)
+            name << ",";
+        name << p;
+        w.programs.emplace_back(p);
+        first = false;
+    }
+    w.name = name.str();
+    return w;
+}
+
+// Table 2, verbatim.
+const std::vector<Workload> kIlp2 = {
+    make({"apsi", "eon"}),      make({"apsi", "gcc"}),
+    make({"bzip2", "vortex"}),  make({"fma3d", "gcc"}),
+    make({"fma3d", "mesa"}),    make({"gcc", "mgrid"}),
+    make({"gzip", "bzip2"}),    make({"gzip", "vortex"}),
+    make({"mgrid", "galgel"}),  make({"wupwise", "gcc"}),
+};
+
+const std::vector<Workload> kMix2 = {
+    make({"applu", "vortex"}),  make({"art", "gzip"}),
+    make({"bzip2", "mcf"}),     make({"equake", "bzip2"}),
+    make({"galgel", "equake"}), make({"lucas", "crafty"}),
+    make({"mcf", "eon"}),       make({"swim", "mgrid"}),
+    make({"twolf", "apsi"}),    make({"wupwise", "twolf"}),
+};
+
+const std::vector<Workload> kMem2 = {
+    make({"applu", "art"}),   make({"art", "mcf"}),
+    make({"art", "twolf"}),   make({"art", "vpr"}),
+    make({"equake", "swim"}), make({"mcf", "twolf"}),
+    make({"parser", "mcf"}),  make({"swim", "mcf"}),
+    make({"swim", "vpr"}),    make({"twolf", "swim"}),
+};
+
+const std::vector<Workload> kIlp4 = {
+    make({"apsi", "eon", "fma3d", "gcc"}),
+    make({"apsi", "eon", "gzip", "vortex"}),
+    make({"apsi", "gap", "wupwise", "perl"}),
+    make({"crafty", "fma3d", "apsi", "vortex"}),
+    make({"fma3d", "gcc", "gzip", "vortex"}),
+    make({"gzip", "bzip2", "eon", "gcc"}),
+    make({"mesa", "gzip", "fma3d", "bzip2"}),
+    make({"wupwise", "gcc", "mgrid", "galgel"}),
+};
+
+const std::vector<Workload> kMix4 = {
+    make({"ammp", "applu", "apsi", "eon"}),
+    make({"art", "gap", "twolf", "crafty"}),
+    make({"art", "mcf", "fma3d", "gcc"}),
+    make({"gzip", "twolf", "bzip2", "mcf"}),
+    make({"lucas", "crafty", "equake", "bzip2"}),
+    make({"mcf", "mesa", "lucas", "gzip"}),
+    make({"swim", "fma3d", "vpr", "bzip2"}),
+    make({"swim", "twolf", "gzip", "vortex"}),
+};
+
+const std::vector<Workload> kMem4 = {
+    make({"art", "mcf", "swim", "twolf"}),
+    make({"art", "mcf", "vpr", "swim"}),
+    make({"art", "twolf", "equake", "mcf"}),
+    make({"equake", "parser", "mcf", "lucas"}),
+    make({"equake", "vpr", "applu", "twolf"}),
+    make({"mcf", "twolf", "vpr", "parser"}),
+    make({"parser", "applu", "swim", "twolf"}),
+    make({"swim", "applu", "art", "mcf"}),
+};
+
+} // namespace
+
+const std::vector<WorkloadGroup> &
+allGroups()
+{
+    static const std::vector<WorkloadGroup> groups = {
+        WorkloadGroup::ILP2, WorkloadGroup::MIX2, WorkloadGroup::MEM2,
+        WorkloadGroup::ILP4, WorkloadGroup::MIX4, WorkloadGroup::MEM4,
+    };
+    return groups;
+}
+
+const char *
+groupName(WorkloadGroup group)
+{
+    switch (group) {
+      case WorkloadGroup::ILP2:
+        return "ILP2";
+      case WorkloadGroup::MIX2:
+        return "MIX2";
+      case WorkloadGroup::MEM2:
+        return "MEM2";
+      case WorkloadGroup::ILP4:
+        return "ILP4";
+      case WorkloadGroup::MIX4:
+        return "MIX4";
+      case WorkloadGroup::MEM4:
+        return "MEM4";
+    }
+    return "?";
+}
+
+unsigned
+groupThreads(WorkloadGroup group)
+{
+    switch (group) {
+      case WorkloadGroup::ILP2:
+      case WorkloadGroup::MIX2:
+      case WorkloadGroup::MEM2:
+        return 2;
+      default:
+        return 4;
+    }
+}
+
+const std::vector<Workload> &
+workloadsOf(WorkloadGroup group)
+{
+    switch (group) {
+      case WorkloadGroup::ILP2:
+        return kIlp2;
+      case WorkloadGroup::MIX2:
+        return kMix2;
+      case WorkloadGroup::MEM2:
+        return kMem2;
+      case WorkloadGroup::ILP4:
+        return kIlp4;
+      case WorkloadGroup::MIX4:
+        return kMix4;
+      case WorkloadGroup::MEM4:
+        return kMem4;
+    }
+    panic("bad workload group");
+}
+
+const std::vector<std::string> &
+allPrograms()
+{
+    static const std::vector<std::string> programs = [] {
+        std::set<std::string> set;
+        for (const WorkloadGroup g : allGroups()) {
+            for (const Workload &w : workloadsOf(g))
+                set.insert(w.programs.begin(), w.programs.end());
+        }
+        return std::vector<std::string>(set.begin(), set.end());
+    }();
+    return programs;
+}
+
+} // namespace rat::sim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The paper's Table 2 multiprogrammed workloads: 2- and 4-thread
+ * combinations of SPEC CPU2000 programs, grouped by the L2-miss-rate
+ * characterization into ILP, MIX and MEM classes.
+ */
+
+#ifndef RAT_SIM_WORKLOADS_HH
+#define RAT_SIM_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+namespace rat::sim {
+
+/** One multiprogrammed workload: an ordered set of program names. */
+struct Workload {
+    std::string name;                  ///< e.g. "art,mcf"
+    std::vector<std::string> programs; ///< profile names
+};
+
+/** Table 2 column identifiers. */
+enum class WorkloadGroup { ILP2, MIX2, MEM2, ILP4, MIX4, MEM4 };
+
+/** All six groups in Table 2 order. */
+const std::vector<WorkloadGroup> &allGroups();
+
+/** Group display name ("ILP2", ...). */
+const char *groupName(WorkloadGroup group);
+
+/** Number of threads in the group's workloads (2 or 4). */
+unsigned groupThreads(WorkloadGroup group);
+
+/** The workloads of one group, exactly as listed in Table 2. */
+const std::vector<Workload> &workloadsOf(WorkloadGroup group);
+
+/** Union of every program name used by any workload. */
+const std::vector<std::string> &allPrograms();
+
+} // namespace rat::sim
+
+#endif // RAT_SIM_WORKLOADS_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * ratsim — command-line driver for the Runahead Threads SMT simulator.
+ *
+ * Examples:
+ *   ratsim --workload art,mcf --policy RaT
+ *   ratsim --workload art,gzip --policy FLUSH --measure 200000
+ *   ratsim --group MEM2 --policy RaT --fairness
+ *   ratsim --workload swim,mcf --policy RaT --regs 64 --runahead-cache
+ *   ratsim --list-programs
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+#include "sim/workloads.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace rat;
+
+void
+usage()
+{
+    std::printf(
+        "ratsim — Runahead Threads SMT simulator (HPCA 2008 reproduction)\n"
+        "\n"
+        "usage: ratsim [options]\n"
+        "  --workload P1,P2[,P3,P4]  programs to co-run (default art,mcf)\n"
+        "  --group NAME              run a whole Table 2 group instead\n"
+        "                            (ILP2 MIX2 MEM2 ILP4 MIX4 MEM4)\n"
+        "  --policy NAME             ICOUNT STALL FLUSH DCRA HillClimbing\n"
+        "                            RaT RaT+DCRA MLP RR (default RaT)\n"
+        "  --measure N               measured cycles (default 100000)\n"
+        "  --warmup N                timed warm-up cycles (default 20000)\n"
+        "  --prewarm N               functional warm-up insts (default 1M)\n"
+        "  --seed N                  workload seed (default 1)\n"
+        "  --regs N                  INT and FP renaming registers\n"
+        "  --rob N                   shared reorder-buffer entries\n"
+        "  --fairness                also compute Eq. 2 fairness\n"
+        "  --no-fp-drop              execute FP work in runahead\n"
+        "  --runahead-cache          enable the runahead cache\n"
+        "  --no-prefetch             Fig. 4 ablation: no runahead prefetch\n"
+        "  --no-ra-fetch             Fig. 4 ablation: no fetch in runahead\n"
+        "  --list-programs           print modelled SPEC2000 programs\n"
+        "  --list-groups             print Table 2 workloads\n"
+        "  --help                    this text\n");
+}
+
+core::PolicyKind
+parsePolicy(const std::string &name)
+{
+    if (name == "RR")
+        return core::PolicyKind::RoundRobin;
+    if (name == "ICOUNT")
+        return core::PolicyKind::Icount;
+    if (name == "STALL")
+        return core::PolicyKind::Stall;
+    if (name == "FLUSH")
+        return core::PolicyKind::Flush;
+    if (name == "DCRA")
+        return core::PolicyKind::Dcra;
+    if (name == "HillClimbing" || name == "HC")
+        return core::PolicyKind::HillClimbing;
+    if (name == "RaT" || name == "RAT")
+        return core::PolicyKind::Rat;
+    if (name == "RaT+DCRA" || name == "RATDCRA")
+        return core::PolicyKind::RatDcra;
+    if (name == "MLP")
+        return core::PolicyKind::MlpAware;
+    fatal("unknown policy '%s' (try --help)", name.c_str());
+}
+
+std::vector<std::string>
+splitPrograms(const std::string &list)
+{
+    std::vector<std::string> programs;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name =
+            list.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (!name.empty()) {
+            if (!trace::isSpec2000(name))
+                fatal("unknown program '%s' (try --list-programs)",
+                      name.c_str());
+            programs.push_back(name);
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (programs.empty() || programs.size() > 4)
+        fatal("workload needs 1..4 programs");
+    return programs;
+}
+
+void
+printRun(const sim::SimResult &r, bool with_fairness,
+         sim::ExperimentRunner *runner,
+         const sim::Workload *workload)
+{
+    std::printf("%-10s %8s %12s %9s %9s %10s %10s\n", "thread", "IPC",
+                "committed", "L2 MPKI", "mispred%", "RA epis.",
+                "RA cycles");
+    for (const sim::ThreadResult &t : r.threads) {
+        const double mp =
+            t.core.branches
+                ? 100.0 * static_cast<double>(t.core.branchMispredicts) /
+                      static_cast<double>(t.core.branches)
+                : 0.0;
+        std::printf("%-10s %8.3f %12llu %9.2f %9.1f %10llu %10llu\n",
+                    t.program.c_str(), t.ipc,
+                    static_cast<unsigned long long>(t.core.committedInsts),
+                    t.l2Mpki, mp,
+                    static_cast<unsigned long long>(
+                        t.core.runaheadEntries),
+                    static_cast<unsigned long long>(
+                        t.core.runaheadCycles));
+    }
+    std::printf("\nthroughput (Eq.1): %.3f   total IPC: %.3f   ED^2: %.3g\n",
+                r.throughputEq1(), r.totalIpc(), sim::ed2(r));
+    if (with_fairness && runner && workload) {
+        const auto base = runner->baselinesFor(*workload);
+        std::printf("fairness (Eq.2):   %.3f\n", sim::fairness(r, base));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_list = "art,mcf";
+    std::string group_name;
+    std::string policy_name = "RaT";
+    sim::SimConfig cfg;
+    bool with_fairness = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("option %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list-programs") {
+            for (const auto &name : trace::spec2000Names())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--list-groups") {
+            for (const sim::WorkloadGroup g : sim::allGroups()) {
+                std::printf("%s:\n", sim::groupName(g));
+                for (const sim::Workload &w : sim::workloadsOf(g))
+                    std::printf("  %s\n", w.name.c_str());
+            }
+            return 0;
+        } else if (arg == "--workload") {
+            workload_list = next();
+        } else if (arg == "--group") {
+            group_name = next();
+        } else if (arg == "--policy") {
+            policy_name = next();
+        } else if (arg == "--measure") {
+            cfg.measureCycles = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            cfg.warmupCycles = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--prewarm") {
+            cfg.prewarmInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--regs") {
+            const unsigned regs =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+            cfg.core.intRegs = regs;
+            cfg.core.fpRegs = regs;
+        } else if (arg == "--rob") {
+            cfg.core.robEntries =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--fairness") {
+            with_fairness = true;
+        } else if (arg == "--no-fp-drop") {
+            cfg.core.rat.dropFpInRunahead = false;
+        } else if (arg == "--runahead-cache") {
+            cfg.core.rat.useRunaheadCache = true;
+        } else if (arg == "--no-prefetch") {
+            cfg.core.rat.disablePrefetch = true;
+        } else if (arg == "--no-ra-fetch") {
+            cfg.core.rat.noFetchInRunahead = true;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    cfg.core.policy = parsePolicy(policy_name);
+
+    if (!group_name.empty()) {
+        const sim::WorkloadGroup *found = nullptr;
+        for (const sim::WorkloadGroup &g : sim::allGroups()) {
+            if (group_name == sim::groupName(g))
+                found = &g;
+        }
+        if (!found)
+            fatal("unknown group '%s'", group_name.c_str());
+        sim::ExperimentRunner runner(cfg);
+        const sim::TechniqueSpec tech{policy_name, cfg.core.policy,
+                                      cfg.core.rat};
+        const sim::GroupMetrics gm = runner.runGroup(*found, tech);
+        std::printf("%s under %s:\n", group_name.c_str(),
+                    policy_name.c_str());
+        const auto &workloads = sim::workloadsOf(*found);
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            std::printf("  %-28s throughput %.3f\n",
+                        workloads[i].name.c_str(),
+                        sim::throughput(gm.results[i]));
+        }
+        std::printf("group mean: throughput %.3f  fairness %.3f  "
+                    "ED^2 %.3g\n",
+                    gm.meanThroughput, gm.meanFairness, gm.meanEd2);
+        return 0;
+    }
+
+    const auto programs = splitPrograms(workload_list);
+    sim::Workload w;
+    w.programs = programs;
+    for (const auto &p : programs)
+        w.name += (w.name.empty() ? "" : ",") + p;
+
+    std::printf("workload %s under %s (%llu measured cycles)\n\n",
+                w.name.c_str(), policy_name.c_str(),
+                static_cast<unsigned long long>(cfg.measureCycles));
+    sim::ExperimentRunner runner(cfg);
+    const sim::TechniqueSpec tech{policy_name, cfg.core.policy,
+                                  cfg.core.rat};
+    const sim::SimResult r = runner.runWorkload(w, tech);
+    printRun(r, with_fairness, &runner, &w);
+    return 0;
+}

@@ -1,0 +1,342 @@
+#include "trace/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace rat::trace {
+
+namespace {
+
+/** Convert a 64-bit hash to a uniform double in [0, 1). */
+double
+toUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/** Bounded hash draw in [0, bound). */
+std::uint64_t
+bounded(std::uint64_t h, std::uint64_t bound)
+{
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(h) * bound) >> 64);
+}
+
+/** Domain-separated per-index hash. */
+std::uint64_t
+draw(std::uint64_t seed, InstSeq idx, std::uint64_t salt)
+{
+    return splitmix64(seed ^ splitmix64(idx * 0x9e3779b97f4a7c15ULL + salt));
+}
+
+// Salt constants for the independent random draws of one instruction.
+enum Salt : std::uint64_t {
+    kSaltOp = 0x01,
+    kSaltAddrMix = 0x02,
+    kSaltAddrOff = 0x03,
+    kSaltDep1 = 0x04,
+    kSaltDep2 = 0x05,
+    kSaltBranch = 0x06,
+    kSaltFpMem = 0x07,
+    kSaltSyncKind = 0x08,
+    kSaltChase = 0x09,
+    kSaltPhase = 0x0A,
+};
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile &profile,
+                               std::uint64_t seed, Addr base)
+    : profile_(&profile), seed_(splitmix64(seed ^ 0xabcdef12345ULL)),
+      base_(base)
+{
+    const auto &p = profile;
+    RAT_ASSERT(p.codeBytes >= 4096, "code footprint too small");
+
+    // Lay out the private address space: disjoint, page-aligned regions.
+    Addr cursor = base_;
+    auto carve = [&cursor](std::uint64_t bytes) {
+        const Addr r = cursor;
+        cursor += (bytes + 0xfff) & ~Addr{0xfff};
+        cursor += 0x10000; // guard gap
+        return r;
+    };
+    codeBase_ = carve(p.codeBytes);
+    hotBase_ = carve(p.hotBytes);
+    warmBase_ = carve(p.warmBytes);
+    streamBase_ = carve(p.coldBytes);
+    coldBase_ = carve(p.coldBytes);
+    chaseBase_ = carve(p.chaseBytes);
+
+    // Op-class CDF. Anything left over is integer ALU work.
+    double c = 0.0;
+    cLoad_ = (c += p.fLoad);
+    cStore_ = (c += p.fStore);
+    cBranch_ = (c += p.fBranch);
+    cCall_ = (c += p.fCall);
+    cReturn_ = (c += p.fReturn);
+    cFpAdd_ = (c += p.fFpAdd);
+    cFpMul_ = (c += p.fFpMul);
+    cFpDiv_ = (c += p.fFpDiv);
+    cIntMul_ = (c += p.fIntMul);
+    cIntDiv_ = (c += p.fIntDiv);
+    cSync_ = (c += p.fSync);
+    if (c > 1.0)
+        fatal("profile '%s': instruction mix fractions sum to %.3f > 1",
+              p.name.c_str(), c);
+
+    codeWords_ = p.codeBytes / 4;
+    depSpread_ = std::max(
+        1u, static_cast<unsigned>(2.0 * (p.meanDepDistance - 1.0) + 0.5));
+}
+
+OpClass
+TraceGenerator::sampleOpClass(double u) const
+{
+    if (u < cLoad_)
+        return OpClass::Load; // FP-vs-INT data reg decided by caller
+    if (u < cStore_)
+        return OpClass::Store;
+    if (u < cBranch_)
+        return OpClass::Branch;
+    if (u < cCall_)
+        return OpClass::Call;
+    if (u < cReturn_)
+        return OpClass::Return;
+    if (u < cFpAdd_)
+        return OpClass::FpAdd;
+    if (u < cFpMul_)
+        return OpClass::FpMul;
+    if (u < cFpDiv_)
+        return OpClass::FpDiv;
+    if (u < cIntMul_)
+        return OpClass::IntMul;
+    if (u < cIntDiv_)
+        return OpClass::IntDiv;
+    if (u < cSync_)
+        return OpClass::Lock; // caller rehashes Lock vs Unlock
+    return OpClass::IntAlu;
+}
+
+unsigned
+TraceGenerator::depDistance(std::uint64_t h) const
+{
+    const unsigned d = 1 + static_cast<unsigned>(bounded(h, depSpread_));
+    return std::min(d, 24u);
+}
+
+Addr
+TraceGenerator::dataAddress(InstSeq idx, std::uint64_t h) const
+{
+    const auto &p = *profile_;
+    const double u = toUnit(draw(seed_, idx, kSaltAddrMix));
+    const std::uint64_t off_draw = draw(seed_, idx, kSaltAddrOff);
+
+    const double c_hot = p.pHot;
+    const double c_warm = c_hot + p.pWarm;
+    const double c_stream = c_warm + p.pStream;
+
+    Addr addr;
+    if (u < c_hot) {
+        addr = hotBase_ + bounded(off_draw, p.hotBytes);
+    } else if (u < c_warm) {
+        addr = warmBase_ + bounded(off_draw, p.warmBytes);
+    } else if (u < c_stream) {
+        // The stream cursor advances with the instruction index itself,
+        // giving spatial locality and steady compulsory misses.
+        const auto advance =
+            static_cast<std::uint64_t>(p.streamBytesPerInst *
+                                       static_cast<double>(idx));
+        addr = streamBase_ + advance % p.coldBytes;
+    } else {
+        addr = coldBase_ + bounded(off_draw, p.coldBytes);
+    }
+    (void)h;
+    return addr & ~Addr{7}; // 8-byte aligned accesses
+}
+
+MicroOp
+TraceGenerator::at(InstSeq idx) const
+{
+    const auto &p = *profile_;
+    MicroOp op;
+    op.seq = idx;
+    // Phase-based PC stream: iterate a hot inner loop for phaseInsts
+    // instructions, then jump to a different region of the footprint.
+    {
+        const std::uint64_t phase = idx / p.phaseInsts;
+        const std::uint32_t loop_words =
+            std::max<std::uint32_t>(16, p.innerLoopBytes / 4);
+        const std::uint64_t phase_word =
+            bounded(draw(seed_, phase, kSaltPhase), codeWords_) &
+            ~std::uint64_t{15}; // line-aligned phase entry point
+        const std::uint64_t word =
+            (phase_word + idx % loop_words) % codeWords_;
+        op.pc = codeBase_ + 4 * word;
+    }
+    op.memSize = 8;
+
+    // Pointer-chase loads occur on a fixed period so that the previous
+    // chase load's index (and thus its destination register) is computable
+    // without generator state.
+    const bool is_chase = p.chasePeriod != 0 && idx % p.chasePeriod == 0 &&
+                          idx >= p.chasePeriod;
+    if (is_chase) {
+        op.op = OpClass::Load;
+        op.hasDst = true;
+        op.dstIsFp = false;
+        op.dst = rotReg(idx);
+        op.srcInt[0] = rotReg(idx - p.chasePeriod);
+        op.numSrcInt = 1;
+        const std::uint64_t chain = draw(seed_, idx / p.chasePeriod,
+                                         kSaltChase);
+        op.effAddr = (chaseBase_ + bounded(chain, p.chaseBytes)) & ~Addr{7};
+        return op;
+    }
+
+    // Static instruction identity: the op class of a code slot is a
+    // pure function of its PC, like real code — the same slot is always
+    // a branch (or load, ...) on every loop iteration. This is what
+    // gives the branch predictor and BTB stable static branches.
+    const std::uint64_t slot = (op.pc - codeBase_) / 4;
+    const double u_op = toUnit(draw(seed_, slot, kSaltOp));
+    OpClass cls = sampleOpClass(u_op);
+
+    // Decide the data-register class of memory ops (also static).
+    if (cls == OpClass::Load || cls == OpClass::Store) {
+        const bool fp_data =
+            toUnit(draw(seed_, slot, kSaltFpMem)) < p.fpMemShare;
+        if (fp_data)
+            cls = (cls == OpClass::Load) ? OpClass::FpLoad
+                                         : OpClass::FpStore;
+    } else if (cls == OpClass::Lock) {
+        if (draw(seed_, slot, kSaltSyncKind) & 1)
+            cls = OpClass::Unlock;
+    }
+    op.op = cls;
+
+    const std::uint64_t h1 = draw(seed_, idx, kSaltDep1);
+    const std::uint64_t h2 = draw(seed_, idx, kSaltDep2);
+    const unsigned d1 = depDistance(h1);
+    const unsigned d2 = depDistance(h2);
+    const auto int_src = [&](unsigned d) {
+        return idx >= d ? rotReg(idx - d) : ArchReg{1};
+    };
+
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        op.srcInt[0] = int_src(d1);
+        op.srcInt[1] = int_src(d2);
+        op.numSrcInt = 2;
+        op.hasDst = true;
+        op.dstIsFp = false;
+        op.dst = rotReg(idx);
+        break;
+
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+        op.srcFp[0] = int_src(d1); // same rotation in the FP space
+        op.srcFp[1] = int_src(d2);
+        op.numSrcFp = 2;
+        op.hasDst = true;
+        op.dstIsFp = true;
+        op.dst = rotReg(idx);
+        break;
+
+      case OpClass::Load:
+        op.srcInt[0] = int_src(d1); // address base register
+        op.numSrcInt = 1;
+        op.hasDst = true;
+        op.dstIsFp = false;
+        op.dst = rotReg(idx);
+        op.effAddr = dataAddress(idx, h2);
+        break;
+
+      case OpClass::FpLoad:
+        op.srcInt[0] = int_src(d1);
+        op.numSrcInt = 1;
+        op.hasDst = true;
+        op.dstIsFp = true;
+        op.dst = rotReg(idx);
+        op.effAddr = dataAddress(idx, h2);
+        break;
+
+      case OpClass::Store:
+        op.srcInt[0] = int_src(d1); // address base
+        op.srcInt[1] = int_src(d2); // data
+        op.numSrcInt = 2;
+        op.effAddr = dataAddress(idx, h2);
+        break;
+
+      case OpClass::FpStore:
+        op.srcInt[0] = int_src(d1); // address base
+        op.numSrcInt = 1;
+        op.srcFp[0] = int_src(d2); // data
+        op.numSrcFp = 1;
+        op.effAddr = dataAddress(idx, h2);
+        break;
+
+      case OpClass::Branch: {
+        op.srcInt[0] = int_src(d1); // condition register
+        op.numSrcInt = 1;
+        // Static-branch behaviour class is a pure function of the PC.
+        const std::uint64_t pc_hash = splitmix64(op.pc ^ seed_);
+        const double u_cls = toUnit(pc_hash);
+        const std::uint64_t h_dir = draw(seed_, idx, kSaltBranch);
+        if (u_cls < p.pEasyBranch) {
+            const double bias =
+                (pc_hash >> 8) & 1 ? p.easyBias : 1.0 - p.easyBias;
+            op.taken = toUnit(h_dir) < bias;
+        } else if (u_cls < p.pEasyBranch + p.pPatternBranch) {
+            const unsigned period = 2 + static_cast<unsigned>(
+                                            (pc_hash >> 16) % 5);
+            op.taken = (idx % period) * 2 < period;
+        } else {
+            op.taken = h_dir & 1;
+        }
+        op.target = codeBase_ + 4 * ((pc_hash >> 24) % codeWords_);
+        break;
+      }
+
+      case OpClass::Call: {
+        op.srcInt[0] = int_src(d1);
+        op.numSrcInt = 1;
+        op.hasDst = true; // link register write
+        op.dstIsFp = false;
+        op.dst = rotReg(idx);
+        const std::uint64_t pc_hash = splitmix64(op.pc ^ seed_);
+        op.taken = true;
+        op.target = codeBase_ + 4 * ((pc_hash >> 24) % codeWords_);
+        break;
+      }
+
+      case OpClass::Return:
+        op.srcInt[0] = int_src(d1);
+        op.numSrcInt = 1;
+        op.taken = true;
+        // Model: return to the point after some earlier call site; the
+        // RAS supplies this in hardware, so the trace target matches the
+        // RAS prediction whenever the stack is balanced.
+        op.target = codeBase_ + 4 * ((idx * 7 + 3) % codeWords_);
+        break;
+
+      case OpClass::Lock:
+      case OpClass::Unlock:
+        op.srcInt[0] = int_src(d1);
+        op.numSrcInt = 1;
+        break;
+
+      case OpClass::NumClasses:
+        panic("sampled invalid op class");
+    }
+    return op;
+}
+
+} // namespace rat::trace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic synthetic instruction-stream generator.
+ *
+ * Every micro-op is a *pure function* of (profile, seed, instruction
+ * index): `at(i)` always returns the same op for the same generator. This
+ * is the property that makes runahead rollback work in a trace-driven
+ * model — rewinding the trace cursor and replaying regenerates the exact
+ * same instructions and addresses, so cache lines fetched during runahead
+ * are hit again on replay, which is precisely the prefetching benefit the
+ * paper's mechanism exploits (Sections 3.1 and 6.1).
+ *
+ * Dependence structure is encoded through rotating architectural register
+ * assignment: instruction i writes register 1 + (i mod 30) of its class,
+ * and consumers read the registers written a sampled small distance
+ * earlier. Pointer-chase loads read the register written by the previous
+ * chase load, making their addresses *data-dependent on a prior miss* —
+ * the serialization that limits runahead prefetching on mcf-like codes.
+ */
+
+#ifndef RAT_TRACE_GENERATOR_HH
+#define RAT_TRACE_GENERATOR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "trace/microop.hh"
+#include "trace/profile.hh"
+#include "trace/source.hh"
+
+namespace rat::trace {
+
+/**
+ * Synthesizes the dynamic micro-op stream of one program instance.
+ *
+ * Thread-safe for concurrent `at()` calls (const, no mutable state).
+ */
+class TraceGenerator : public TraceSource
+{
+  public:
+    /**
+     * @param profile Statistical program description (must outlive this).
+     * @param seed    Stream seed; two instances of the same program in one
+     *                workload should use different seeds.
+     * @param base    Base of this program's private address space. Callers
+     *                must give distinct, widely separated bases to distinct
+     *                program instances (they model separate ASIDs).
+     */
+    TraceGenerator(const BenchmarkProfile &profile, std::uint64_t seed,
+                   Addr base);
+
+    /** Generate the micro-op at dynamic index @p idx. Pure. */
+    MicroOp at(InstSeq idx) const override;
+
+    /** The profile this stream was built from. */
+    const BenchmarkProfile &profile() const { return *profile_; }
+
+    /** Base address of this instance's address space. */
+    Addr base() const { return base_; }
+
+    /** Seed of this instance. */
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    /** Map a uniform draw to an op class via the precomputed CDF. */
+    OpClass sampleOpClass(double u) const;
+
+    /** Sampled RAW dependence distance in [1, 24]. */
+    unsigned depDistance(std::uint64_t h) const;
+
+    /** Rotating arch register written by instruction @p idx. */
+    static ArchReg rotReg(InstSeq idx)
+    {
+        return static_cast<ArchReg>(1 + idx % 30);
+    }
+
+    /** Effective address for a non-chase memory access. */
+    Addr dataAddress(InstSeq idx, std::uint64_t h) const;
+
+    const BenchmarkProfile *profile_;
+    std::uint64_t seed_;
+    Addr base_;
+
+    // Precomputed region bases within the private address space.
+    Addr codeBase_;
+    Addr hotBase_;
+    Addr warmBase_;
+    Addr streamBase_;
+    Addr coldBase_;
+    Addr chaseBase_;
+
+    // Precomputed op-class CDF thresholds (cumulative fractions).
+    double cLoad_, cStore_, cBranch_, cCall_, cReturn_;
+    double cFpAdd_, cFpMul_, cFpDiv_, cIntMul_, cIntDiv_, cSync_;
+
+    std::uint32_t codeWords_;
+    unsigned depSpread_;
+};
+
+} // namespace rat::trace
+
+#endif // RAT_TRACE_GENERATOR_HH

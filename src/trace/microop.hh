@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Dynamic micro-operation record produced by the trace substrate and
+ * consumed by the SMT core pipeline.
+ *
+ * The abstract ISA is RISC-like with 32 INT and 32 FP architectural
+ * registers per thread (Alpha-like, matching the paper's register-file
+ * arithmetic in Section 6.2). Each micro-op carries its full dynamic
+ * information: operand registers, effective address for memory ops, and
+ * the resolved branch outcome for control ops.
+ */
+
+#ifndef RAT_TRACE_MICROOP_HH
+#define RAT_TRACE_MICROOP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace rat::trace {
+
+/**
+ * Operation class. Determines the functional unit, latency, and the
+ * register classes of operands.
+ */
+enum class OpClass : std::uint8_t {
+    IntAlu,     ///< 1-cycle integer ALU op
+    IntMul,     ///< pipelined integer multiply
+    IntDiv,     ///< unpipelined integer divide
+    FpAdd,      ///< pipelined FP add/sub
+    FpMul,      ///< pipelined FP multiply
+    FpDiv,      ///< unpipelined FP divide
+    Load,       ///< integer load
+    Store,      ///< integer store
+    FpLoad,     ///< FP load (address computed in INT pipeline)
+    FpStore,    ///< FP store (address computed in INT pipeline)
+    Branch,     ///< conditional branch
+    Call,       ///< direct call (pushes return address)
+    Return,     ///< return (pops return address)
+    Lock,       ///< synchronization acquire marker (Section 3.3)
+    Unlock,     ///< synchronization release marker (Section 3.3)
+    NumClasses
+};
+
+/** Number of distinct op classes. */
+inline constexpr unsigned kNumOpClasses =
+    static_cast<unsigned>(OpClass::NumClasses);
+
+/** True for loads and stores of either register class. */
+constexpr bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store ||
+           op == OpClass::FpLoad || op == OpClass::FpStore;
+}
+
+/** True for loads of either register class. */
+constexpr bool
+isLoadOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::FpLoad;
+}
+
+/** True for stores of either register class. */
+constexpr bool
+isStoreOp(OpClass op)
+{
+    return op == OpClass::Store || op == OpClass::FpStore;
+}
+
+/** True for control-flow ops that consult the branch predictor. */
+constexpr bool
+isControlOp(OpClass op)
+{
+    return op == OpClass::Branch || op == OpClass::Call ||
+           op == OpClass::Return;
+}
+
+/**
+ * True for ops that occupy floating-point resources (FP issue queue, FP
+ * registers, FP functional units). FP loads/stores are *not* FP-resource
+ * ops for issue purposes: their address generation happens in the integer
+ * pipeline (Section 3.3, "Floating-point resources"), though their
+ * destination/source data register is an FP register.
+ */
+constexpr bool
+isFpComputeOp(OpClass op)
+{
+    return op == OpClass::FpAdd || op == OpClass::FpMul ||
+           op == OpClass::FpDiv;
+}
+
+/** One dynamic micro-operation. */
+struct MicroOp {
+    /** Per-thread dynamic sequence number (trace index). */
+    InstSeq seq = 0;
+    /** Instruction address (for I-cache and branch predictor). */
+    Addr pc = 0;
+    /** Operation class. */
+    OpClass op = OpClass::IntAlu;
+
+    /** Integer source registers; count in numSrcInt (0..2). */
+    ArchReg srcInt[2] = {0, 0};
+    std::uint8_t numSrcInt = 0;
+    /** FP source registers; count in numSrcFp (0..2). */
+    ArchReg srcFp[2] = {0, 0};
+    std::uint8_t numSrcFp = 0;
+
+    /** Destination register (class given by dstIsFp); valid iff hasDst. */
+    ArchReg dst = 0;
+    bool hasDst = false;
+    bool dstIsFp = false;
+
+    /** Effective byte address for memory ops. */
+    Addr effAddr = 0;
+    /** Access size in bytes for memory ops. */
+    std::uint8_t memSize = 8;
+
+    /** Resolved direction for control ops. */
+    bool taken = false;
+    /** Resolved target for control ops. */
+    Addr target = 0;
+};
+
+} // namespace rat::trace
+
+#endif // RAT_TRACE_MICROOP_HH

@@ -1,0 +1,235 @@
+#include "trace/profile.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace rat::trace {
+
+namespace {
+
+/** Named-parameter builder so the table below stays readable. */
+struct Build {
+    BenchmarkProfile p;
+
+    explicit Build(std::string name) { p.name = std::move(name); }
+
+    Build &mix(double ld, double st, double br)
+    {
+        p.fLoad = ld;
+        p.fStore = st;
+        p.fBranch = br;
+        return *this;
+    }
+    Build &fp(double add, double mul, double div, double mem_share)
+    {
+        p.fFpAdd = add;
+        p.fFpMul = mul;
+        p.fFpDiv = div;
+        p.fpMemShare = mem_share;
+        return *this;
+    }
+    Build &code(std::uint32_t bytes)
+    {
+        p.codeBytes = bytes;
+        return *this;
+    }
+    Build &addr(double hot, double warm, double stream)
+    {
+        p.pHot = hot;
+        p.pWarm = warm;
+        p.pStream = stream;
+        return *this;
+    }
+    Build &regions(std::uint32_t hot_b, std::uint32_t warm_b,
+                   std::uint64_t cold_b)
+    {
+        p.hotBytes = hot_b;
+        p.warmBytes = warm_b;
+        p.coldBytes = cold_b;
+        return *this;
+    }
+    Build &stream(double bytes_per_inst)
+    {
+        p.streamBytesPerInst = bytes_per_inst;
+        return *this;
+    }
+    Build &chase(std::uint32_t period,
+                 std::uint64_t bytes = 128ULL * 1024 * 1024)
+    {
+        p.chasePeriod = period;
+        p.chaseBytes = bytes;
+        return *this;
+    }
+    Build &branches(double easy, double pattern, double bias = 0.97)
+    {
+        p.pEasyBranch = easy;
+        p.pPatternBranch = pattern;
+        p.easyBias = bias;
+        return *this;
+    }
+    Build &deps(double mean_dist)
+    {
+        p.meanDepDistance = mean_dist;
+        return *this;
+    }
+};
+
+/**
+ * The profile table. Calibration targets (single-threaded, Table 1
+ * baseline): ILP-class programs land below ~2 L2 misses per kilo-inst,
+ * MEM-class programs well above ~6 MPKI, with mcf/art as the extremes,
+ * mirroring the paper's characterization methodology (Section 4).
+ */
+std::map<std::string, BenchmarkProfile, std::less<>>
+makeTable()
+{
+    std::map<std::string, BenchmarkProfile, std::less<>> t;
+    auto add = [&t](const Build &b) { t.emplace(b.p.name, b.p); };
+
+    // ---- Integer, ILP class ---------------------------------------------
+    add(Build("gzip").mix(0.26, 0.11, 0.17)
+            .code(24 * 1024).addr(0.9785, 0.020, 0.0)
+            .branches(0.86, 0.08).deps(3.0));
+    add(Build("bzip2").mix(0.28, 0.12, 0.15)
+            .code(40 * 1024).addr(0.976, 0.022, 0.0)
+            .branches(0.87, 0.08).deps(3.2));
+    add(Build("gcc").mix(0.25, 0.14, 0.18)
+            .code(320 * 1024).addr(0.975, 0.023, 0.0)
+            .branches(0.84, 0.09).deps(3.5));
+    add(Build("crafty").mix(0.27, 0.10, 0.16)
+            .code(128 * 1024).addr(0.979, 0.019, 0.0)
+            .branches(0.80, 0.10).deps(3.0));
+    add(Build("eon").mix(0.26, 0.15, 0.13)
+            .fp(0.06, 0.05, 0.004, 0.25)
+            .code(96 * 1024).addr(0.981, 0.018, 0.0)
+            .branches(0.90, 0.06).deps(3.4));
+    add(Build("gap").mix(0.25, 0.12, 0.14)
+            .code(64 * 1024).addr(0.978, 0.020, 0.0)
+            .branches(0.88, 0.07).deps(3.3));
+    add(Build("perl").mix(0.27, 0.14, 0.16)
+            .code(192 * 1024).addr(0.9765, 0.0215, 0.0)
+            .branches(0.85, 0.09).deps(3.4));
+    add(Build("vortex").mix(0.28, 0.16, 0.14)
+            .code(256 * 1024).addr(0.974, 0.023, 0.0)
+            .branches(0.89, 0.07).deps(3.6));
+
+    // ---- Floating point, ILP class --------------------------------------
+    add(Build("mesa").mix(0.24, 0.12, 0.09)
+            .fp(0.13, 0.11, 0.01, 0.55)
+            .code(96 * 1024).addr(0.979, 0.020, 0.0)
+            .branches(0.93, 0.05).deps(3.8));
+    add(Build("fma3d").mix(0.26, 0.13, 0.07)
+            .fp(0.15, 0.13, 0.012, 0.70)
+            .code(160 * 1024).addr(0.9755, 0.022, 0.0)
+            .branches(0.94, 0.04).deps(4.0));
+    add(Build("apsi").mix(0.25, 0.12, 0.06)
+            .fp(0.16, 0.14, 0.015, 0.72)
+            .code(128 * 1024).addr(0.975, 0.023, 0.0)
+            .branches(0.95, 0.03).deps(4.2));
+    add(Build("wupwise").mix(0.24, 0.10, 0.05)
+            .fp(0.18, 0.16, 0.010, 0.78)
+            .code(48 * 1024).addr(0.9745, 0.023, 0.0)
+            .branches(0.96, 0.03).deps(4.5));
+    add(Build("mgrid").mix(0.30, 0.08, 0.03)
+            .fp(0.20, 0.18, 0.004, 0.85)
+            .code(24 * 1024).addr(0.972, 0.026, 0.0)
+            .branches(0.97, 0.02).deps(4.8));
+    add(Build("galgel").mix(0.28, 0.09, 0.05)
+            .fp(0.19, 0.17, 0.006, 0.80)
+            .code(40 * 1024).addr(0.973, 0.025, 0.0)
+            .branches(0.96, 0.03).deps(4.4));
+
+    // ---- MEM class: streaming FP ----------------------------------------
+    add(Build("swim").mix(0.30, 0.09, 0.02)
+            .fp(0.21, 0.19, 0.004, 0.90)
+            .code(16 * 1024).addr(0.42, 0.06, 0.50)
+            .stream(3.2).regions(16 * 1024, 256 * 1024, 96ULL << 20)
+            .branches(0.97, 0.02).deps(5.0));
+    add(Build("applu").mix(0.29, 0.10, 0.03)
+            .fp(0.20, 0.18, 0.010, 0.88)
+            .code(56 * 1024).addr(0.47, 0.08, 0.42)
+            .stream(2.6).regions(16 * 1024, 256 * 1024, 80ULL << 20)
+            .branches(0.96, 0.02).deps(4.8));
+    add(Build("art").mix(0.32, 0.07, 0.10)
+            .fp(0.18, 0.16, 0.002, 0.82)
+            .code(12 * 1024).addr(0.33, 0.04, 0.55)
+            .stream(3.6).regions(12 * 1024, 192 * 1024, 64ULL << 20)
+            .branches(0.93, 0.04).deps(3.8));
+    add(Build("lucas").mix(0.27, 0.09, 0.02)
+            .fp(0.22, 0.20, 0.002, 0.92)
+            .code(16 * 1024).addr(0.50, 0.09, 0.36)
+            .stream(2.2).regions(16 * 1024, 256 * 1024, 72ULL << 20)
+            .branches(0.97, 0.02).deps(5.2));
+    add(Build("equake").mix(0.30, 0.10, 0.07)
+            .fp(0.16, 0.14, 0.010, 0.78)
+            .code(32 * 1024).addr(0.85, 0.12, 0.0)
+            .regions(16 * 1024, 288 * 1024, 48ULL << 20)
+            .chase(52, 4ULL << 20).branches(0.92, 0.05).deps(4.0));
+    add(Build("ammp").mix(0.28, 0.11, 0.08)
+            .fp(0.15, 0.13, 0.012, 0.72)
+            .code(48 * 1024).addr(0.85, 0.13, 0.0)
+            .regions(16 * 1024, 288 * 1024, 40ULL << 20)
+            .chase(64, 4ULL << 20).branches(0.91, 0.05).deps(3.9));
+
+    // ---- MEM class: pointer-chasing integer ------------------------------
+    add(Build("mcf").mix(0.31, 0.09, 0.18)
+            .code(12 * 1024).addr(0.84, 0.12, 0.0)
+            .regions(12 * 1024, 256 * 1024, 160ULL << 20)
+            .chase(24, 96ULL << 20)
+            .branches(0.82, 0.08).deps(2.8));
+    add(Build("twolf").mix(0.27, 0.10, 0.15)
+            .code(40 * 1024).addr(0.838, 0.15, 0.0)
+            .regions(16 * 1024, 288 * 1024, 48ULL << 20)
+            .chase(56, 5ULL << 19).branches(0.83, 0.09).deps(3.1));
+    add(Build("vpr").mix(0.28, 0.11, 0.14)
+            .code(48 * 1024).addr(0.85, 0.14, 0.0)
+            .regions(16 * 1024, 288 * 1024, 40ULL << 20)
+            .chase(64, 2ULL << 20).branches(0.85, 0.08).deps(3.2));
+    add(Build("parser").mix(0.26, 0.12, 0.17)
+            .code(80 * 1024).addr(0.845, 0.145, 0.0)
+            .regions(16 * 1024, 288 * 1024, 44ULL << 20)
+            .chase(72, 3ULL << 20).branches(0.81, 0.09).deps(3.0));
+
+    return t;
+}
+
+const std::map<std::string, BenchmarkProfile, std::less<>> &
+table()
+{
+    static const auto t = makeTable();
+    return t;
+}
+
+} // namespace
+
+const BenchmarkProfile &
+spec2000(std::string_view name)
+{
+    const auto &t = table();
+    auto it = t.find(name);
+    if (it == t.end())
+        fatal("unknown SPEC2000 profile '%.*s'",
+              static_cast<int>(name.size()), name.data());
+    return it->second;
+}
+
+const std::vector<std::string> &
+spec2000Names()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &[k, _] : table())
+            v.push_back(k);
+        return v;
+    }();
+    return names;
+}
+
+bool
+isSpec2000(std::string_view name)
+{
+    return table().count(name) > 0;
+}
+
+} // namespace rat::trace

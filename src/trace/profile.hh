@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Statistical benchmark profiles for the synthetic SPEC CPU2000 workload
+ * substrate.
+ *
+ * The paper evaluates on SPEC CPU2000 Alpha binaries with SimPoint-selected
+ * 300M-instruction traces. Those artifacts are proprietary, so each program
+ * used in Table 2 is modelled as a *statistical profile*: an instruction
+ * mix, a code footprint, a data-address-stream mixture (L1-resident,
+ * L2-resident, streaming, random-cold, pointer-chasing), and a branch
+ * behaviour mixture. Profiles are calibrated so each program's
+ * single-threaded L2 miss rate and IPC land in the paper's ILP / MEM
+ * classification (Table 2), which is what the studied mechanisms actually
+ * depend on.
+ */
+
+#ifndef RAT_TRACE_PROFILE_HH
+#define RAT_TRACE_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rat::trace {
+
+/**
+ * Statistical description of one benchmark program.
+ *
+ * All `f*` fields are fractions of the dynamic instruction stream; the
+ * remainder after loads/stores/branches/FP/mul/div is integer ALU work.
+ * Address-mixture fields `p*` are fractions of non-chase memory accesses.
+ */
+struct BenchmarkProfile {
+    std::string name;
+
+    // --- Instruction mix -------------------------------------------------
+    double fLoad = 0.25;     ///< loads (both INT and FP data)
+    double fStore = 0.12;    ///< stores (both INT and FP data)
+    double fBranch = 0.15;   ///< conditional branches
+    double fCall = 0.01;     ///< calls (always-taken control)
+    double fReturn = 0.01;   ///< returns (always-taken control)
+    double fFpAdd = 0.0;     ///< FP add/sub
+    double fFpMul = 0.0;     ///< FP multiply
+    double fFpDiv = 0.0;     ///< FP divide
+    double fIntMul = 0.01;   ///< integer multiply
+    double fIntDiv = 0.002;  ///< integer divide
+    /** Fraction of loads/stores whose data register is FP. */
+    double fpMemShare = 0.0;
+
+    // --- Code footprint --------------------------------------------------
+    /** Static code bytes (total footprint the phases jump around in). */
+    std::uint32_t codeBytes = 32 * 1024;
+    /**
+     * Size of the hot inner loop the PC iterates within one phase.
+     * Real programs execute small loops repeatedly rather than walking
+     * their whole text; this keeps the L1I hit rate realistic.
+     */
+    std::uint32_t innerLoopBytes = 4 * 1024;
+    /** Instructions per phase before jumping to another code region. */
+    std::uint32_t phaseInsts = 16384;
+
+    // --- Data address stream (non-chase accesses) ------------------------
+    double pHot = 0.95;      ///< L1-resident set
+    double pWarm = 0.04;     ///< L2-resident set
+    double pStream = 0.0;    ///< sequential streaming (compulsory misses)
+    // remainder: uniform-random within `coldBytes` (practically always
+    // missing in L2 when coldBytes >> L2 capacity)
+    std::uint32_t hotBytes = 16 * 1024;
+    std::uint32_t warmBytes = 128 * 1024;
+    std::uint64_t coldBytes = 64ULL * 1024 * 1024;
+    /** Bytes of stream advance per dynamic instruction. */
+    double streamBytesPerInst = 2.0;
+
+    // --- Pointer chasing -------------------------------------------------
+    /**
+     * Every `chasePeriod`-th dynamic instruction is a load whose address
+     * register depends on the previous chase load (serialized misses, the
+     * mcf pattern). 0 disables chasing.
+     */
+    std::uint32_t chasePeriod = 0;
+    /** Region the chase pointers land in (>> L2 means always-miss). */
+    std::uint64_t chaseBytes = 128ULL * 1024 * 1024;
+
+    // --- Branch behaviour -------------------------------------------------
+    double pEasyBranch = 0.88;    ///< strongly biased static branches
+    double pPatternBranch = 0.08; ///< short-period patterned branches
+    // remainder: 50/50 unpredictable
+    double easyBias = 0.97;       ///< taken-probability of biased branches
+
+    // --- Dependence structure --------------------------------------------
+    /** Mean RAW dependence distance (geometric-ish, capped at 24). */
+    double meanDepDistance = 3.5;
+
+    // --- Synchronization (parallel-program modelling, Section 3.3) -------
+    /** Fraction of instructions that are lock/unlock markers (0 = none). */
+    double fSync = 0.0;
+};
+
+/**
+ * Look up the profile for a SPEC CPU2000 program by name (e.g. "mcf").
+ * Fatal error if the name is unknown.
+ */
+const BenchmarkProfile &spec2000(std::string_view name);
+
+/** Names of all modelled SPEC CPU2000 programs (Table 2 union). */
+const std::vector<std::string> &spec2000Names();
+
+/** True if a profile with this name exists. */
+bool isSpec2000(std::string_view name);
+
+} // namespace rat::trace
+
+#endif // RAT_TRACE_PROFILE_HH

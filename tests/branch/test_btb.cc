@@ -1,0 +1,67 @@
+/** @file Unit tests for the branch target buffer. */
+
+#include <gtest/gtest.h>
+
+#include "branch/btb.hh"
+
+namespace rat::branch {
+namespace {
+
+TEST(Btb, MissThenHit)
+{
+    Btb btb;
+    Addr target = 0;
+    EXPECT_FALSE(btb.lookup(0x1000, target));
+    btb.update(0x1000, 0x2000);
+    EXPECT_TRUE(btb.lookup(0x1000, target));
+    EXPECT_EQ(target, 0x2000u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb btb;
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    Addr target = 0;
+    EXPECT_TRUE(btb.lookup(0x1000, target));
+    EXPECT_EQ(target, 0x3000u);
+}
+
+TEST(Btb, LruEvictionWithinSet)
+{
+    BtbConfig cfg;
+    cfg.sets = 1;
+    cfg.ways = 2;
+    Btb btb(cfg);
+    btb.update(0x1000, 0xA);
+    btb.update(0x2000, 0xB);
+    Addr t = 0;
+    EXPECT_TRUE(btb.lookup(0x1000, t)); // refresh 0x1000
+    btb.update(0x3000, 0xC);            // evicts 0x2000
+    EXPECT_TRUE(btb.lookup(0x1000, t));
+    EXPECT_FALSE(btb.lookup(0x2000, t));
+    EXPECT_TRUE(btb.lookup(0x3000, t));
+}
+
+TEST(Btb, Stats)
+{
+    Btb btb;
+    Addr t = 0;
+    btb.lookup(0x1, t);
+    btb.update(0x1, 0x2);
+    btb.lookup(0x1, t);
+    EXPECT_EQ(btb.lookups(), 2u);
+    EXPECT_EQ(btb.misses(), 1u);
+    btb.resetStats();
+    EXPECT_EQ(btb.lookups(), 0u);
+}
+
+TEST(BtbDeathTest, ZeroGeometryIsFatal)
+{
+    BtbConfig cfg;
+    cfg.sets = 0;
+    EXPECT_EXIT(Btb{cfg}, ::testing::ExitedWithCode(1), "non-zero");
+}
+
+} // namespace
+} // namespace rat::branch

@@ -1,0 +1,135 @@
+/** @file Unit tests for the perceptron branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "branch/perceptron.hh"
+
+namespace rat::branch {
+namespace {
+
+TEST(Perceptron, ThetaFollowsJimenezLin)
+{
+    PerceptronConfig cfg;
+    cfg.historyBits = 28;
+    PerceptronPredictor p(cfg);
+    EXPECT_EQ(p.theta(), static_cast<int>(1.93 * 28 + 14));
+}
+
+TEST(Perceptron, LearnsAlwaysTakenBranch)
+{
+    PerceptronPredictor p;
+    const Addr pc = 0x1000;
+    // Train on an always-taken branch.
+    for (int i = 0; i < 200; ++i) {
+        const auto out = p.predict(0, pc);
+        p.update(0, pc, true, out);
+    }
+    const auto out = p.predict(0, pc);
+    EXPECT_TRUE(out.taken);
+}
+
+TEST(Perceptron, LearnsAlternatingPattern)
+{
+    PerceptronPredictor p;
+    const Addr pc = 0x2000;
+    // Alternating T/N is linearly separable on the last history bit.
+    bool dir = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto out = p.predict(0, pc);
+        p.update(0, pc, dir, out);
+        dir = !dir;
+    }
+    unsigned correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto out = p.predict(0, pc);
+        correct += (out.taken == dir);
+        p.update(0, pc, dir, out);
+        dir = !dir;
+    }
+    EXPECT_GT(correct, 190u);
+}
+
+TEST(Perceptron, PerThreadHistoriesAreIndependent)
+{
+    PerceptronPredictor p;
+    const std::uint64_t h0 = p.history(0);
+    p.predict(1, 0x3000);
+    EXPECT_EQ(p.history(0), h0); // thread 0 history untouched
+}
+
+TEST(Perceptron, MispredictRepairsHistory)
+{
+    PerceptronPredictor p;
+    const auto out = p.predict(0, 0x4000);
+    // Force the opposite outcome; history must be rewritten with it.
+    const bool actual = !out.taken;
+    p.update(0, 0x4000, actual, out);
+    EXPECT_EQ(p.history(0) & 1, actual ? 1u : 0u);
+    EXPECT_EQ(p.mispredicts(), 1u);
+}
+
+TEST(Perceptron, RestoreHistory)
+{
+    PerceptronPredictor p;
+    const std::uint64_t checkpoint = p.history(0);
+    for (int i = 0; i < 10; ++i)
+        p.predict(0, 0x5000 + 4 * i);
+    EXPECT_NE(p.history(0), checkpoint + 12345); // sanity
+    p.restoreHistory(0, checkpoint);
+    EXPECT_EQ(p.history(0), checkpoint);
+}
+
+TEST(Perceptron, StatsCount)
+{
+    PerceptronPredictor p;
+    const auto out = p.predict(0, 0x6000);
+    p.update(0, 0x6000, !out.taken, out);
+    EXPECT_EQ(p.lookups(), 1u);
+    EXPECT_EQ(p.mispredicts(), 1u);
+    p.resetStats();
+    EXPECT_EQ(p.lookups(), 0u);
+}
+
+TEST(PerceptronDeathTest, BadHistoryLengthIsFatal)
+{
+    PerceptronConfig cfg;
+    cfg.historyBits = 64;
+    EXPECT_EXIT(PerceptronPredictor{cfg}, ::testing::ExitedWithCode(1),
+                "history length");
+}
+
+/** Biased branches at different rates must be learned to high accuracy. */
+class PerceptronBias : public ::testing::TestWithParam<double> {};
+
+TEST_P(PerceptronBias, TracksBiasedBranch)
+{
+    PerceptronPredictor p;
+    const Addr pc = 0x7000;
+    const double bias = GetParam();
+    std::uint64_t x = 987654321;
+    auto rnd = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return static_cast<double>(x >> 11) * 0x1.0p-53;
+    };
+    unsigned correct = 0, total = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const bool dir = rnd() < bias;
+        const auto out = p.predict(0, pc);
+        if (i > 1000) {
+            ++total;
+            correct += (out.taken == dir);
+        }
+        p.update(0, pc, dir, out);
+    }
+    const double acc = static_cast<double>(correct) / total;
+    const double expected = std::max(bias, 1.0 - bias);
+    EXPECT_GT(acc, expected - 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, PerceptronBias,
+                         ::testing::Values(0.95, 0.9, 0.8, 0.2, 0.05));
+
+} // namespace
+} // namespace rat::branch

@@ -1,0 +1,48 @@
+/** @file Unit tests for the return address stack. */
+
+#include <gtest/gtest.h>
+
+#include "branch/btb.hh"
+
+namespace rat::branch {
+namespace {
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x100);
+    ras.push(0x200);
+    Addr t = 0;
+    EXPECT_TRUE(ras.pop(t));
+    EXPECT_EQ(t, 0x200u);
+    EXPECT_TRUE(ras.pop(t));
+    EXPECT_EQ(t, 0x100u);
+    EXPECT_FALSE(ras.pop(t));
+}
+
+TEST(Ras, OverflowDropsOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3); // drops 0x1
+    Addr t = 0;
+    EXPECT_TRUE(ras.pop(t));
+    EXPECT_EQ(t, 0x3u);
+    EXPECT_TRUE(ras.pop(t));
+    EXPECT_EQ(t, 0x2u);
+    EXPECT_FALSE(ras.pop(t));
+}
+
+TEST(Ras, ClearEmpties)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x1);
+    ras.clear();
+    Addr t = 0;
+    EXPECT_FALSE(ras.pop(t));
+    EXPECT_EQ(ras.size(), 0u);
+}
+
+} // namespace
+} // namespace rat::branch

@@ -1,0 +1,54 @@
+/** @file Unit tests for integer-math helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.hh"
+
+namespace rat {
+namespace {
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(65));
+    EXPECT_TRUE(isPowerOf2(1ULL << 63));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(floorLog2(1ULL << 40), 40u);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(8, 4), 2u);
+}
+
+class PowerOf2Param : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PowerOf2Param, RoundTripsThroughLog2)
+{
+    const std::uint64_t v = std::uint64_t{1} << GetParam();
+    EXPECT_TRUE(isPowerOf2(v));
+    EXPECT_EQ(floorLog2(v), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShifts, PowerOf2Param,
+                         ::testing::Values(0u, 1u, 6u, 12u, 20u, 31u, 40u,
+                                           63u));
+
+} // namespace
+} // namespace rat

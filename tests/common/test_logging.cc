@@ -1,0 +1,46 @@
+/** @file Unit tests for error-reporting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace rat {
+namespace {
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(RAT_ASSERT(1 == 2, "math broke: %d", 7),
+                 "assertion '1 == 2' failed.*math broke: 7");
+}
+
+TEST(LoggingDeathTest, AssertWithoutMessage)
+{
+    EXPECT_DEATH(RAT_ASSERT(false), "assertion 'false' failed");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    RAT_ASSERT(2 + 2 == 4, "never fires");
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning %d", 1);
+    inform("just info %d", 2);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace rat

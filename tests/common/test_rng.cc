@@ -1,0 +1,96 @@
+/** @file Unit and statistical tests for the deterministic RNG helpers. */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace rat {
+namespace {
+
+TEST(SplitMix, Deterministic)
+{
+    EXPECT_EQ(splitmix64(42), splitmix64(42));
+    EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(SplitMix, MixesNearbyInputs)
+{
+    // Hamming distance between outputs for adjacent inputs should be
+    // large (avalanche); require > 16 differing bits.
+    const std::uint64_t a = splitmix64(1000);
+    const std::uint64_t b = splitmix64(1001);
+    EXPECT_GT(__builtin_popcountll(a ^ b), 16);
+}
+
+TEST(HashCombine, OrderMatters)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Xoshiro, ReproducibleFromSeed)
+{
+    Xoshiro256 a(7);
+    Xoshiro256 b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge)
+{
+    Xoshiro256 a(7);
+    Xoshiro256 b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro, BoundedStaysInRange)
+{
+    Xoshiro256 rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.nextBounded(37);
+        EXPECT_LT(v, 37u);
+    }
+}
+
+TEST(Xoshiro, DoubleInUnitInterval)
+{
+    Xoshiro256 rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability)
+{
+    Xoshiro256 rng(17);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    const double p = static_cast<double>(hits) / n;
+    EXPECT_NEAR(p, 0.3, 0.01);
+}
+
+TEST(Xoshiro, BoundedIsRoughlyUniform)
+{
+    Xoshiro256 rng(19);
+    constexpr unsigned buckets = 16;
+    unsigned counts[buckets] = {};
+    const int n = 160000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(buckets)];
+    for (unsigned b = 0; b < buckets; ++b) {
+        EXPECT_NEAR(static_cast<double>(counts[b]), n / buckets,
+                    0.05 * n / buckets);
+    }
+}
+
+} // namespace
+} // namespace rat

@@ -1,0 +1,96 @@
+/** @file Unit tests for statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace rat {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, TracksMeanMinMax)
+{
+    RunningStat s;
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat s;
+    s.sample(-5.0);
+    s.sample(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10, 4); // buckets [0,10) [10,20) [20,30) [30,40) + ovf
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(40);
+    h.sample(1000);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 2u);
+    EXPECT_EQ(h.totalCount(), 6u);
+    h.reset();
+    EXPECT_EQ(h.totalCount(), 0u);
+}
+
+TEST(Histogram, MeanIsExact)
+{
+    Histogram h(10, 2);
+    h.sample(5);
+    h.sample(15);
+    h.sample(100);
+    EXPECT_DOUBLE_EQ(h.mean(), 40.0);
+}
+
+TEST(HistogramDeathTest, ZeroWidthRejected)
+{
+    EXPECT_DEATH(Histogram(0, 4), "bucket width");
+}
+
+TEST(HarmonicMean, BasicValues)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, -2.0}), 0.0);
+}
+
+TEST(HarmonicMean, DominatedBySmallest)
+{
+    const double hm = harmonicMean({0.1, 10.0, 10.0});
+    EXPECT_LT(hm, 0.3 * 3);
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace rat

@@ -1,0 +1,132 @@
+/** @file Hand-scripted instruction streams for directed core tests. */
+
+#ifndef RAT_TESTS_CORE_SCRIPTED_SOURCE_HH
+#define RAT_TESTS_CORE_SCRIPTED_SOURCE_HH
+
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace rat::test {
+
+/**
+ * A TraceSource that plays filler ALU work, then a hand-written script,
+ * then filler forever. The filler warms the I-cache lines the script
+ * will use (two full passes before the script starts), so directed
+ * tests observe the scripted behaviour, not cold-start noise.
+ *
+ * Layout: indices [0, kScriptStart) are filler; [kScriptStart,
+ * kScriptStart + script.size()) are the scripted ops; everything after
+ * is filler again. All PCs cycle through one 2 KB code region.
+ */
+class ScriptedSource : public trace::TraceSource
+{
+  public:
+    /** First dynamic index of the scripted region. */
+    static constexpr InstSeq kScriptStart = 1024;
+    /** Base of the private data address space. */
+    static constexpr Addr kDataBase = Addr{1} << 40;
+    /** Base of the code region. */
+    static constexpr Addr kCodeBase = Addr{1} << 30;
+
+    explicit ScriptedSource(std::vector<trace::MicroOp> script)
+        : script_(std::move(script))
+    {
+    }
+
+    trace::MicroOp
+    at(InstSeq idx) const override
+    {
+        trace::MicroOp op;
+        if (idx >= kScriptStart && idx - kScriptStart < script_.size())
+            op = script_[idx - kScriptStart];
+        else
+            op = filler();
+        op.seq = idx;
+        op.pc = kCodeBase + 4 * (idx % 512);
+        return op;
+    }
+
+    // --- script-building helpers ------------------------------------------
+
+    /** Independent 1-cycle ALU op (reads the never-written register 31). */
+    static trace::MicroOp
+    filler()
+    {
+        trace::MicroOp op;
+        op.op = trace::OpClass::IntAlu;
+        op.srcInt[0] = 31;
+        op.srcInt[1] = 31;
+        op.numSrcInt = 2;
+        op.hasDst = true;
+        op.dst = 30;
+        return op;
+    }
+
+    static trace::MicroOp
+    alu(ArchReg dst, ArchReg src1, ArchReg src2 = 31)
+    {
+        trace::MicroOp op;
+        op.op = trace::OpClass::IntAlu;
+        op.srcInt[0] = src1;
+        op.srcInt[1] = src2;
+        op.numSrcInt = 2;
+        op.hasDst = true;
+        op.dst = dst;
+        return op;
+    }
+
+    static trace::MicroOp
+    load(ArchReg dst, ArchReg addr_src, Addr addr)
+    {
+        trace::MicroOp op;
+        op.op = trace::OpClass::Load;
+        op.srcInt[0] = addr_src;
+        op.numSrcInt = 1;
+        op.hasDst = true;
+        op.dst = dst;
+        op.effAddr = addr;
+        return op;
+    }
+
+    static trace::MicroOp
+    store(ArchReg addr_src, ArchReg data_src, Addr addr)
+    {
+        trace::MicroOp op;
+        op.op = trace::OpClass::Store;
+        op.srcInt[0] = addr_src;
+        op.srcInt[1] = data_src;
+        op.numSrcInt = 2;
+        op.effAddr = addr;
+        return op;
+    }
+
+    static trace::MicroOp
+    branch(ArchReg cond_src, bool taken, Addr target)
+    {
+        trace::MicroOp op;
+        op.op = trace::OpClass::Branch;
+        op.srcInt[0] = cond_src;
+        op.numSrcInt = 1;
+        op.taken = taken;
+        op.target = target;
+        return op;
+    }
+
+    static trace::MicroOp
+    sync(bool is_lock)
+    {
+        trace::MicroOp op;
+        op.op = is_lock ? trace::OpClass::Lock : trace::OpClass::Unlock;
+        op.srcInt[0] = 31;
+        op.numSrcInt = 1;
+        return op;
+    }
+
+  private:
+    std::vector<trace::MicroOp> script_;
+};
+
+} // namespace rat::test
+
+#endif // RAT_TESTS_CORE_SCRIPTED_SOURCE_HH

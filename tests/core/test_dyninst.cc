@@ -1,0 +1,90 @@
+/** @file Unit tests for the DynInst pool and handle validation. */
+
+#include <gtest/gtest.h>
+
+#include "core/dyninst.hh"
+
+namespace rat::core {
+namespace {
+
+TEST(InstPool, AllocAssignsIdentity)
+{
+    InstPool pool(8);
+    DynInst *a = pool.alloc(0);
+    DynInst *b = pool.alloc(1);
+    EXPECT_NE(a->uid, b->uid);
+    EXPECT_LT(a->uid, b->uid); // uids are age-ordered
+    EXPECT_EQ(a->tid, 0);
+    EXPECT_EQ(b->tid, 1);
+    EXPECT_EQ(pool.liveCount(), 2u);
+}
+
+TEST(InstPool, HandleResolvesWhileLive)
+{
+    InstPool pool(8);
+    DynInst *a = pool.alloc(0);
+    const InstHandle h = a->handle();
+    EXPECT_EQ(pool.get(h), a);
+}
+
+TEST(InstPool, HandleGoesStaleAfterRelease)
+{
+    InstPool pool(8);
+    DynInst *a = pool.alloc(0);
+    const InstHandle h = a->handle();
+    pool.release(a);
+    EXPECT_EQ(pool.get(h), nullptr);
+}
+
+TEST(InstPool, SlotReuseInvalidatesOldHandles)
+{
+    InstPool pool(1);
+    DynInst *a = pool.alloc(0);
+    const InstHandle old = a->handle();
+    pool.release(a);
+    DynInst *b = pool.alloc(0);
+    EXPECT_EQ(b->slot, old.slot); // same slot reused
+    EXPECT_EQ(pool.get(old), nullptr);
+    EXPECT_EQ(pool.get(b->handle()), b);
+}
+
+TEST(InstPoolDeathTest, ExhaustionPanics)
+{
+    InstPool pool(2);
+    pool.alloc(0);
+    pool.alloc(0);
+    EXPECT_DEATH(pool.alloc(0), "exhausted");
+}
+
+TEST(InstPool, BadSlotIsNull)
+{
+    InstPool pool(2);
+    EXPECT_EQ(pool.get(InstHandle{99, 1}), nullptr);
+}
+
+TEST(DynInst, SrcReadiness)
+{
+    DynInst inst;
+    inst.numSrcs = 2;
+    inst.srcState[0] = SrcState::Ready;
+    inst.srcState[1] = SrcState::Waiting;
+    EXPECT_FALSE(inst.allSrcsReady());
+    inst.srcState[1] = SrcState::Ready;
+    EXPECT_TRUE(inst.allSrcsReady());
+    inst.depStoreUid = 5;
+    EXPECT_FALSE(inst.allSrcsReady()); // store dependence blocks
+    inst.depStoreUid = 0;
+    inst.srcState[0] = SrcState::Invalid;
+    EXPECT_TRUE(inst.anySrcInvalid());
+}
+
+TEST(MapEntryEncoding, SentinelsAreNotPhys)
+{
+    EXPECT_FALSE(isPhysEntry(kMapArch));
+    EXPECT_FALSE(isPhysEntry(kMapInv));
+    EXPECT_TRUE(isPhysEntry(0));
+    EXPECT_TRUE(isPhysEntry(319));
+}
+
+} // namespace
+} // namespace rat::core

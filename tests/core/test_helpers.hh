@@ -1,0 +1,54 @@
+/** @file Shared fixtures for core-level tests. */
+
+#ifndef RAT_TESTS_CORE_TEST_HELPERS_HH
+#define RAT_TESTS_CORE_TEST_HELPERS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/smt_core.hh"
+#include "mem/hierarchy.hh"
+#include "policy/factory.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+namespace rat::test {
+
+/** Owns everything an SmtCore needs; builds from program names. */
+struct CoreHarness {
+    core::CoreConfig cfg;
+    std::unique_ptr<mem::MemoryHierarchy> mem;
+    std::vector<std::unique_ptr<trace::TraceGenerator>> gens;
+    std::unique_ptr<core::SchedulingPolicy> policy;
+    std::unique_ptr<core::SmtCore> core;
+
+    explicit CoreHarness(const std::vector<std::string> &programs,
+                         core::PolicyKind kind = core::PolicyKind::Icount,
+                         core::RatConfig rat = {},
+                         std::uint64_t seed = 1,
+                         InstSeq prewarm_insts = 500000)
+    {
+        cfg.numThreads = static_cast<unsigned>(programs.size());
+        cfg.policy = kind;
+        cfg.rat = rat;
+        mem = std::make_unique<mem::MemoryHierarchy>(mem::MemConfig{});
+        std::vector<const trace::TraceSource *> streams;
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            gens.push_back(std::make_unique<trace::TraceGenerator>(
+                trace::spec2000(programs[i]), seed + i * 7919,
+                (static_cast<Addr>(i) + 1) << 40));
+            streams.push_back(gens.back().get());
+        }
+        policy = policy::makePolicy(kind);
+        core = std::make_unique<core::SmtCore>(cfg, *mem, *policy,
+                                               std::move(streams));
+        if (prewarm_insts > 0)
+            core->prewarm(prewarm_insts);
+    }
+};
+
+} // namespace rat::test
+
+#endif // RAT_TESTS_CORE_TEST_HELPERS_HH

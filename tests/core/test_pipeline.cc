@@ -1,0 +1,160 @@
+/** @file End-to-end pipeline tests on the SMT core (no runahead). */
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.hh"
+
+namespace rat::core {
+namespace {
+
+using test::CoreHarness;
+
+TEST(Pipeline, SingleIlpThreadMakesProgress)
+{
+    CoreHarness h({"gzip"});
+    const Cycle start = h.core->cycle(); // prewarm fast-forwards the clock
+    h.core->run(30000);
+    const Cycle elapsed = h.core->cycle() - start;
+    const ThreadStats &s = h.core->threadStats(0);
+    EXPECT_GT(s.committedInsts, 10000u);
+    const double ipc = static_cast<double>(s.committedInsts) /
+                       static_cast<double>(elapsed);
+    EXPECT_GT(ipc, 0.5);
+    EXPECT_LE(ipc, 8.0);
+}
+
+TEST(Pipeline, CommitNeverExceedsFetch)
+{
+    CoreHarness h({"gcc"});
+    h.core->run(20000);
+    const ThreadStats &s = h.core->threadStats(0);
+    EXPECT_LE(s.committedInsts, s.fetchedInsts);
+    EXPECT_LE(s.committedInsts, s.executedInsts);
+}
+
+TEST(Pipeline, MemThreadIsSlowerThanIlpThread)
+{
+    CoreHarness ilp({"gzip"});
+    CoreHarness mem_bound({"mcf"});
+    ilp.core->run(30000);
+    mem_bound.core->run(30000);
+    EXPECT_GT(ilp.core->threadStats(0).committedInsts,
+              3 * mem_bound.core->threadStats(0).committedInsts);
+}
+
+TEST(Pipeline, TwoThreadsBothProgress)
+{
+    CoreHarness h({"gzip", "bzip2"});
+    h.core->run(30000);
+    const auto &s0 = h.core->threadStats(0);
+    const auto &s1 = h.core->threadStats(1);
+    EXPECT_GT(s0.committedInsts, 5000u);
+    EXPECT_GT(s1.committedInsts, 5000u);
+    // Similar programs under ICOUNT should share roughly evenly.
+    const double ratio = static_cast<double>(s0.committedInsts) /
+                         static_cast<double>(s1.committedInsts);
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Pipeline, BranchesAreResolvedAndMostlyPredicted)
+{
+    CoreHarness h({"crafty"});
+    h.core->run(30000);
+    const ThreadStats &s = h.core->threadStats(0);
+    ASSERT_GT(s.branches, 1000u);
+    const double mispredict_rate =
+        static_cast<double>(s.branchMispredicts) /
+        static_cast<double>(s.branches);
+    EXPECT_GT(mispredict_rate, 0.005);
+    EXPECT_LT(mispredict_rate, 0.30);
+}
+
+TEST(Pipeline, MemoryBoundThreadAccumulatesPendingMisses)
+{
+    CoreHarness h({"art"});
+    bool saw_pending = false;
+    for (int i = 0; i < 10000 && !saw_pending; ++i) {
+        h.core->tick();
+        saw_pending = h.core->hasPendingL2Miss(0);
+    }
+    EXPECT_TRUE(saw_pending);
+}
+
+TEST(Pipeline, ResourceAccountingConsistent)
+{
+    CoreHarness h({"art", "gzip"});
+    for (int chunk = 0; chunk < 20; ++chunk) {
+        h.core->run(1000);
+        unsigned held_int = 0;
+        unsigned held_fp = 0;
+        unsigned rob = 0;
+        for (ThreadId t = 0; t < 2; ++t) {
+            held_int += h.core->regsHeld(t, false);
+            held_fp += h.core->regsHeld(t, true);
+            rob += h.core->robOccupancy(t);
+        }
+        EXPECT_EQ(held_int, h.core->allocatedRegs(false));
+        EXPECT_EQ(held_fp, h.core->allocatedRegs(true));
+        EXPECT_EQ(rob + h.core->robFree(),
+                  h.core->config().robEntries);
+    }
+}
+
+TEST(Pipeline, NoRunaheadUnderIcount)
+{
+    CoreHarness h({"art", "mcf"});
+    h.core->run(20000);
+    EXPECT_EQ(h.core->threadStats(0).runaheadEntries, 0u);
+    EXPECT_EQ(h.core->threadStats(1).runaheadEntries, 0u);
+    EXPECT_FALSE(h.core->inRunahead(0));
+}
+
+TEST(Pipeline, SharedRobContentionHurtsCoRunner)
+{
+    // gzip alone vs gzip next to a clogging memory thread under plain
+    // ICOUNT (no long-latency handling): the co-runner must slow down.
+    CoreHarness alone({"gzip"});
+    alone.core->run(40000);
+    const auto committed_alone = alone.core->threadStats(0).committedInsts;
+
+    CoreHarness paired({"gzip", "mcf"});
+    paired.core->run(40000);
+    const auto committed_paired =
+        paired.core->threadStats(0).committedInsts;
+
+    EXPECT_LT(committed_paired, committed_alone);
+}
+
+TEST(Pipeline, FourThreadsSupported)
+{
+    CoreHarness h({"gzip", "bzip2", "gcc", "eon"});
+    h.core->run(20000);
+    for (ThreadId t = 0; t < 4; ++t)
+        EXPECT_GT(h.core->threadStats(t).committedInsts, 1000u) << int(t);
+}
+
+TEST(Pipeline, StatsResetClearsCounters)
+{
+    CoreHarness h({"gzip"});
+    h.core->run(5000);
+    EXPECT_GT(h.core->threadStats(0).committedInsts, 0u);
+    h.core->resetStats();
+    EXPECT_EQ(h.core->threadStats(0).committedInsts, 0u);
+    h.core->run(5000);
+    EXPECT_GT(h.core->threadStats(0).committedInsts, 0u);
+}
+
+TEST(PipelineDeathTest, WrongStreamCountIsFatal)
+{
+    CoreConfig cfg;
+    cfg.numThreads = 2;
+    mem::MemoryHierarchy mem{mem::MemConfig{}};
+    auto policy = policy::makePolicy(PolicyKind::Icount);
+    trace::TraceGenerator gen(trace::spec2000("gzip"), 1, Addr{1} << 40);
+    EXPECT_EXIT(SmtCore(cfg, mem, *policy, {&gen}),
+                ::testing::ExitedWithCode(1), "trace streams");
+}
+
+} // namespace
+} // namespace rat::core

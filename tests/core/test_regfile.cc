@@ -1,0 +1,85 @@
+/** @file Unit tests for the physical register file and rename map. */
+
+#include <gtest/gtest.h>
+
+#include "core/regfile.hh"
+
+namespace rat::core {
+namespace {
+
+TEST(PhysRegFile, AllocateConsumesFreeList)
+{
+    PhysRegFile f(4);
+    EXPECT_EQ(f.freeCount(), 4u);
+    const PhysReg r = f.allocate();
+    EXPECT_EQ(f.freeCount(), 3u);
+    EXPECT_EQ(f.allocatedCount(), 1u);
+    EXPECT_FALSE(f.isReady(r));
+}
+
+TEST(PhysRegFile, ReadyLifecycle)
+{
+    PhysRegFile f(4);
+    const PhysReg r = f.allocate();
+    f.setReady(r);
+    EXPECT_TRUE(f.isReady(r));
+    f.release(r);
+    EXPECT_EQ(f.freeCount(), 4u);
+}
+
+TEST(PhysRegFile, ReallocatedRegisterStartsNotReady)
+{
+    PhysRegFile f(1);
+    const PhysReg r = f.allocate();
+    f.setReady(r);
+    f.release(r);
+    const PhysReg r2 = f.allocate();
+    EXPECT_EQ(r, r2);
+    EXPECT_FALSE(f.isReady(r2));
+}
+
+TEST(PhysRegFileDeathTest, DoubleReleasePanics)
+{
+    PhysRegFile f(2);
+    const PhysReg r = f.allocate();
+    f.release(r);
+    EXPECT_DEATH(f.release(r), "releasing free register");
+}
+
+TEST(PhysRegFileDeathTest, UnderflowPanics)
+{
+    PhysRegFile f(1);
+    f.allocate();
+    EXPECT_DEATH(f.allocate(), "underflow");
+}
+
+TEST(RenameMap, StartsArchBacked)
+{
+    RenameMap m;
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        EXPECT_EQ(m.get(static_cast<ArchReg>(r)), kMapArch);
+    EXPECT_EQ(m.livePhysCount(), 0u);
+}
+
+TEST(RenameMap, SetReturnsPrevious)
+{
+    RenameMap m;
+    EXPECT_EQ(m.set(3, 17), kMapArch);
+    EXPECT_EQ(m.set(3, 18), 17);
+    EXPECT_EQ(m.get(3), 18);
+    EXPECT_EQ(m.livePhysCount(), 1u);
+}
+
+TEST(RenameMap, InvEntriesAreNotLive)
+{
+    RenameMap m;
+    m.set(1, 5);
+    m.set(2, kMapInv);
+    EXPECT_EQ(m.livePhysCount(), 1u);
+    m.reset();
+    EXPECT_EQ(m.get(2), kMapArch);
+    EXPECT_EQ(m.livePhysCount(), 0u);
+}
+
+} // namespace
+} // namespace rat::core

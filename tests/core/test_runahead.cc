@@ -1,0 +1,237 @@
+/** @file Tests of the Runahead Threads mechanism (the paper's core). */
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.hh"
+
+namespace rat::core {
+namespace {
+
+using test::CoreHarness;
+
+RatConfig
+ratDefaults()
+{
+    return RatConfig{};
+}
+
+TEST(Runahead, MemThreadEntersRunahead)
+{
+    CoreHarness h({"art"}, PolicyKind::Rat, ratDefaults());
+    h.core->run(30000);
+    const ThreadStats &s = h.core->threadStats(0);
+    EXPECT_GT(s.runaheadEntries, 10u);
+    EXPECT_GT(s.runaheadCycles, 1000u);
+    EXPECT_GT(s.pseudoRetired, 0u);
+    EXPECT_GT(s.invalidInsts, 0u);
+}
+
+TEST(Runahead, IlpThreadRarelyEnters)
+{
+    CoreHarness h({"eon"}, PolicyKind::Rat, ratDefaults());
+    h.core->run(30000);
+    const ThreadStats &s = h.core->threadStats(0);
+    // Cache-friendly code has few L2 misses; runahead should be rare.
+    EXPECT_LT(s.runaheadCycles, h.core->cycle() / 10);
+}
+
+TEST(Runahead, PrefetchingImprovesStreamingThread)
+{
+    CoreHarness base({"art"}, PolicyKind::Icount);
+    CoreHarness rat({"art"}, PolicyKind::Rat, ratDefaults());
+    base.core->run(60000);
+    rat.core->run(60000);
+    const auto committed_base = base.core->threadStats(0).committedInsts;
+    const auto committed_rat = rat.core->threadStats(0).committedInsts;
+    // Runahead prefetching must speed up a streaming memory-bound
+    // thread substantially (Section 6.1: prefetch is the main source).
+    EXPECT_GT(committed_rat, committed_base + committed_base / 10);
+}
+
+TEST(Runahead, IssuesMemoryPrefetches)
+{
+    CoreHarness h({"swim"}, PolicyKind::Rat, ratDefaults());
+    h.core->run(30000);
+    EXPECT_GT(h.mem->threadStats(0).raMemPrefetches, 50u);
+}
+
+TEST(Runahead, ExitsRestoreNormalMode)
+{
+    CoreHarness h({"art"}, PolicyKind::Rat, ratDefaults());
+    h.core->run(60000);
+    // Runahead episodes are bounded by the blocking miss latency, so
+    // with 400-cycle misses the thread must have exited many times.
+    const ThreadStats &s = h.core->threadStats(0);
+    EXPECT_GT(s.runaheadEntries, 20u);
+    EXPECT_GT(s.normalCycles, 0u);
+    EXPECT_GT(s.committedInsts, 0u);
+}
+
+TEST(Runahead, CommittedProgressContinuesAcrossEpisodes)
+{
+    CoreHarness h({"mcf"}, PolicyKind::Rat, ratDefaults());
+    std::uint64_t last = 0;
+    for (int i = 0; i < 6; ++i) {
+        h.core->run(10000);
+        const std::uint64_t now = h.core->threadStats(0).committedInsts;
+        EXPECT_GE(now, last);
+        last = now;
+    }
+    EXPECT_GT(last, 100u);
+}
+
+TEST(Runahead, UsesFewerRegistersThanNormalMode)
+{
+    CoreHarness h({"art", "mcf"}, PolicyKind::Rat, ratDefaults());
+    h.core->run(60000);
+    for (ThreadId t = 0; t < 2; ++t) {
+        const ThreadStats &s = h.core->threadStats(t);
+        if (s.runaheadCycles > 2000 && s.normalCycles > 2000) {
+            // Fig. 5 property: runahead mode holds fewer registers.
+            EXPECT_LT(s.avgRegsRunahead(), s.avgRegsNormal()) << int(t);
+        }
+    }
+}
+
+TEST(Runahead, ChaseThreadBenefitsLessThanStreamer)
+{
+    // Pointer chasing (mcf) serializes misses: runahead cannot prefetch
+    // a dependent chain. Streaming (swim) prefetches almost everything.
+    CoreHarness mcf_base({"mcf"}, PolicyKind::Icount);
+    CoreHarness mcf_rat({"mcf"}, PolicyKind::Rat, ratDefaults());
+    CoreHarness swim_base({"swim"}, PolicyKind::Icount);
+    CoreHarness swim_rat({"swim"}, PolicyKind::Rat, ratDefaults());
+    mcf_base.core->run(60000);
+    mcf_rat.core->run(60000);
+    swim_base.core->run(60000);
+    swim_rat.core->run(60000);
+
+    const double mcf_gain =
+        static_cast<double>(mcf_rat.core->threadStats(0).committedInsts) /
+        static_cast<double>(
+            mcf_base.core->threadStats(0).committedInsts);
+    const double swim_gain =
+        static_cast<double>(
+            swim_rat.core->threadStats(0).committedInsts) /
+        static_cast<double>(
+            swim_base.core->threadStats(0).committedInsts);
+    EXPECT_GT(swim_gain, mcf_gain);
+}
+
+TEST(Runahead, NoPrefetchAblationIsSlower)
+{
+    RatConfig no_pf = ratDefaults();
+    no_pf.disablePrefetch = true;
+    CoreHarness rat({"art"}, PolicyKind::Rat, ratDefaults());
+    CoreHarness nopf({"art"}, PolicyKind::Rat, no_pf);
+    rat.core->run(60000);
+    nopf.core->run(60000);
+    EXPECT_GT(rat.core->threadStats(0).committedInsts,
+              nopf.core->threadStats(0).committedInsts);
+    // The ablation still enters runahead (episodes preserved).
+    EXPECT_GT(nopf.core->threadStats(0).runaheadEntries, 5u);
+}
+
+TEST(Runahead, NoFetchAblationStillRuns)
+{
+    RatConfig no_fetch = ratDefaults();
+    no_fetch.noFetchInRunahead = true;
+    CoreHarness h({"art", "gzip"}, PolicyKind::Rat, no_fetch);
+    h.core->run(30000);
+    EXPECT_GT(h.core->threadStats(0).committedInsts, 0u);
+    EXPECT_GT(h.core->threadStats(1).committedInsts, 0u);
+}
+
+TEST(Runahead, RunaheadCacheVariantRuns)
+{
+    RatConfig with_rc = ratDefaults();
+    with_rc.useRunaheadCache = true;
+    CoreHarness h({"mcf", "twolf"}, PolicyKind::Rat, with_rc);
+    h.core->run(30000);
+    EXPECT_GT(h.core->threadStats(0).runaheadEntries, 0u);
+    EXPECT_GT(h.core->threadStats(0).committedInsts, 0u);
+}
+
+TEST(Runahead, FpDropVariantsBothWork)
+{
+    RatConfig no_drop = ratDefaults();
+    no_drop.dropFpInRunahead = false;
+    CoreHarness drop({"swim"}, PolicyKind::Rat, ratDefaults());
+    CoreHarness keep({"swim"}, PolicyKind::Rat, no_drop);
+    drop.core->run(30000);
+    keep.core->run(30000);
+    EXPECT_GT(drop.core->threadStats(0).committedInsts, 1000u);
+    EXPECT_GT(keep.core->threadStats(0).committedInsts, 1000u);
+    // Dropping FP work must not devastate performance (addresses are
+    // integer work; Section 3.3).
+    const double ratio =
+        static_cast<double>(drop.core->threadStats(0).committedInsts) /
+        static_cast<double>(keep.core->threadStats(0).committedInsts);
+    EXPECT_GT(ratio, 0.7);
+}
+
+TEST(Runahead, RegisterAccountingSurvivesEpisodes)
+{
+    CoreHarness h({"art", "swim"}, PolicyKind::Rat, ratDefaults());
+    for (int chunk = 0; chunk < 30; ++chunk) {
+        h.core->run(2000);
+        unsigned held_int = 0, held_fp = 0;
+        for (ThreadId t = 0; t < 2; ++t) {
+            held_int += h.core->regsHeld(t, false);
+            held_fp += h.core->regsHeld(t, true);
+        }
+        ASSERT_EQ(held_int, h.core->allocatedRegs(false));
+        ASSERT_EQ(held_fp, h.core->allocatedRegs(true));
+    }
+}
+
+TEST(Runahead, ChaserEpisodesAreMostlyUseless)
+{
+    // The efficiency property behind Mutlu et al. [10]: a pointer
+    // chaser cannot prefetch its dependent chain, so most of its
+    // episodes issue nothing; a streamer's episodes are productive.
+    CoreHarness chaser({"mcf"}, PolicyKind::Rat, ratDefaults());
+    CoreHarness streamer({"swim"}, PolicyKind::Rat, ratDefaults());
+    chaser.core->run(60000);
+    streamer.core->run(60000);
+
+    const auto &sc = chaser.core->threadStats(0);
+    const auto &ss = streamer.core->threadStats(0);
+    ASSERT_GT(sc.runaheadEntries, 10u);
+    ASSERT_GT(ss.runaheadEntries, 10u);
+    const double chaser_useless =
+        static_cast<double>(sc.uselessRunaheadEpisodes) /
+        static_cast<double>(sc.runaheadEntries);
+    const double streamer_useless =
+        static_cast<double>(ss.uselessRunaheadEpisodes) /
+        static_cast<double>(ss.runaheadEntries);
+    EXPECT_GT(chaser_useless, streamer_useless);
+    EXPECT_LT(streamer_useless, 0.5);
+}
+
+TEST(Runahead, UselessEpisodesNeverExceedEntries)
+{
+    CoreHarness h({"art", "mcf"}, PolicyKind::Rat, ratDefaults());
+    h.core->run(40000);
+    for (ThreadId t = 0; t < 2; ++t) {
+        const auto &s = h.core->threadStats(t);
+        EXPECT_LE(s.uselessRunaheadEpisodes, s.runaheadEntries)
+            << int(t);
+    }
+}
+
+TEST(Runahead, CoRunnerNotHurtByRunaheadThread)
+{
+    // Paper Section 6.1 (overhead): an ILP thread next to a runahead
+    // thread should do at least as well as next to an ICOUNT-clogging
+    // memory thread.
+    CoreHarness icount({"gzip", "art"}, PolicyKind::Icount);
+    CoreHarness rat({"gzip", "art"}, PolicyKind::Rat, ratDefaults());
+    icount.core->run(60000);
+    rat.core->run(60000);
+    EXPECT_GE(rat.core->threadStats(0).committedInsts,
+              icount.core->threadStats(0).committedInsts);
+}
+
+} // namespace
+} // namespace rat::core

@@ -1,0 +1,158 @@
+/** @file Unit tests for ROB / IQ / LSQ / FU pool / runahead cache. */
+
+#include <gtest/gtest.h>
+
+#include "core/structures.hh"
+
+namespace rat::core {
+namespace {
+
+TEST(IssueQueue, InsertRemove)
+{
+    IssueQueue iq("testIQ", 2);
+    InstHandle a{1, 1}, b{2, 1};
+    iq.insert(a);
+    iq.insert(b);
+    EXPECT_TRUE(iq.full());
+    iq.remove(a);
+    EXPECT_EQ(iq.size(), 1u);
+    EXPECT_EQ(iq.entries()[0], b);
+    iq.remove(b);
+    EXPECT_EQ(iq.size(), 0u);
+}
+
+TEST(IssueQueue, RemoveMissingIsNoop)
+{
+    IssueQueue iq("testIQ", 2);
+    iq.insert({1, 1});
+    iq.remove({9, 9});
+    EXPECT_EQ(iq.size(), 1u);
+}
+
+TEST(IqClassMapping, OpsRouteToExpectedQueues)
+{
+    using trace::OpClass;
+    EXPECT_EQ(iqClassOf(OpClass::IntAlu), IqClass::Int);
+    EXPECT_EQ(iqClassOf(OpClass::Branch), IqClass::Int);
+    EXPECT_EQ(iqClassOf(OpClass::Load), IqClass::Mem);
+    EXPECT_EQ(iqClassOf(OpClass::FpStore), IqClass::Mem);
+    EXPECT_EQ(iqClassOf(OpClass::FpMul), IqClass::Fp);
+    EXPECT_EQ(iqClassOf(OpClass::Lock), IqClass::Int);
+}
+
+TEST(Rob, SharedPoolPerThreadLists)
+{
+    Rob rob(4);
+    DynInst a, b;
+    a.slot = 1;
+    a.gen = 1;
+    a.tid = 0;
+    b.slot = 2;
+    b.gen = 1;
+    b.tid = 1;
+    rob.push(a);
+    rob.push(b);
+    EXPECT_EQ(rob.used(), 2u);
+    EXPECT_EQ(rob.threadCount(0), 1u);
+    EXPECT_EQ(rob.threadCount(1), 1u);
+    EXPECT_EQ(rob.head(0), a.handle());
+    rob.popHead(0);
+    EXPECT_EQ(rob.used(), 1u);
+    EXPECT_TRUE(rob.empty(0));
+    EXPECT_FALSE(rob.empty(1));
+}
+
+TEST(Rob, TailOperations)
+{
+    Rob rob(4);
+    DynInst a, b;
+    a.slot = 1;
+    a.gen = 1;
+    a.tid = 0;
+    b.slot = 2;
+    b.gen = 1;
+    b.tid = 0;
+    rob.push(a);
+    rob.push(b);
+    EXPECT_EQ(rob.tail(0), b.handle());
+    rob.popTail(0);
+    EXPECT_EQ(rob.tail(0), a.handle());
+}
+
+TEST(Lsq, ProgramOrderPerThread)
+{
+    Lsq lsq(4);
+    DynInst a, b;
+    a.slot = 1;
+    a.gen = 1;
+    a.tid = 0;
+    b.slot = 2;
+    b.gen = 1;
+    b.tid = 0;
+    lsq.insert(a);
+    lsq.insert(b);
+    EXPECT_EQ(lsq.used(), 2u);
+    EXPECT_EQ(lsq.threadList(0).front(), a.handle());
+    EXPECT_EQ(lsq.threadList(0).back(), b.handle());
+    lsq.remove(a);
+    EXPECT_EQ(lsq.threadList(0).front(), b.handle());
+    EXPECT_EQ(lsq.threadCount(0), 1u);
+}
+
+TEST(FuncUnitPool, LimitsConcurrentIssue)
+{
+    FuncUnitPool pool("fu", 2);
+    EXPECT_TRUE(pool.tryIssue(10, 1));
+    EXPECT_TRUE(pool.tryIssue(10, 1));
+    EXPECT_FALSE(pool.tryIssue(10, 1)); // both busy this cycle
+    EXPECT_TRUE(pool.tryIssue(11, 1));  // pipelined: free next cycle
+}
+
+TEST(FuncUnitPool, UnpipelinedOccupancy)
+{
+    FuncUnitPool pool("div", 1);
+    EXPECT_TRUE(pool.tryIssue(0, 20));
+    EXPECT_FALSE(pool.tryIssue(10, 1));
+    EXPECT_TRUE(pool.tryIssue(20, 1));
+    EXPECT_EQ(pool.freeUnits(20), 0u); // claimed again at 20
+}
+
+TEST(RunaheadCache, WriteLookupClear)
+{
+    RunaheadCache rc(4);
+    rc.write(0, 0x100, true);
+    rc.write(0, 0x200, false);
+    bool valid = false;
+    EXPECT_TRUE(rc.lookup(0, 0x100, valid));
+    EXPECT_TRUE(valid);
+    EXPECT_TRUE(rc.lookup(0, 0x200, valid));
+    EXPECT_FALSE(valid);
+    EXPECT_FALSE(rc.lookup(0, 0x300, valid));
+    EXPECT_FALSE(rc.lookup(1, 0x100, valid)); // per-thread tags
+    rc.clear(0);
+    EXPECT_FALSE(rc.lookup(0, 0x100, valid));
+}
+
+TEST(RunaheadCache, RewriteUpdatesStatus)
+{
+    RunaheadCache rc(4);
+    rc.write(0, 0x100, true);
+    rc.write(0, 0x100, false);
+    bool valid = true;
+    EXPECT_TRUE(rc.lookup(0, 0x100, valid));
+    EXPECT_FALSE(valid);
+}
+
+TEST(RunaheadCache, BoundedFifoEviction)
+{
+    RunaheadCache rc(2);
+    rc.write(0, 0x100, true);
+    rc.write(0, 0x200, true);
+    rc.write(0, 0x300, true); // evicts 0x100
+    bool valid = false;
+    EXPECT_FALSE(rc.lookup(0, 0x100, valid));
+    EXPECT_TRUE(rc.lookup(0, 0x300, valid));
+}
+
+} // namespace
+} // namespace rat::core

@@ -1,0 +1,125 @@
+/** @file Integration tests asserting the paper's qualitative results. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace rat::sim {
+namespace {
+
+SimConfig
+mediumConfig()
+{
+    SimConfig cfg;
+    cfg.warmupCycles = 5000;
+    cfg.measureCycles = 30000;
+    return cfg;
+}
+
+TEST(PaperShape, RatBeatsStaticPoliciesOnMemWorkload)
+{
+    ExperimentRunner runner(mediumConfig());
+    const Workload w{"art,mcf", {"art", "mcf"}};
+    const double icount = throughput(runner.runWorkload(w, icountSpec()));
+    const double stall = throughput(runner.runWorkload(w, stallSpec()));
+    const double flush = throughput(runner.runWorkload(w, flushSpec()));
+    const double rat = throughput(runner.runWorkload(w, ratSpec()));
+
+    // Fig. 1 ordering on MEM workloads: RaT ahead of FLUSH/STALL/ICOUNT.
+    EXPECT_GT(rat, flush);
+    EXPECT_GT(rat, stall);
+    EXPECT_GT(rat, icount);
+}
+
+TEST(PaperShape, RatBeatsDynamicPoliciesOnMemWorkload)
+{
+    ExperimentRunner runner(mediumConfig());
+    const Workload w{"swim,mcf", {"swim", "mcf"}};
+    const double dcra = throughput(runner.runWorkload(w, dcraSpec()));
+    const double hc =
+        throughput(runner.runWorkload(w, hillClimbingSpec()));
+    const double rat = throughput(runner.runWorkload(w, ratSpec()));
+
+    // Fig. 2 ordering on MEM workloads.
+    EXPECT_GT(rat, dcra);
+    EXPECT_GT(rat, hc);
+}
+
+TEST(PaperShape, RatFairnessBeatsIcountOnMem)
+{
+    ExperimentRunner runner(mediumConfig());
+    const Workload w{"art,mcf", {"art", "mcf"}};
+    const auto base = runner.baselinesFor(w);
+    const double f_icount =
+        fairness(runner.runWorkload(w, icountSpec()), base);
+    const double f_rat = fairness(runner.runWorkload(w, ratSpec()), base);
+    EXPECT_GT(f_rat, f_icount);
+}
+
+TEST(PaperShape, IlpWorkloadsLargelyUnaffectedByRat)
+{
+    ExperimentRunner runner(mediumConfig());
+    const Workload w{"gzip,bzip2", {"gzip", "bzip2"}};
+    const double icount = throughput(runner.runWorkload(w, icountSpec()));
+    const double rat = throughput(runner.runWorkload(w, ratSpec()));
+    // Within ~15% on ILP pairs (paper: moderate effect on ILP).
+    EXPECT_GT(rat, 0.85 * icount);
+}
+
+TEST(PaperShape, RatRegisterPressureDropsInRunahead)
+{
+    ExperimentRunner runner(mediumConfig());
+    const Workload w{"art,swim", {"art", "swim"}};
+    const SimResult r = runner.runWorkload(w, ratSpec());
+    for (const ThreadResult &t : r.threads) {
+        if (t.core.runaheadCycles > 3000) {
+            EXPECT_LT(t.core.avgRegsRunahead(),
+                      t.core.avgRegsNormal())
+                << t.program;
+        }
+    }
+}
+
+TEST(PaperShape, SmallRegisterFileHurtsFlushMoreThanRat)
+{
+    SimConfig small = mediumConfig();
+    small.core.intRegs = 64;
+    small.core.fpRegs = 64;
+    SimConfig big = mediumConfig();
+    big.core.intRegs = 320;
+    big.core.fpRegs = 320;
+
+    ExperimentRunner r_small(small);
+    ExperimentRunner r_big(big);
+    const Workload w{"art,mcf", {"art", "mcf"}};
+
+    const double flush_small =
+        throughput(r_small.runWorkload(w, flushSpec()));
+    const double flush_big = throughput(r_big.runWorkload(w, flushSpec()));
+    const double rat_small = throughput(r_small.runWorkload(w, ratSpec()));
+    const double rat_big = throughput(r_big.runWorkload(w, ratSpec()));
+
+    const double flush_slowdown = 1.0 - flush_small / flush_big;
+    const double rat_slowdown = 1.0 - rat_small / rat_big;
+    // Fig. 6: RaT is less sensitive to register-file size.
+    EXPECT_LT(rat_slowdown, flush_slowdown + 0.05);
+    // RaT with 64 regs should stay competitive with FLUSH at 320 on MEM.
+    EXPECT_GT(rat_small, 0.8 * flush_big);
+}
+
+TEST(PaperShape, PrefetchAblationLosesMostOfTheGain)
+{
+    ExperimentRunner runner(mediumConfig());
+    const Workload w{"swim,art", {"swim", "art"}};
+
+    TechniqueSpec no_pf = ratSpec();
+    no_pf.label = "RaT-noPF";
+    no_pf.rat.disablePrefetch = true;
+
+    const double rat = throughput(runner.runWorkload(w, ratSpec()));
+    const double nopf = throughput(runner.runWorkload(w, no_pf));
+    EXPECT_GT(rat, nopf); // Fig. 4: prefetching dominates the benefit
+}
+
+} // namespace
+} // namespace rat::sim

@@ -1,0 +1,132 @@
+/** @file Cross-policy invariant checks over full simulations. */
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+namespace rat::sim {
+namespace {
+
+/**
+ * Every (technique x workload class) combination must run to completion
+ * with consistent accounting. This is the broad safety net for the
+ * pipeline's squash/fold/retire machinery.
+ */
+class PolicyWorkloadMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
+{
+  protected:
+    static TechniqueSpec
+    techniqueByName(const std::string &name)
+    {
+        if (name == "ICOUNT")
+            return icountSpec();
+        if (name == "STALL")
+            return stallSpec();
+        if (name == "FLUSH")
+            return flushSpec();
+        if (name == "DCRA")
+            return dcraSpec();
+        if (name == "HillClimbing")
+            return hillClimbingSpec();
+        return ratSpec();
+    }
+
+    static Workload
+    workloadByName(const std::string &name)
+    {
+        if (name == "ilp2")
+            return {"gzip,bzip2", {"gzip", "bzip2"}};
+        if (name == "mix2")
+            return {"art,gzip", {"art", "gzip"}};
+        if (name == "mem2")
+            return {"art,mcf", {"art", "mcf"}};
+        return {"mem4", {"art", "mcf", "swim", "twolf"}};
+    }
+};
+
+TEST_P(PolicyWorkloadMatrix, RunsCleanWithSaneNumbers)
+{
+    const auto &[tech_name, wl_name] = GetParam();
+    SimConfig cfg;
+    cfg.warmupCycles = 2000;
+    cfg.measureCycles = 8000;
+    ExperimentRunner runner(cfg);
+
+    const Workload w = workloadByName(wl_name);
+    const SimResult r =
+        runner.runWorkload(w, techniqueByName(tech_name));
+
+    ASSERT_EQ(r.threads.size(), w.programs.size());
+    for (const ThreadResult &t : r.threads) {
+        EXPECT_GE(t.ipc, 0.0) << t.program;
+        EXPECT_LE(t.ipc, 8.0) << t.program;
+        // Stats are windowed: instructions fetched before the window can
+        // commit inside it, so allow in-flight slack (ROB + front end).
+        EXPECT_LE(t.core.committedInsts, t.core.fetchedInsts + 600)
+            << t.program;
+        // Mode cycle accounting covers the whole window.
+        EXPECT_EQ(t.core.normalCycles + t.core.runaheadCycles, r.cycles)
+            << t.program;
+    }
+    EXPECT_GT(r.committedTotal(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PolicyWorkloadMatrix,
+    ::testing::Combine(::testing::Values("ICOUNT", "STALL", "FLUSH",
+                                         "DCRA", "HillClimbing", "RaT"),
+                       ::testing::Values("ilp2", "mix2", "mem2", "mem4")),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+TEST(Invariants, RunaheadOnlyUnderRat)
+{
+    SimConfig cfg;
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 8000;
+    ExperimentRunner runner(cfg);
+    const Workload w{"art,mcf", {"art", "mcf"}};
+
+    for (const auto &tech :
+         {icountSpec(), stallSpec(), flushSpec(), dcraSpec(),
+          hillClimbingSpec()}) {
+        const SimResult r = runner.runWorkload(w, tech);
+        for (const ThreadResult &t : r.threads) {
+            EXPECT_EQ(t.core.runaheadEntries, 0u)
+                << tech.label << " " << t.program;
+        }
+    }
+    const SimResult rat = runner.runWorkload(w, ratSpec());
+    std::uint64_t entries = 0;
+    for (const ThreadResult &t : rat.threads)
+        entries += t.core.runaheadEntries;
+    EXPECT_GT(entries, 0u);
+}
+
+TEST(Invariants, OnlyFlushAndRatReexecute)
+{
+    SimConfig cfg;
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 8000;
+    ExperimentRunner runner(cfg);
+    const Workload w{"art,gzip", {"art", "gzip"}};
+
+    // STALL never squashes; executed ~ committed (+ in-flight slack).
+    const SimResult stall = runner.runWorkload(w, stallSpec());
+    for (const ThreadResult &t : stall.threads)
+        EXPECT_EQ(t.core.squashedInsts, 0u) << t.program;
+
+    // FLUSH squashes the memory thread.
+    const SimResult flush = runner.runWorkload(w, flushSpec());
+    EXPECT_GT(flush.threads[0].core.squashedInsts, 0u);
+}
+
+} // namespace
+} // namespace rat::sim

@@ -1,0 +1,139 @@
+/** @file Unit tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace rat::mem {
+namespace {
+
+CacheConfig
+smallCache()
+{
+    CacheConfig c;
+    c.name = "test";
+    c.sizeBytes = 1024; // 16 lines
+    c.ways = 2;         // 8 sets
+    c.lineBytes = 64;
+    c.latency = 3;
+    return c;
+}
+
+TEST(Cache, Geometry)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.numSets(), 8u);
+    EXPECT_EQ(c.numWays(), 2u);
+    EXPECT_EQ(c.lineAlign(0x12345), 0x12340u);
+}
+
+TEST(Cache, MissThenHitAfterInstall)
+{
+    Cache c(smallCache());
+    Cycle ready = 0;
+    EXPECT_EQ(c.access(0x1000, 10, ready), LookupResult::Miss);
+    Addr evicted = 0;
+    EXPECT_FALSE(c.install(0x1000, 10, 10, evicted));
+    EXPECT_EQ(c.access(0x1000, 11, ready), LookupResult::Hit);
+    EXPECT_EQ(ready, 11u);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, PendingFillMerges)
+{
+    Cache c(smallCache());
+    Addr evicted = 0;
+    c.install(0x2000, 5, 100, evicted); // fill completes at cycle 100
+    Cycle ready = 0;
+    EXPECT_EQ(c.access(0x2000, 10, ready), LookupResult::HitPending);
+    EXPECT_EQ(ready, 100u);
+    // After the fill completes it is a plain hit.
+    EXPECT_EQ(c.access(0x2000, 200, ready), LookupResult::Hit);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallCache()); // 2 ways: third line in a set evicts LRU
+    Addr evicted = 0;
+    const Addr set_stride = 8 * 64; // same set every 512 bytes
+
+    c.install(0x0000, 1, 1, evicted);
+    c.install(set_stride, 2, 2, evicted);
+    // Touch the first line to make the second LRU.
+    Cycle ready = 0;
+    EXPECT_EQ(c.access(0x0000, 3, ready), LookupResult::Hit);
+    EXPECT_TRUE(c.install(2 * set_stride, 4, 4, evicted));
+    EXPECT_EQ(evicted, set_stride);
+    // First line must still be present.
+    EXPECT_EQ(c.access(0x0000, 5, ready), LookupResult::Hit);
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(smallCache());
+    Addr evicted = 0;
+    c.install(0x3000, 1, 1, evicted);
+    c.invalidate(0x3000);
+    Cycle ready = 0;
+    EXPECT_EQ(c.access(0x3000, 2, ready), LookupResult::Miss);
+}
+
+TEST(Cache, FlushAllEmptiesCache)
+{
+    Cache c(smallCache());
+    Addr evicted = 0;
+    for (Addr a = 0; a < 1024; a += 64)
+        c.install(a, 1, 1, evicted);
+    c.flushAll();
+    Cycle ready = 0;
+    for (Addr a = 0; a < 1024; a += 64)
+        EXPECT_EQ(c.access(a, 2, ready), LookupResult::Miss);
+}
+
+TEST(Cache, ReinstallKeepsEarliestReadyTime)
+{
+    Cache c(smallCache());
+    Addr evicted = 0;
+    c.install(0x4000, 1, 50, evicted);
+    c.install(0x4000, 2, 200, evicted); // later fill must not delay
+    Cycle ready = 0;
+    EXPECT_EQ(c.access(0x4000, 3, ready), LookupResult::HitPending);
+    EXPECT_EQ(ready, 50u);
+}
+
+TEST(Cache, DistinctSetsDoNotConflict)
+{
+    Cache c(smallCache());
+    Addr evicted = 0;
+    // 16 lines with distinct sets/ways: all must fit.
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        c.install(a, 1, 1, evicted);
+    Cycle ready = 0;
+    unsigned hits = 0;
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        hits += (c.access(a, 2, ready) == LookupResult::Hit);
+    EXPECT_EQ(hits, 16u);
+}
+
+TEST(CacheDeathTest, BadGeometryIsFatal)
+{
+    CacheConfig c = smallCache();
+    c.lineBytes = 48; // not a power of two
+    EXPECT_EXIT(Cache{c}, ::testing::ExitedWithCode(1), "not a power");
+}
+
+TEST(Cache, StatsReset)
+{
+    Cache c(smallCache());
+    Cycle ready = 0;
+    c.access(0x1000, 1, ready);
+    EXPECT_EQ(c.misses(), 1u);
+    c.resetStats();
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_EQ(c.hits(), 0u);
+}
+
+} // namespace
+} // namespace rat::mem

@@ -1,0 +1,142 @@
+/** @file Unit tests for the three-level memory hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+namespace rat::mem {
+namespace {
+
+MemConfig
+defaultConfig()
+{
+    return MemConfig{}; // Table 1 values
+}
+
+TEST(Hierarchy, ColdReadGoesToMemory)
+{
+    MemoryHierarchy h(defaultConfig());
+    const auto res = h.readData(0, 0x10000, 100);
+    EXPECT_FALSE(res.rejected);
+    EXPECT_EQ(res.level, HitLevel::Memory);
+    EXPECT_EQ(res.completeAt, 100u + 400u);
+    EXPECT_EQ(h.threadStats(0).l2DemandMisses, 1u);
+    EXPECT_EQ(h.threadStats(0).loads, 1u);
+}
+
+TEST(Hierarchy, SecondReadHitsL1AfterFill)
+{
+    MemoryHierarchy h(defaultConfig());
+    h.readData(0, 0x10000, 100);
+    const auto res = h.readData(0, 0x10000, 600); // after fill at 500
+    EXPECT_EQ(res.level, HitLevel::L1);
+    EXPECT_EQ(res.completeAt, 600u + 3u);
+}
+
+TEST(Hierarchy, ConcurrentReadMergesWithFill)
+{
+    MemoryHierarchy h(defaultConfig());
+    h.readData(0, 0x10000, 100);
+    const auto res = h.readData(1, 0x10000, 150); // fill in flight
+    EXPECT_EQ(res.level, HitLevel::L1);           // found (pending) in L1
+    EXPECT_EQ(res.completeAt, 500u);              // merged completion
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    MemConfig cfg = defaultConfig();
+    cfg.l1d.sizeBytes = 1024; // tiny L1: 16 lines, easy to evict
+    cfg.l1d.ways = 2;
+    MemoryHierarchy h(cfg);
+
+    h.readData(0, 0x0, 0);
+    // Walk far enough to evict line 0 from the tiny L1 (same set every
+    // 8 lines): addresses 0, 512, 1024 share set 0 in a 2-way L1.
+    h.readData(0, 512, 1000);
+    h.readData(0, 1024, 2000);
+    const auto res = h.readData(0, 0x0, 3000);
+    EXPECT_EQ(res.level, HitLevel::L2);
+    EXPECT_EQ(res.completeAt, 3000u + 20u);
+}
+
+TEST(Hierarchy, InstructionFetchUsesSeparateL1)
+{
+    MemoryHierarchy h(defaultConfig());
+    const auto r1 = h.fetchInst(0, 0x40000, 10);
+    EXPECT_EQ(r1.level, HitLevel::Memory);
+    EXPECT_EQ(h.threadStats(0).ifetchL2Misses, 1u);
+    // A data read to the same address misses its own L1 but merges with
+    // the fill the ifetch already started in the shared L2.
+    const auto r2 = h.readData(0, 0x40000, 10);
+    EXPECT_EQ(r2.level, HitLevel::L2);
+    EXPECT_EQ(r2.completeAt, r1.completeAt);
+}
+
+TEST(Hierarchy, SpeculativeAccessCountsAsPrefetch)
+{
+    MemoryHierarchy h(defaultConfig());
+    const auto res = h.readData(0, 0x20000, 10, /*speculative=*/true);
+    EXPECT_EQ(res.level, HitLevel::Memory);
+    EXPECT_EQ(h.threadStats(0).raMemPrefetches, 1u);
+    EXPECT_EQ(h.threadStats(0).loads, 0u); // not a demand load
+    // The prefetch still installed the line: a later demand hit.
+    const auto res2 = h.readData(0, 0x20000, 1000);
+    EXPECT_EQ(res2.level, HitLevel::L1);
+    EXPECT_EQ(h.threadStats(0).loads, 1u);
+    EXPECT_EQ(h.threadStats(0).l2DemandMisses, 0u);
+}
+
+TEST(Hierarchy, ProbeDoesNotModifyState)
+{
+    MemoryHierarchy h(defaultConfig());
+    EXPECT_EQ(h.probe(0x30000, 10), HitLevel::Memory);
+    EXPECT_EQ(h.probe(0x30000, 10), HitLevel::Memory); // unchanged
+    h.readData(0, 0x30000, 10);
+    EXPECT_EQ(h.probe(0x30000, 600), HitLevel::L1);
+}
+
+TEST(Hierarchy, WriteAllocates)
+{
+    MemoryHierarchy h(defaultConfig());
+    const auto res = h.writeData(0, 0x50000, 10);
+    EXPECT_EQ(res.level, HitLevel::Memory);
+    EXPECT_EQ(h.threadStats(0).stores, 1u);
+    const auto res2 = h.readData(0, 0x50000, 600);
+    EXPECT_EQ(res2.level, HitLevel::L1);
+}
+
+TEST(Hierarchy, MshrExhaustionRejects)
+{
+    MemConfig cfg = defaultConfig();
+    cfg.l1d.mshrs = 2;
+    MemoryHierarchy h(cfg);
+    EXPECT_FALSE(h.readData(0, 0x1000000, 10).rejected);
+    EXPECT_FALSE(h.readData(0, 0x2000000, 10).rejected);
+    const auto res = h.readData(0, 0x3000000, 10);
+    EXPECT_TRUE(res.rejected);
+    // After the fills retire the MSHRs, new misses are accepted.
+    EXPECT_FALSE(h.readData(0, 0x3000000, 1000).rejected);
+}
+
+TEST(Hierarchy, PerThreadStatsAreSeparate)
+{
+    MemoryHierarchy h(defaultConfig());
+    h.readData(0, 0x60000, 10);
+    h.readData(1, 0x70000, 10);
+    EXPECT_EQ(h.threadStats(0).loads, 1u);
+    EXPECT_EQ(h.threadStats(1).loads, 1u);
+    EXPECT_EQ(h.threadStats(2).loads, 0u);
+}
+
+TEST(Hierarchy, ResetStatsKeepsContents)
+{
+    MemoryHierarchy h(defaultConfig());
+    h.readData(0, 0x80000, 10);
+    h.resetStats();
+    EXPECT_EQ(h.threadStats(0).loads, 0u);
+    const auto res = h.readData(0, 0x80000, 600);
+    EXPECT_EQ(res.level, HitLevel::L1); // line survived the reset
+}
+
+} // namespace
+} // namespace rat::mem

@@ -1,0 +1,42 @@
+/** @file Unit tests for the MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace rat::mem {
+namespace {
+
+TEST(Mshr, AllocateAndExpire)
+{
+    MshrFile m(2);
+    EXPECT_TRUE(m.canAllocate(0));
+    m.allocate(0x100, 0, 50);
+    m.allocate(0x200, 0, 60);
+    EXPECT_FALSE(m.canAllocate(10));
+    EXPECT_EQ(m.occupancy(10), 2u);
+    // At cycle 50 the first fill completed.
+    EXPECT_TRUE(m.canAllocate(50));
+    EXPECT_EQ(m.occupancy(50), 1u);
+    EXPECT_EQ(m.occupancy(60), 0u);
+}
+
+TEST(Mshr, TracksOutstandingLines)
+{
+    MshrFile m(4);
+    m.allocate(0x100, 0, 50);
+    EXPECT_TRUE(m.isOutstanding(0x100, 10));
+    EXPECT_FALSE(m.isOutstanding(0x200, 10));
+    EXPECT_EQ(m.completionOf(0x100, 10), 50u);
+    EXPECT_EQ(m.completionOf(0x100, 50), kNoCycle);
+}
+
+TEST(MshrDeathTest, OverflowPanics)
+{
+    MshrFile m(1);
+    m.allocate(0x100, 0, 100);
+    EXPECT_DEATH(m.allocate(0x200, 0, 100), "MSHR overflow");
+}
+
+} // namespace
+} // namespace rat::mem

@@ -1,0 +1,72 @@
+/** @file Tests for the DCRA resource-control policy. */
+
+#include <gtest/gtest.h>
+
+#include "policy/dcra.hh"
+#include "tests/core/test_helpers.hh"
+
+namespace rat::policy {
+namespace {
+
+using test::CoreHarness;
+
+TEST(Dcra, CapsSumToResourceTotals)
+{
+    CoreHarness h({"gzip", "bzip2"}, core::PolicyKind::Dcra);
+    DcraPolicy pol;
+    pol.beginCycle(*h.core);
+    const auto &cfg = h.core->config();
+    double int_iq = 0.0, int_regs = 0.0;
+    for (ThreadId t = 0; t < 2; ++t) {
+        int_iq += pol.capOf(t, DcraPolicy::kIntIq);
+        int_regs += pol.capOf(t, DcraPolicy::kIntRegs);
+    }
+    EXPECT_NEAR(int_iq, cfg.intIqEntries, 1e-9);
+    EXPECT_NEAR(int_regs, cfg.intRegs, 1e-9);
+}
+
+TEST(Dcra, SlowThreadGetsBoostedShare)
+{
+    CoreHarness h({"art", "gzip"}, core::PolicyKind::Dcra);
+    // Run until art has a pending L2 miss (slow classification).
+    for (int i = 0; i < 20000 && !h.core->hasPendingL2Miss(0); ++i)
+        h.core->tick();
+    ASSERT_TRUE(h.core->hasPendingL2Miss(0));
+    DcraPolicy pol;
+    pol.beginCycle(*h.core);
+    EXPECT_GT(pol.capOf(0, DcraPolicy::kIntRegs),
+              pol.capOf(1, DcraPolicy::kIntRegs));
+}
+
+TEST(Dcra, FpInactiveThreadCedesFpShare)
+{
+    // gzip is INT-only, swim is FP-heavy: after running, swim should be
+    // FP-active and gzip not, so swim's FP cap must dominate.
+    CoreHarness h({"gzip", "swim"}, core::PolicyKind::Dcra);
+    h.core->run(10000);
+    DcraPolicy pol;
+    pol.beginCycle(*h.core);
+    EXPECT_GT(pol.capOf(1, DcraPolicy::kFpRegs),
+              pol.capOf(0, DcraPolicy::kFpRegs));
+}
+
+TEST(Dcra, EndToEndBothThreadsProgress)
+{
+    CoreHarness h({"art", "gzip"}, core::PolicyKind::Dcra);
+    h.core->run(40000);
+    EXPECT_GT(h.core->threadStats(0).committedInsts, 0u);
+    EXPECT_GT(h.core->threadStats(1).committedInsts, 0u);
+}
+
+TEST(Dcra, ProtectsIlpThreadVersusIcount)
+{
+    CoreHarness icount({"gzip", "mcf"}, core::PolicyKind::Icount);
+    CoreHarness dcra({"gzip", "mcf"}, core::PolicyKind::Dcra);
+    icount.core->run(60000);
+    dcra.core->run(60000);
+    EXPECT_GT(dcra.core->threadStats(0).committedInsts,
+              icount.core->threadStats(0).committedInsts);
+}
+
+} // namespace
+} // namespace rat::policy

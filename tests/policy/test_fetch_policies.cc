@@ -1,0 +1,102 @@
+/** @file Tests for RR / ICOUNT / STALL / FLUSH fetch policies. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "policy/fetch_policies.hh"
+#include "tests/core/test_helpers.hh"
+
+namespace rat::policy {
+namespace {
+
+using test::CoreHarness;
+
+bool
+isPermutation(const std::vector<ThreadId> &order, unsigned n)
+{
+    if (order.size() != n)
+        return false;
+    std::vector<ThreadId> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (unsigned i = 0; i < n; ++i) {
+        if (sorted[i] != static_cast<ThreadId>(i))
+            return false;
+    }
+    return true;
+}
+
+TEST(RoundRobin, RotatesPriority)
+{
+    CoreHarness h({"gzip", "bzip2", "gcc"});
+    RoundRobinPolicy rr;
+    std::vector<ThreadId> o1, o2, o3;
+    rr.fetchOrder(*h.core, o1);
+    rr.fetchOrder(*h.core, o2);
+    rr.fetchOrder(*h.core, o3);
+    EXPECT_TRUE(isPermutation(o1, 3));
+    EXPECT_TRUE(isPermutation(o2, 3));
+    EXPECT_NE(o1.front(), o2.front());
+    EXPECT_NE(o2.front(), o3.front());
+}
+
+TEST(Icount, PrefersLowOccupancyThread)
+{
+    // Let the memory thread clog its front end, then check priority.
+    CoreHarness h({"mcf", "gzip"});
+    h.core->run(10000);
+    IcountPolicy pol;
+    std::vector<ThreadId> order;
+    pol.fetchOrder(*h.core, order);
+    ASSERT_TRUE(isPermutation(order, 2));
+    EXPECT_LE(h.core->icount(order[0]), h.core->icount(order[1]));
+}
+
+TEST(Stall, GatesThreadWithPendingMiss)
+{
+    CoreHarness h({"art"}, core::PolicyKind::Stall);
+    StallPolicy pol;
+    // Advance until the core records a pending L2 miss.
+    bool gated = false;
+    for (int i = 0; i < 20000 && !gated; ++i) {
+        h.core->tick();
+        if (h.core->hasPendingL2Miss(0))
+            gated = !pol.mayFetch(*h.core, 0);
+    }
+    EXPECT_TRUE(gated);
+}
+
+TEST(Stall, EndToEndStillProgresses)
+{
+    CoreHarness h({"art", "gzip"}, core::PolicyKind::Stall);
+    h.core->run(40000);
+    EXPECT_GT(h.core->threadStats(0).committedInsts, 0u);
+    EXPECT_GT(h.core->threadStats(1).committedInsts, 0u);
+    EXPECT_EQ(h.core->threadStats(0).squashedInsts, 0u); // stall, no flush
+}
+
+TEST(Flush, SquashesOnDetectedMiss)
+{
+    CoreHarness h({"art", "gzip"}, core::PolicyKind::Flush);
+    h.core->run(40000);
+    // The memory thread must have been flushed at least once.
+    EXPECT_GT(h.core->threadStats(0).squashedInsts, 0u);
+    // Flushed work is re-fetched: executed > committed for that thread.
+    EXPECT_GT(h.core->threadStats(0).executedInsts,
+              h.core->threadStats(0).committedInsts);
+    EXPECT_GT(h.core->threadStats(1).committedInsts, 0u);
+}
+
+TEST(Flush, HelpsCoRunnerVersusIcount)
+{
+    CoreHarness icount({"gzip", "art"}, core::PolicyKind::Icount);
+    CoreHarness flush({"gzip", "art"}, core::PolicyKind::Flush);
+    icount.core->run(60000);
+    flush.core->run(60000);
+    // Releasing the memory thread's resources must help the ILP thread.
+    EXPECT_GT(flush.core->threadStats(0).committedInsts,
+              icount.core->threadStats(0).committedInsts);
+}
+
+} // namespace
+} // namespace rat::policy

@@ -1,0 +1,67 @@
+/** @file Tests for the Hill Climbing resource-distribution policy. */
+
+#include <gtest/gtest.h>
+
+#include "policy/hill_climbing.hh"
+#include "tests/core/test_helpers.hh"
+
+namespace rat::policy {
+namespace {
+
+using test::CoreHarness;
+
+TEST(HillClimbing, SharesStartEven)
+{
+    CoreHarness h({"gzip", "bzip2"}, core::PolicyKind::HillClimbing);
+    HillClimbingPolicy pol;
+    pol.reset(*h.core);
+    EXPECT_DOUBLE_EQ(pol.share(0), 0.5);
+    EXPECT_DOUBLE_EQ(pol.share(1), 0.5);
+}
+
+TEST(HillClimbing, SharesStayNormalizedWhileLearning)
+{
+    CoreHarness h({"gzip", "art"}, core::PolicyKind::HillClimbing);
+    HillClimbingPolicy pol;
+    pol.reset(*h.core);
+    for (int i = 0; i < 60000; ++i) {
+        pol.beginCycle(*h.core);
+        h.core->tick();
+    }
+    const double sum = pol.share(0) + pol.share(1);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GE(pol.share(0), 0.05);
+    EXPECT_GE(pol.share(1), 0.05);
+}
+
+TEST(HillClimbing, SingleThreadIsUngated)
+{
+    CoreHarness h({"gzip"}, core::PolicyKind::HillClimbing);
+    HillClimbingPolicy pol;
+    pol.reset(*h.core);
+    EXPECT_TRUE(pol.mayFetch(*h.core, 0));
+}
+
+TEST(HillClimbing, EndToEndProgress)
+{
+    CoreHarness h({"art", "gzip"}, core::PolicyKind::HillClimbing);
+    h.core->run(50000);
+    EXPECT_GT(h.core->threadStats(0).committedInsts, 0u);
+    EXPECT_GT(h.core->threadStats(1).committedInsts, 0u);
+}
+
+TEST(HillClimbing, ImprovesOverIcountForMixedLoad)
+{
+    CoreHarness icount({"gzip", "mcf"}, core::PolicyKind::Icount);
+    CoreHarness hc({"gzip", "mcf"}, core::PolicyKind::HillClimbing);
+    icount.core->run(80000);
+    hc.core->run(80000);
+    const auto total = [](const CoreHarness &h) {
+        return h.core->threadStats(0).committedInsts +
+               h.core->threadStats(1).committedInsts;
+    };
+    EXPECT_GT(total(hc), total(icount));
+}
+
+} // namespace
+} // namespace rat::policy

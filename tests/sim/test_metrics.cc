@@ -1,0 +1,88 @@
+/** @file Tests for throughput / fairness / ED^2 metrics. */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+namespace rat::sim {
+namespace {
+
+SimResult
+makeResult(std::vector<std::pair<std::string, double>> ipcs, Cycle cycles)
+{
+    SimResult r;
+    r.cycles = cycles;
+    for (auto &[prog, ipc] : ipcs) {
+        ThreadResult t;
+        t.program = prog;
+        t.ipc = ipc;
+        t.core.committedInsts =
+            static_cast<std::uint64_t>(ipc * static_cast<double>(cycles));
+        t.core.executedInsts = t.core.committedInsts;
+        r.threads.push_back(t);
+    }
+    return r;
+}
+
+TEST(Metrics, ThroughputIsEq1Average)
+{
+    const SimResult r = makeResult({{"a", 2.0}, {"b", 1.0}}, 1000);
+    EXPECT_DOUBLE_EQ(throughput(r), 1.5);
+    EXPECT_DOUBLE_EQ(r.totalIpc(), 3.0);
+}
+
+TEST(Metrics, FairnessIsHarmonicMeanOfSpeedups)
+{
+    const SimResult r = makeResult({{"a", 1.0}, {"b", 1.0}}, 1000);
+    const BaselineIpcMap base = {{"a", 2.0}, {"b", 2.0}};
+    // Each thread runs at half its single-thread speed: fairness 0.5.
+    EXPECT_DOUBLE_EQ(fairness(r, base), 0.5);
+}
+
+TEST(Metrics, FairnessPunishesImbalance)
+{
+    const BaselineIpcMap base = {{"a", 2.0}, {"b", 2.0}};
+    const SimResult balanced = makeResult({{"a", 1.0}, {"b", 1.0}}, 1000);
+    const SimResult skewed = makeResult({{"a", 1.9}, {"b", 0.1}}, 1000);
+    EXPECT_GT(fairness(balanced, base), fairness(skewed, base));
+}
+
+TEST(Metrics, FairnessZeroWhenThreadStarved)
+{
+    const SimResult r = makeResult({{"a", 0.0}, {"b", 1.0}}, 1000);
+    const BaselineIpcMap base = {{"a", 2.0}, {"b", 2.0}};
+    EXPECT_DOUBLE_EQ(fairness(r, base), 0.0);
+}
+
+TEST(MetricsDeathTest, FairnessMissingBaselineIsFatal)
+{
+    const SimResult r = makeResult({{"a", 1.0}}, 1000);
+    EXPECT_EXIT(fairness(r, BaselineIpcMap{}),
+                ::testing::ExitedWithCode(1), "no single-thread baseline");
+}
+
+TEST(Metrics, Ed2ScalesWithExecutedWork)
+{
+    SimResult cheap = makeResult({{"a", 1.0}}, 1000);
+    SimResult wasteful = cheap;
+    wasteful.threads[0].core.executedInsts *= 2; // same IPC, more work
+    EXPECT_DOUBLE_EQ(ed2(wasteful), 2.0 * ed2(cheap));
+}
+
+TEST(Metrics, Ed2PunishesSlowdownQuadratically)
+{
+    const SimResult fast = makeResult({{"a", 2.0}}, 1000);
+    const SimResult slow = makeResult({{"a", 1.0}}, 1000);
+    // Same energy-per-instruction rate but half the executed count;
+    // CPI doubles: ED^2 = (N/2) * (2*cpi)^2 = 2 * N * cpi^2.
+    EXPECT_NEAR(ed2(slow) / ed2(fast), 2.0, 1e-9);
+}
+
+TEST(Metrics, MeanHelper)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+} // namespace
+} // namespace rat::sim

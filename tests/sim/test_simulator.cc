@@ -1,0 +1,124 @@
+/** @file Tests for the Simulator wrapper and ExperimentRunner. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+namespace rat::sim {
+namespace {
+
+SimConfig
+quickConfig()
+{
+    SimConfig cfg;
+    cfg.warmupCycles = 3000;
+    cfg.measureCycles = 12000;
+    return cfg;
+}
+
+TEST(Simulator, RunsAndReportsPerThread)
+{
+    SimConfig cfg = quickConfig();
+    Simulator sim(cfg, {"gzip", "art"});
+    const SimResult r = sim.run();
+    EXPECT_EQ(r.cycles, cfg.measureCycles);
+    ASSERT_EQ(r.threads.size(), 2u);
+    EXPECT_EQ(r.threads[0].program, "gzip");
+    EXPECT_GT(r.threads[0].ipc, 0.0);
+    EXPECT_GT(r.threads[1].ipc, 0.0);
+    EXPECT_GT(r.totalIpc(), r.throughputEq1()); // n=2: total = 2 * eq1
+}
+
+TEST(Simulator, MemProgramHasHigherMpki)
+{
+    SimConfig cfg = quickConfig();
+    Simulator ilp(cfg, {"gzip"});
+    Simulator mem_bound(cfg, {"art"});
+    const auto r_ilp = ilp.run();
+    const auto r_mem = mem_bound.run();
+    EXPECT_LT(r_ilp.threads[0].l2Mpki, r_mem.threads[0].l2Mpki);
+}
+
+TEST(Simulator, SeedChangesResultsSlightly)
+{
+    SimConfig a = quickConfig();
+    SimConfig b = quickConfig();
+    b.seed = 999;
+    Simulator sa(a, {"gzip"});
+    Simulator sb(b, {"gzip"});
+    const auto ra = sa.run();
+    const auto rb = sb.run();
+    // Different trace instances, same statistics: close but not equal.
+    EXPECT_NE(ra.threads[0].core.committedInsts,
+              rb.threads[0].core.committedInsts);
+    EXPECT_NEAR(ra.threads[0].ipc, rb.threads[0].ipc,
+                0.5 * ra.threads[0].ipc);
+}
+
+TEST(Simulator, DeterministicForSameConfig)
+{
+    SimConfig cfg = quickConfig();
+    Simulator a(cfg, {"mcf", "gzip"});
+    Simulator b(cfg, {"mcf", "gzip"});
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.threads[0].core.committedInsts,
+              rb.threads[0].core.committedInsts);
+    EXPECT_EQ(ra.threads[1].core.committedInsts,
+              rb.threads[1].core.committedInsts);
+}
+
+TEST(ExperimentRunner, BaselineCacheIsStable)
+{
+    ExperimentRunner runner(quickConfig());
+    const double a = runner.singleThreadIpc("gzip");
+    const double b = runner.singleThreadIpc("gzip");
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.3);
+}
+
+TEST(ExperimentRunner, IlpBaselineBeatsMemBaseline)
+{
+    ExperimentRunner runner(quickConfig());
+    EXPECT_GT(runner.singleThreadIpc("gzip"),
+              3.0 * runner.singleThreadIpc("mcf"));
+}
+
+TEST(ExperimentRunner, RunWorkloadHonorsTechnique)
+{
+    ExperimentRunner runner(quickConfig());
+    const Workload w{"art,mcf", {"art", "mcf"}};
+    const SimResult icount = runner.runWorkload(w, icountSpec());
+    const SimResult rat = runner.runWorkload(w, ratSpec());
+    EXPECT_GT(rat.totalIpc(), 0.0);
+    EXPECT_GT(icount.totalIpc(), 0.0);
+    // RaT must beat plain ICOUNT on a MEM workload (the headline).
+    EXPECT_GT(rat.totalIpc(), icount.totalIpc());
+}
+
+TEST(ExperimentRunner, ParallelGroupRunMatchesShape)
+{
+    ExperimentRunner runner(quickConfig());
+    runner.setParallelism(4);
+    const GroupMetrics gm =
+        runner.runGroup(WorkloadGroup::ILP2, icountSpec());
+    EXPECT_EQ(gm.results.size(), 10u);
+    EXPECT_GT(gm.meanThroughput, 0.0);
+    EXPECT_GT(gm.meanFairness, 0.0);
+    EXPECT_GT(gm.meanEd2, 0.0);
+}
+
+TEST(RunParallel, ExecutesEveryJobOnce)
+{
+    std::vector<int> hits(37, 0);
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 37; ++i)
+        jobs.emplace_back([&hits, i] { ++hits[i]; });
+    runParallel(jobs, 8);
+    for (int i = 0; i < 37; ++i)
+        EXPECT_EQ(hits[i], 1) << i;
+}
+
+} // namespace
+} // namespace rat::sim

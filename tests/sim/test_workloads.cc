@@ -1,0 +1,53 @@
+/** @file Tests for the Table 2 workload definitions. */
+
+#include <gtest/gtest.h>
+
+#include "sim/workloads.hh"
+#include "trace/profile.hh"
+
+namespace rat::sim {
+namespace {
+
+TEST(Workloads, GroupCountsMatchTable2)
+{
+    EXPECT_EQ(workloadsOf(WorkloadGroup::ILP2).size(), 10u);
+    EXPECT_EQ(workloadsOf(WorkloadGroup::MIX2).size(), 10u);
+    EXPECT_EQ(workloadsOf(WorkloadGroup::MEM2).size(), 10u);
+    EXPECT_EQ(workloadsOf(WorkloadGroup::ILP4).size(), 8u);
+    EXPECT_EQ(workloadsOf(WorkloadGroup::MIX4).size(), 8u);
+    EXPECT_EQ(workloadsOf(WorkloadGroup::MEM4).size(), 8u);
+}
+
+TEST(Workloads, ThreadCountsMatchGroup)
+{
+    for (const WorkloadGroup g : allGroups()) {
+        for (const Workload &w : workloadsOf(g))
+            EXPECT_EQ(w.programs.size(), groupThreads(g)) << w.name;
+    }
+}
+
+TEST(Workloads, AllProgramsHaveProfiles)
+{
+    for (const std::string &p : allPrograms())
+        EXPECT_TRUE(trace::isSpec2000(p)) << p;
+}
+
+TEST(Workloads, SpecificEntriesFromPaper)
+{
+    const auto &mem2 = workloadsOf(WorkloadGroup::MEM2);
+    EXPECT_EQ(mem2[1].name, "art,mcf");
+    const auto &ilp4 = workloadsOf(WorkloadGroup::ILP4);
+    EXPECT_EQ(ilp4[0].name, "apsi,eon,fma3d,gcc");
+    const auto &mem4 = workloadsOf(WorkloadGroup::MEM4);
+    EXPECT_EQ(mem4[0].name, "art,mcf,swim,twolf");
+}
+
+TEST(Workloads, GroupNamesRoundTrip)
+{
+    EXPECT_STREQ(groupName(WorkloadGroup::ILP2), "ILP2");
+    EXPECT_STREQ(groupName(WorkloadGroup::MEM4), "MEM4");
+    EXPECT_EQ(allGroups().size(), 6u);
+}
+
+} // namespace
+} // namespace rat::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Calibration property tests: every modelled SPEC2000 program must land
+ * in its Table 2 class when characterized by the paper's methodology
+ * (single-threaded L2 miss rate on the Table 1 processor).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "trace/profile.hh"
+
+namespace rat::trace {
+namespace {
+
+struct Characterization {
+    double ipc;
+    double l2Mpki;
+};
+
+Characterization
+characterize(const std::string &program)
+{
+    sim::SimConfig cfg;
+    cfg.prewarmInsts = 400000;
+    cfg.warmupCycles = 3000;
+    cfg.measureCycles = 25000;
+    sim::Simulator s(cfg, {program});
+    const sim::SimResult r = s.run();
+    return {r.threads[0].ipc, r.threads[0].l2Mpki};
+}
+
+class MemClassPrograms : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MemClassPrograms, IsMemoryBound)
+{
+    const Characterization c = characterize(GetParam());
+    EXPECT_GT(c.l2Mpki, 6.0) << GetParam();
+    EXPECT_LT(c.ipc, 1.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2Mem, MemClassPrograms,
+                         ::testing::Values("mcf", "art", "swim", "twolf",
+                                           "vpr", "parser", "equake",
+                                           "lucas", "applu", "ammp"));
+
+class IlpClassPrograms : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(IlpClassPrograms, IsComputeBound)
+{
+    const Characterization c = characterize(GetParam());
+    EXPECT_LT(c.l2Mpki, 4.0) << GetParam();
+    EXPECT_GT(c.ipc, 0.8) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2Ilp, IlpClassPrograms,
+                         ::testing::Values("gzip", "bzip2", "gcc",
+                                           "crafty", "eon", "gap", "perl",
+                                           "vortex", "mesa", "fma3d",
+                                           "apsi", "wupwise", "mgrid",
+                                           "galgel"));
+
+TEST(Calibration, ExtremesAreOrdered)
+{
+    // mcf must be the slowest program and far below any ILP program.
+    const Characterization mcf = characterize("mcf");
+    const Characterization mesa = characterize("mesa");
+    EXPECT_LT(mcf.ipc, 0.15);
+    EXPECT_GT(mesa.ipc, 10.0 * mcf.ipc);
+}
+
+TEST(Calibration, ChasersSerializeMoreThanStreamers)
+{
+    // Equal-MPKI streamers should still run faster than chasers because
+    // their misses overlap; compare miss-cost-per-instruction.
+    const Characterization swim = characterize("swim");
+    const Characterization mcf = characterize("mcf");
+    // swim has *more* misses but *higher* IPC: overlapping misses.
+    EXPECT_GT(swim.l2Mpki, mcf.l2Mpki * 0.8);
+    EXPECT_GT(swim.ipc, 3.0 * mcf.ipc);
+}
+
+} // namespace
+} // namespace rat::trace

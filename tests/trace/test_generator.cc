@@ -1,0 +1,225 @@
+/** @file Unit and property tests for the synthetic trace generator. */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+namespace rat::trace {
+namespace {
+
+constexpr Addr kBase = Addr{1} << 40;
+
+TEST(Generator, PureFunctionOfIndex)
+{
+    const TraceGenerator gen(spec2000("gcc"), 42, kBase);
+    for (InstSeq i = 0; i < 2000; i += 17) {
+        const MicroOp a = gen.at(i);
+        const MicroOp b = gen.at(i);
+        EXPECT_EQ(a.op, b.op);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.effAddr, b.effAddr);
+        EXPECT_EQ(a.taken, b.taken);
+        EXPECT_EQ(a.dst, b.dst);
+    }
+}
+
+TEST(Generator, SeedsChangeTheStream)
+{
+    const TraceGenerator a(spec2000("gcc"), 1, kBase);
+    const TraceGenerator b(spec2000("gcc"), 2, kBase);
+    unsigned same = 0;
+    for (InstSeq i = 0; i < 1000; ++i)
+        same += (a.at(i).op == b.at(i).op);
+    EXPECT_LT(same, 900u); // streams must differ substantially
+}
+
+TEST(Generator, InstructionMixMatchesProfile)
+{
+    const BenchmarkProfile &p = spec2000("gzip");
+    const TraceGenerator gen(p, 7, kBase);
+    const InstSeq n = 200000;
+    std::map<OpClass, unsigned> counts;
+    for (InstSeq i = 0; i < n; ++i)
+        ++counts[gen.at(i).op];
+
+    const double loads =
+        static_cast<double>(counts[OpClass::Load] + counts[OpClass::FpLoad]);
+    const double stores = static_cast<double>(counts[OpClass::Store] +
+                                              counts[OpClass::FpStore]);
+    const double branches = static_cast<double>(counts[OpClass::Branch]);
+    EXPECT_NEAR(loads / n, p.fLoad, 0.02);
+    EXPECT_NEAR(stores / n, p.fStore, 0.02);
+    EXPECT_NEAR(branches / n, p.fBranch, 0.02);
+}
+
+TEST(Generator, ChaseLoadsDependOnPreviousChaseLoad)
+{
+    const BenchmarkProfile &p = spec2000("mcf");
+    ASSERT_GT(p.chasePeriod, 0u);
+    const TraceGenerator gen(p, 3, kBase);
+    // Start at 2*period: the instruction at index `period` is the first
+    // chase load, so it is the first valid "previous" producer.
+    for (InstSeq i = 2 * p.chasePeriod; i < 200 * p.chasePeriod;
+         i += p.chasePeriod) {
+        const MicroOp chase = gen.at(i);
+        ASSERT_EQ(chase.op, OpClass::Load) << i;
+        const MicroOp prev = gen.at(i - p.chasePeriod);
+        ASSERT_TRUE(prev.hasDst);
+        // The chase load's address register is the previous chase
+        // load's destination: the dependence that serializes misses.
+        EXPECT_EQ(chase.srcInt[0], prev.dst);
+    }
+}
+
+TEST(Generator, PcLoopsLocallyWithinAPhase)
+{
+    const BenchmarkProfile &p = spec2000("gcc");
+    const TraceGenerator gen(p, 5, kBase);
+    std::set<Addr> pcs;
+    const InstSeq n = std::min<InstSeq>(p.phaseInsts, 8000);
+    for (InstSeq i = 0; i < n; ++i) {
+        const Addr pc = gen.at(i).pc;
+        EXPECT_EQ(pc % 4, 0u);
+        EXPECT_GE(pc, kBase);
+        pcs.insert(pc);
+    }
+    // Within one phase the PC iterates a hot inner loop: the distinct
+    // PC count is bounded by the loop size, far below the instruction
+    // count (this is what keeps the L1I hit rate realistic).
+    EXPECT_LE(pcs.size(), p.innerLoopBytes / 4 + 16);
+    EXPECT_GE(pcs.size(), std::min<std::size_t>(n, 16));
+}
+
+TEST(Generator, PcPhasesCoverMoreCodeOverTime)
+{
+    const BenchmarkProfile &p = spec2000("gcc");
+    const TraceGenerator gen(p, 5, kBase);
+    std::set<Addr> first_phase, many_phases;
+    for (InstSeq i = 0; i < 2000; ++i)
+        first_phase.insert(gen.at(i).pc);
+    for (InstSeq i = 0; i < 2000; ++i)
+        many_phases.insert(gen.at(i * (p.phaseInsts + 1)).pc);
+    EXPECT_GT(many_phases.size(), first_phase.size());
+}
+
+TEST(Generator, MemoryOpsHaveAlignedAddressesInPrivateSpace)
+{
+    const TraceGenerator gen(spec2000("swim"), 9, kBase);
+    for (InstSeq i = 0; i < 50000; ++i) {
+        const MicroOp op = gen.at(i);
+        if (isMemOp(op.op)) {
+            EXPECT_EQ(op.effAddr % 8, 0u);
+            EXPECT_GE(op.effAddr, kBase);
+        }
+    }
+}
+
+TEST(Generator, StreamProgramTouchesManyDistinctLines)
+{
+    const TraceGenerator gen(spec2000("art"), 11, kBase);
+    std::set<Addr> lines;
+    for (InstSeq i = 0; i < 100000; ++i) {
+        const MicroOp op = gen.at(i);
+        if (isLoadOp(op.op))
+            lines.insert(op.effAddr >> 6);
+    }
+    // A streaming benchmark sweeps far more lines than fit in L1 (1024).
+    EXPECT_GT(lines.size(), 2000u);
+}
+
+TEST(Generator, HotProgramReusesASmallLineSet)
+{
+    const BenchmarkProfile &p = spec2000("eon");
+    const TraceGenerator gen(p, 13, kBase);
+    std::map<Addr, unsigned> line_counts;
+    unsigned mem_ops = 0;
+    for (InstSeq i = 0; i < 100000; ++i) {
+        const MicroOp op = gen.at(i);
+        if (isMemOp(op.op)) {
+            ++line_counts[op.effAddr >> 6];
+            ++mem_ops;
+        }
+    }
+    // Count accesses landing in the hot set (lines covering hotBytes).
+    const unsigned hot_lines = p.hotBytes / 64;
+    std::vector<unsigned> counts;
+    for (const auto &[line, c] : line_counts)
+        counts.push_back(c);
+    std::sort(counts.rbegin(), counts.rend());
+    std::uint64_t top = 0;
+    for (unsigned i = 0; i < hot_lines && i < counts.size(); ++i)
+        top += counts[i];
+    EXPECT_GT(static_cast<double>(top) / mem_ops, 0.85);
+}
+
+TEST(Generator, BranchOutcomesAreDeterministicPerIndex)
+{
+    const TraceGenerator gen(spec2000("crafty"), 15, kBase);
+    unsigned taken = 0, branches = 0;
+    for (InstSeq i = 0; i < 100000; ++i) {
+        const MicroOp op = gen.at(i);
+        if (op.op == OpClass::Branch) {
+            ++branches;
+            taken += op.taken;
+            EXPECT_EQ(op.taken, gen.at(i).taken);
+            EXPECT_NE(op.target, 0u);
+        }
+    }
+    ASSERT_GT(branches, 1000u);
+    const double taken_rate = static_cast<double>(taken) / branches;
+    EXPECT_GT(taken_rate, 0.2);
+    EXPECT_LT(taken_rate, 0.8);
+}
+
+TEST(Generator, RegistersStayInRange)
+{
+    const TraceGenerator gen(spec2000("fma3d"), 17, kBase);
+    for (InstSeq i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.at(i);
+        if (op.hasDst) {
+            EXPECT_GE(op.dst, 1);
+            EXPECT_LT(op.dst, 31);
+        }
+        for (unsigned s = 0; s < op.numSrcInt; ++s)
+            EXPECT_LT(op.srcInt[s], 32);
+        for (unsigned s = 0; s < op.numSrcFp; ++s)
+            EXPECT_LT(op.srcFp[s], 32);
+    }
+}
+
+/** Property sweep: every profile generates self-consistent streams. */
+class GeneratorAllPrograms
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GeneratorAllPrograms, StreamIsWellFormed)
+{
+    const BenchmarkProfile &p = spec2000(GetParam());
+    const TraceGenerator gen(p, 23, kBase);
+    for (InstSeq i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.at(i);
+        EXPECT_EQ(op.seq, i);
+        if (isMemOp(op.op)) {
+            EXPECT_GT(op.numSrcInt, 0u) << "mem op needs a base register";
+            EXPECT_NE(op.effAddr, 0u);
+        }
+        if (isControlOp(op.op)) {
+            EXPECT_TRUE(op.target != 0 || !op.taken);
+        }
+        if (op.op == OpClass::FpAdd || op.op == OpClass::FpMul ||
+            op.op == OpClass::FpDiv) {
+            EXPECT_TRUE(op.dstIsFp);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpec2000, GeneratorAllPrograms,
+                         ::testing::ValuesIn(spec2000Names()));
+
+} // namespace
+} // namespace rat::trace

@@ -1,0 +1,79 @@
+/** @file Unit tests for the SPEC2000 profile registry. */
+
+#include <gtest/gtest.h>
+
+#include "trace/profile.hh"
+
+namespace rat::trace {
+namespace {
+
+TEST(Profile, KnownProgramsResolve)
+{
+    EXPECT_EQ(spec2000("mcf").name, "mcf");
+    EXPECT_EQ(spec2000("gzip").name, "gzip");
+    EXPECT_EQ(spec2000("art").name, "art");
+}
+
+TEST(Profile, AllTable2ProgramsPresent)
+{
+    const char *needed[] = {
+        "ammp", "applu",  "apsi",   "art",    "bzip2",  "crafty",
+        "eon",  "equake", "fma3d",  "galgel", "gap",    "gcc",
+        "gzip", "lucas",  "mcf",    "mesa",   "mgrid",  "parser",
+        "perl", "swim",   "twolf",  "vortex", "vpr",    "wupwise",
+    };
+    for (const char *name : needed)
+        EXPECT_TRUE(isSpec2000(name)) << name;
+    EXPECT_EQ(spec2000Names().size(), std::size(needed));
+}
+
+TEST(ProfileDeathTest, UnknownProgramIsFatal)
+{
+    EXPECT_EXIT(spec2000("doom3"), ::testing::ExitedWithCode(1),
+                "unknown SPEC2000 profile");
+}
+
+TEST(Profile, MixFractionsAreSane)
+{
+    for (const auto &name : spec2000Names()) {
+        const BenchmarkProfile &p = spec2000(name);
+        const double sum = p.fLoad + p.fStore + p.fBranch + p.fCall +
+                           p.fReturn + p.fFpAdd + p.fFpMul + p.fFpDiv +
+                           p.fIntMul + p.fIntDiv + p.fSync;
+        EXPECT_GT(p.fLoad, 0.0) << name;
+        EXPECT_GT(p.fBranch, 0.0) << name;
+        EXPECT_LE(sum, 1.0) << name;
+        EXPECT_GE(1.0 - sum, 0.05) << name << " needs some ALU work";
+    }
+}
+
+TEST(Profile, AddressMixtureIsSane)
+{
+    for (const auto &name : spec2000Names()) {
+        const BenchmarkProfile &p = spec2000(name);
+        EXPECT_LE(p.pHot + p.pWarm + p.pStream, 1.0) << name;
+        EXPECT_GT(p.hotBytes, 0u) << name;
+        EXPECT_GT(p.coldBytes, p.warmBytes) << name;
+    }
+}
+
+TEST(Profile, MemClassProgramsAreMemoryHeavy)
+{
+    // Pointer-chasers must have a chase period; streamers a stream share.
+    for (const char *name : {"mcf", "twolf", "vpr", "parser"})
+        EXPECT_GT(spec2000(name).chasePeriod, 0u) << name;
+    for (const char *name : {"swim", "art", "applu", "lucas"})
+        EXPECT_GT(spec2000(name).pStream, 0.2) << name;
+}
+
+TEST(Profile, IlpClassProgramsAreCacheFriendly)
+{
+    for (const char *name : {"gzip", "eon", "crafty", "mesa"}) {
+        const BenchmarkProfile &p = spec2000(name);
+        EXPECT_EQ(p.chasePeriod, 0u) << name;
+        EXPECT_GT(p.pHot, 0.9) << name;
+    }
+}
+
+} // namespace
+} // namespace rat::trace
