@@ -5,9 +5,10 @@
  * helpers that print the same rows/series the paper reports.
  *
  * Environment knobs:
- *   RATSIM_WARMUP   warm-up cycles per run   (default 15000)
- *   RATSIM_MEASURE  measured cycles per run  (default 60000)
- *   RATSIM_JOBS     parallel simulations     (default: hw threads)
+ *   RATSIM_WARMUP   warm-up cycles per run         (default 15000)
+ *   RATSIM_MEASURE  measured cycles per run        (default 60000)
+ *   RATSIM_PREWARM  functional warm-up insts/thread (default 1M)
+ *   RATSIM_JOBS     parallel simulations           (default: hw threads)
  */
 
 #ifndef RAT_BENCH_BENCH_UTIL_HH
@@ -42,6 +43,7 @@ benchConfig()
     sim::SimConfig cfg;
     cfg.warmupCycles = envU64("RATSIM_WARMUP", 15000);
     cfg.measureCycles = envU64("RATSIM_MEASURE", 60000);
+    cfg.prewarmInsts = envU64("RATSIM_PREWARM", cfg.prewarmInsts);
     return cfg;
 }
 

@@ -1,0 +1,28 @@
+# Warning interface targets.
+#
+#   ratsim::warnings        strict warning set, no -Werror
+#   ratsim::warnings_error  the same set promoted to errors
+#
+# First-party code under src/ links ratsim::warnings_error; tests,
+# benches and examples link ratsim::warnings so a new compiler's fresh
+# diagnostics can't brick the whole suite over a test-side nit.
+
+add_library(ratsim_warnings INTERFACE)
+add_library(ratsim::warnings ALIAS ratsim_warnings)
+
+target_compile_options(ratsim_warnings INTERFACE
+  $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:
+    -Wall
+    -Wextra
+    -Wshadow
+    -Wnon-virtual-dtor
+    -Wcast-align
+    -Woverloaded-virtual>
+  $<$<CXX_COMPILER_ID:MSVC>:/W4>)
+
+add_library(ratsim_warnings_error INTERFACE)
+add_library(ratsim::warnings_error ALIAS ratsim_warnings_error)
+target_link_libraries(ratsim_warnings_error INTERFACE ratsim_warnings)
+target_compile_options(ratsim_warnings_error INTERFACE
+  $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Werror>
+  $<$<CXX_COMPILER_ID:MSVC>:/WX>)

@@ -59,7 +59,11 @@ struct InstHandle {
     std::uint32_t slot = 0;
     std::uint32_t gen = 0;
 
-    bool operator==(const InstHandle &) const = default;
+    bool operator==(const InstHandle &o) const
+    {
+        return slot == o.slot && gen == o.gen;
+    }
+    bool operator!=(const InstHandle &o) const { return !(*this == o); }
 };
 
 /** One in-flight instruction. */

@@ -143,8 +143,11 @@ MshrFile::MshrFile(unsigned entries) : entries_(entries)
 void
 MshrFile::expire(Cycle now) const
 {
-    std::erase_if(active_,
-                  [now](const Entry &e) { return e.completeAt <= now; });
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [now](const Entry &e) {
+                                     return e.completeAt <= now;
+                                 }),
+                  active_.end());
 }
 
 bool

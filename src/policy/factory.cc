@@ -36,4 +36,49 @@ makePolicy(core::PolicyKind kind)
     panic("unknown policy kind");
 }
 
+std::optional<core::PolicyKind>
+parsePolicyKind(const std::string &name)
+{
+    using core::PolicyKind;
+    if (name == "RR")
+        return PolicyKind::RoundRobin;
+    if (name == "ICOUNT")
+        return PolicyKind::Icount;
+    if (name == "STALL")
+        return PolicyKind::Stall;
+    if (name == "FLUSH")
+        return PolicyKind::Flush;
+    if (name == "DCRA")
+        return PolicyKind::Dcra;
+    if (name == "HillClimbing" || name == "HC")
+        return PolicyKind::HillClimbing;
+    if (name == "RaT" || name == "RAT")
+        return PolicyKind::Rat;
+    if (name == "RaT+DCRA" || name == "RATDCRA")
+        return PolicyKind::RatDcra;
+    if (name == "MLP")
+        return PolicyKind::MlpAware;
+    return std::nullopt;
+}
+
+const char *
+policyKindName(core::PolicyKind kind)
+{
+    // The canonical CLI spellings are exactly the core's display names.
+    return core::policyName(kind);
+}
+
+std::vector<std::string>
+policyKindNames()
+{
+    using core::PolicyKind;
+    std::vector<std::string> names;
+    for (const PolicyKind kind :
+         {PolicyKind::RoundRobin, PolicyKind::Icount, PolicyKind::Stall,
+          PolicyKind::Flush, PolicyKind::Dcra, PolicyKind::HillClimbing,
+          PolicyKind::Rat, PolicyKind::RatDcra, PolicyKind::MlpAware})
+        names.emplace_back(policyKindName(kind));
+    return names;
+}
+
 } // namespace rat::policy

@@ -11,6 +11,9 @@
 #define RAT_POLICY_FACTORY_HH
 
 #include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "core/config.hh"
 #include "core/policy_iface.hh"
@@ -19,6 +22,19 @@ namespace rat::policy {
 
 /** Create the scheduling policy object for @p kind. */
 std::unique_ptr<core::SchedulingPolicy> makePolicy(core::PolicyKind kind);
+
+/**
+ * Parse a technique name as accepted by `ratsim --policy` (ICOUNT,
+ * STALL, FLUSH, DCRA, HillClimbing/HC, RaT/RAT, RaT+DCRA/RATDCRA, MLP,
+ * RR). Returns std::nullopt for unknown names.
+ */
+std::optional<core::PolicyKind> parsePolicyKind(const std::string &name);
+
+/** Canonical CLI spelling of @p kind (round-trips via parsePolicyKind). */
+const char *policyKindName(core::PolicyKind kind);
+
+/** Canonical names of every technique, in PolicyKind order. */
+std::vector<std::string> policyKindNames();
 
 } // namespace rat::policy
 

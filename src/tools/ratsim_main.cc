@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "policy/factory.hh"
 #include "sim/experiment.hh"
 #include "sim/metrics.hh"
 #include "sim/simulator.hh"
@@ -58,24 +59,8 @@ usage()
 core::PolicyKind
 parsePolicy(const std::string &name)
 {
-    if (name == "RR")
-        return core::PolicyKind::RoundRobin;
-    if (name == "ICOUNT")
-        return core::PolicyKind::Icount;
-    if (name == "STALL")
-        return core::PolicyKind::Stall;
-    if (name == "FLUSH")
-        return core::PolicyKind::Flush;
-    if (name == "DCRA")
-        return core::PolicyKind::Dcra;
-    if (name == "HillClimbing" || name == "HC")
-        return core::PolicyKind::HillClimbing;
-    if (name == "RaT" || name == "RAT")
-        return core::PolicyKind::Rat;
-    if (name == "RaT+DCRA" || name == "RATDCRA")
-        return core::PolicyKind::RatDcra;
-    if (name == "MLP")
-        return core::PolicyKind::MlpAware;
+    if (const auto kind = policy::parsePolicyKind(name))
+        return *kind;
     fatal("unknown policy '%s' (try --help)", name.c_str());
 }
 

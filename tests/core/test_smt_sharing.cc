@@ -82,8 +82,8 @@ INSTANTIATE_TEST_SUITE_P(
                       PolicyKind::Stall, PolicyKind::Flush,
                       PolicyKind::Dcra, PolicyKind::HillClimbing,
                       PolicyKind::Rat, PolicyKind::RatDcra),
-    [](const auto &info) {
-        std::string name = policyName(info.param);
+    [](const auto &param_info) {
+        std::string name = policyName(param_info.param);
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

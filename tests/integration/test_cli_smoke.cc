@@ -1,0 +1,97 @@
+/**
+ * @file
+ * End-to-end smoke tests of the `ratsim` CLI binary: run the real
+ * executable (path injected by CMake as RATSIM_CLI_PATH), and check
+ * exit status plus the key output lines a user relies on.
+ */
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef RATSIM_CLI_PATH
+#error "RATSIM_CLI_PATH must point at the ratsim binary"
+#endif
+
+namespace {
+
+struct CliResult {
+    int exitCode = -1;
+    std::string output; ///< stdout + stderr, interleaved
+};
+
+CliResult
+runCli(const std::string &args)
+{
+    // Quote the binary path; merge stderr so fatal() text is captured.
+    const std::string cmd =
+        "\"" RATSIM_CLI_PATH "\" " + args + " 2>&1";
+    CliResult r;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return r;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        r.output.append(buf, n);
+    const int status = pclose(pipe);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+TEST(CliSmoke, ListProgramsPrintsSpec2000Names)
+{
+    const CliResult r = runCli("--list-programs");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("art\n"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("mcf\n"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("gzip\n"), std::string::npos) << r.output;
+}
+
+TEST(CliSmoke, RatWorkloadRunReportsPerThreadAndThroughputLines)
+{
+    const CliResult r =
+        runCli("--workload art,mcf --policy RaT --measure 20000");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("workload art,mcf under RaT"),
+              std::string::npos)
+        << r.output;
+    // Per-thread stats table header and both thread rows.
+    EXPECT_NE(r.output.find("RA epis."), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("art"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("mcf"), std::string::npos) << r.output;
+    // Headline metrics line.
+    EXPECT_NE(r.output.find("throughput (Eq.1):"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("total IPC:"), std::string::npos) << r.output;
+}
+
+TEST(CliSmoke, HelpExitsZero)
+{
+    const CliResult r = runCli("--help");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("usage: ratsim"), std::string::npos)
+        << r.output;
+}
+
+TEST(CliSmoke, UnknownPolicyFailsWithDiagnostic)
+{
+    const CliResult r = runCli("--workload art,mcf --policy BOGUS");
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_NE(r.output.find("unknown policy"), std::string::npos)
+        << r.output;
+}
+
+TEST(CliSmoke, UnknownProgramFailsWithDiagnostic)
+{
+    const CliResult r = runCli("--workload art,notaprogram");
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_NE(r.output.find("unknown program"), std::string::npos)
+        << r.output;
+}
+
+} // namespace

@@ -82,8 +82,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("ICOUNT", "STALL", "FLUSH",
                                          "DCRA", "HillClimbing", "RaT"),
                        ::testing::Values("ilp2", "mix2", "mem2", "mem4")),
-    [](const auto &info) {
-        return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    [](const auto &param_info) {
+        return std::get<0>(param_info.param) + "_" +
+               std::get<1>(param_info.param);
     });
 
 TEST(Invariants, RunaheadOnlyUnderRat)

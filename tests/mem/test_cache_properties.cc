@@ -52,10 +52,17 @@ TEST_P(CacheGeometry, LruVictimIsLeastRecentlyUsed)
 {
     Cache cache(config());
     const unsigned ways = config().ways;
-    if (ways < 2)
-        GTEST_SKIP() << "LRU victim choice needs associativity";
     const Addr set_stride = static_cast<Addr>(cache.numSets()) * 64;
     Addr evicted = 0;
+
+    if (ways < 2) {
+        // Direct-mapped: the resident line is by definition the LRU
+        // victim for any conflicting install.
+        cache.install(0, 0, 0, evicted);
+        ASSERT_TRUE(cache.install(set_stride, 1, 1, evicted));
+        EXPECT_EQ(evicted, 0u);
+        return;
+    }
 
     // Fill one set, touching in order 0..ways-1.
     for (unsigned w = 0; w < ways; ++w)

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Round-trip tests of the policy factory: every technique name the
+ * `ratsim --policy` flag documents must parse to the right PolicyKind,
+ * construct the right policy object, and survive the
+ * kind -> canonical name -> kind round trip. Unknown names must be
+ * rejected rather than mapped to a default.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policy/factory.hh"
+
+namespace rat::policy {
+namespace {
+
+using core::PolicyKind;
+
+struct NameCase {
+    const char *cliName;       ///< spelling accepted by --policy
+    PolicyKind kind;           ///< expected parse result
+    const char *objectName;    ///< SchedulingPolicy::name() of makePolicy()
+};
+
+const NameCase kDocumentedNames[] = {
+    {"ICOUNT", PolicyKind::Icount, "ICOUNT"},
+    {"STALL", PolicyKind::Stall, "STALL"},
+    {"FLUSH", PolicyKind::Flush, "FLUSH"},
+    {"DCRA", PolicyKind::Dcra, "DCRA"},
+    {"HillClimbing", PolicyKind::HillClimbing, "HillClimbing"},
+    // RaT is not itself a fetch policy: the core does the mode
+    // switching on top of plain ICOUNT priority (paper Section 3).
+    {"RaT", PolicyKind::Rat, "ICOUNT"},
+    {"RaT+DCRA", PolicyKind::RatDcra, "DCRA"},
+    {"MLP", PolicyKind::MlpAware, "MLP"},
+    {"RR", PolicyKind::RoundRobin, "RR"},
+    // Shell-friendly aliases the CLI also accepts.
+    {"RAT", PolicyKind::Rat, "ICOUNT"},
+    {"RATDCRA", PolicyKind::RatDcra, "DCRA"},
+    {"HC", PolicyKind::HillClimbing, "HillClimbing"},
+};
+
+TEST(PolicyFactory, EveryDocumentedNameParsesToItsKind)
+{
+    for (const NameCase &c : kDocumentedNames) {
+        const auto kind = parsePolicyKind(c.cliName);
+        ASSERT_TRUE(kind.has_value()) << c.cliName;
+        EXPECT_EQ(*kind, c.kind) << c.cliName;
+    }
+}
+
+TEST(PolicyFactory, EveryDocumentedNameConstructsTheRightPolicy)
+{
+    for (const NameCase &c : kDocumentedNames) {
+        const auto policy = makePolicy(c.kind);
+        ASSERT_NE(policy, nullptr) << c.cliName;
+        EXPECT_STREQ(policy->name(), c.objectName) << c.cliName;
+    }
+}
+
+TEST(PolicyFactory, CanonicalNameRoundTripsThroughParse)
+{
+    for (const PolicyKind kind :
+         {PolicyKind::RoundRobin, PolicyKind::Icount, PolicyKind::Stall,
+          PolicyKind::Flush, PolicyKind::Dcra, PolicyKind::HillClimbing,
+          PolicyKind::Rat, PolicyKind::RatDcra, PolicyKind::MlpAware}) {
+        const std::string name = policyKindName(kind);
+        const auto parsed = parsePolicyKind(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, kind) << name;
+    }
+}
+
+TEST(PolicyFactory, PolicyKindNamesCoversEveryKindOnce)
+{
+    const auto names = policyKindNames();
+    EXPECT_EQ(names.size(), 9u);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = i + 1; j < names.size(); ++j)
+            EXPECT_NE(names[i], names[j]);
+        EXPECT_TRUE(parsePolicyKind(names[i]).has_value()) << names[i];
+    }
+}
+
+TEST(PolicyFactory, UnknownNamesAreRejected)
+{
+    for (const char *bad :
+         {"", "icount", "rat", "Rat", "ICOUNT ", " ICOUNT", "ICOUNTX",
+          "RaT-DCRA", "DCRA+RaT", "MLP2", "RoundRobin", "bogus"})
+        EXPECT_FALSE(parsePolicyKind(bad).has_value()) << '"' << bad << '"';
+}
+
+} // namespace
+} // namespace rat::policy

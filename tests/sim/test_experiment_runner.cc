@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the ExperimentRunner machinery itself (as opposed to the
+ * paper-shape integration tests): technique application, baseline
+ * caching, group aggregation, and the runParallel helper.
+ */
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace rat::sim {
+namespace {
+
+SimConfig
+quickConfig()
+{
+    SimConfig cfg;
+    cfg.prewarmInsts = 20000;
+    cfg.warmupCycles = 500;
+    cfg.measureCycles = 2000;
+    return cfg;
+}
+
+TEST(ExperimentRunner, ConfigForAppliesTechniqueAndThreadCount)
+{
+    ExperimentRunner runner(quickConfig());
+    const TechniqueSpec rat = ratSpec();
+    const SimConfig cfg = runner.configFor(rat, 4);
+    EXPECT_EQ(cfg.core.policy, core::PolicyKind::Rat);
+    EXPECT_EQ(cfg.core.numThreads, 4u);
+    // Base windows survive the technique override.
+    EXPECT_EQ(cfg.warmupCycles, 500u);
+    EXPECT_EQ(cfg.measureCycles, 2000u);
+
+    const SimConfig icfg = runner.configFor(icountSpec(), 2);
+    EXPECT_EQ(icfg.core.policy, core::PolicyKind::Icount);
+    EXPECT_EQ(icfg.core.numThreads, 2u);
+}
+
+TEST(ExperimentRunner, SingleThreadIpcIsCachedAndDeterministic)
+{
+    ExperimentRunner runner(quickConfig());
+    const double first = runner.singleThreadIpc("art");
+    const double again = runner.singleThreadIpc("art");
+    EXPECT_GT(first, 0.0);
+    EXPECT_EQ(first, again); // memoized: bit-identical
+
+    // A fresh runner with the same config reproduces the same value.
+    ExperimentRunner other(quickConfig());
+    EXPECT_DOUBLE_EQ(other.singleThreadIpc("art"), first);
+}
+
+TEST(ExperimentRunner, BaselinesForCoversEveryProgramOnce)
+{
+    ExperimentRunner runner(quickConfig());
+    const Workload w{"art,mcf", {"art", "mcf"}};
+    const BaselineIpcMap base = runner.baselinesFor(w);
+    ASSERT_EQ(base.size(), 2u);
+    EXPECT_GT(base.at("art"), 0.0);
+    EXPECT_GT(base.at("mcf"), 0.0);
+}
+
+TEST(ExperimentRunner, RunGroupAggregatesEveryWorkload)
+{
+    ExperimentRunner runner(quickConfig());
+    runner.setParallelism(2);
+    const WorkloadGroup group = allGroups().front();
+    const GroupMetrics gm = runner.runGroup(group, icountSpec());
+    EXPECT_EQ(gm.results.size(), workloadsOf(group).size());
+    EXPECT_GT(gm.meanThroughput, 0.0);
+    // The mean must equal the mean of the per-workload throughputs.
+    std::vector<double> per;
+    for (const SimResult &r : gm.results)
+        per.push_back(throughput(r));
+    EXPECT_DOUBLE_EQ(gm.meanThroughput, mean(per));
+}
+
+TEST(ExperimentRunner, SetParallelismClampsToAtLeastOne)
+{
+    ExperimentRunner runner(quickConfig());
+    runner.setParallelism(0);
+    EXPECT_EQ(runner.parallelism(), 1u);
+    runner.setParallelism(8);
+    EXPECT_EQ(runner.parallelism(), 8u);
+}
+
+TEST(RunParallel, RunsEveryJobExactlyOnce)
+{
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 64; ++i)
+        jobs.push_back([&count] { ++count; });
+    runParallel(jobs, 4);
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(RunParallel, ActuallyUsesMultipleWorkers)
+{
+    std::mutex mu;
+    std::set<std::thread::id> seen;
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 32; ++i) {
+        jobs.push_back([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            std::lock_guard<std::mutex> lock(mu);
+            seen.insert(std::this_thread::get_id());
+        });
+    }
+    runParallel(jobs, 4);
+    EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(RunParallel, SingleWorkerAndEmptyJobListAreSafe)
+{
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> jobs{[&count] { ++count; }};
+    runParallel(jobs, 1);
+    EXPECT_EQ(count.load(), 1);
+    jobs.clear();
+    runParallel(jobs, 4); // must not hang or crash
+}
+
+} // namespace
+} // namespace rat::sim

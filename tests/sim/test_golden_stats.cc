@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Golden-stats regression pins: the seeded art,mcf pair under RaT and
+ * ICOUNT at the default seed (1) must reproduce these exact counters.
+ *
+ * Purpose: perf refactors must not silently change simulation
+ * semantics. Every pinned number is derived from deterministic integer
+ * simulation state, so any drift means behavior changed, not noise. If
+ * a change is *intentional* (e.g. a modelling fix), re-capture the
+ * values with the harness below and update the constants in the same
+ * commit, explaining the semantic change.
+ *
+ * Re-capture: run the art,mcf workload at measureCycles=20000 via
+ * ExperimentRunner::runWorkload(ratSpec()/icountSpec()) and print the
+ * counters (the CLI equivalent:
+ * `ratsim --workload art,mcf --policy RaT --measure 20000`).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/metrics.hh"
+
+namespace rat::sim {
+namespace {
+
+SimResult
+runArtMcf(const TechniqueSpec &tech)
+{
+    SimConfig cfg; // defaults: seed 1, 20k warmup, 1M prewarm insts
+    cfg.measureCycles = 20000;
+    ExperimentRunner runner(cfg);
+    Workload w;
+    w.name = "art,mcf";
+    w.programs = {"art", "mcf"};
+    return runner.runWorkload(w, tech);
+}
+
+TEST(GoldenStats, RatOnArtMcfSeed1)
+{
+    const SimResult r = runArtMcf(ratSpec());
+    ASSERT_EQ(r.threads.size(), 2u);
+    EXPECT_EQ(r.cycles, 20000u);
+
+    const ThreadResult &art = r.threads[0];
+    EXPECT_EQ(art.program, "art");
+    EXPECT_EQ(art.core.committedInsts, 14046u);
+    EXPECT_EQ(art.core.runaheadEntries, 39u);
+    EXPECT_EQ(art.core.runaheadCycles, 15216u);
+
+    const ThreadResult &mcf = r.threads[1];
+    EXPECT_EQ(mcf.program, "mcf");
+    EXPECT_EQ(mcf.core.committedInsts, 1089u);
+    EXPECT_EQ(mcf.core.runaheadEntries, 49u);
+    EXPECT_EQ(mcf.core.runaheadCycles, 17936u);
+
+    // IPC and throughput are exact functions of the counters above.
+    EXPECT_DOUBLE_EQ(art.ipc, 14046.0 / 20000.0);
+    EXPECT_DOUBLE_EQ(mcf.ipc, 1089.0 / 20000.0);
+    EXPECT_DOUBLE_EQ(r.throughputEq1(), (14046.0 + 1089.0) / 2 / 20000.0);
+    EXPECT_DOUBLE_EQ(r.totalIpc(), (14046.0 + 1089.0) / 20000.0);
+}
+
+TEST(GoldenStats, IcountOnArtMcfSeed1)
+{
+    const SimResult r = runArtMcf(icountSpec());
+    ASSERT_EQ(r.threads.size(), 2u);
+    EXPECT_EQ(r.cycles, 20000u);
+
+    const ThreadResult &art = r.threads[0];
+    EXPECT_EQ(art.program, "art");
+    EXPECT_EQ(art.core.committedInsts, 3829u);
+    EXPECT_EQ(art.core.runaheadEntries, 0u);
+    EXPECT_EQ(art.core.runaheadCycles, 0u);
+
+    const ThreadResult &mcf = r.threads[1];
+    EXPECT_EQ(mcf.program, "mcf");
+    EXPECT_EQ(mcf.core.committedInsts, 1165u);
+    EXPECT_EQ(mcf.core.runaheadEntries, 0u);
+    EXPECT_EQ(mcf.core.runaheadCycles, 0u);
+
+    EXPECT_DOUBLE_EQ(r.throughputEq1(), (3829.0 + 1165.0) / 2 / 20000.0);
+}
+
+TEST(GoldenStats, RatBeatsIcountOnMemoryBoundPair)
+{
+    // The paper's headline claim on this pair, as a coarse invariant on
+    // top of the exact pins: runahead must raise throughput.
+    const SimResult rat = runArtMcf(ratSpec());
+    const SimResult icount = runArtMcf(icountSpec());
+    EXPECT_GT(rat.throughputEq1(), 1.5 * icount.throughputEq1());
+}
+
+} // namespace
+} // namespace rat::sim
