@@ -46,16 +46,40 @@ main()
     printGroupTable("Fig. 2(b) Fairness (Eq. 2 harmonic mean)", labels,
                     fair_rows, group_order);
 
+    BenchReport report("fig2_resource");
+    report.addGroupTable("Fig. 2(a) Throughput (Eq. 1 IPC)", labels,
+                         thr_rows, group_order);
+    report.addGroupTable("Fig. 2(b) Fairness (Eq. 2 harmonic mean)",
+                         labels, fair_rows, group_order);
+
+    const struct {
+        const char *label;
+        double measured;
+    } headlines[] = {
+        {"RaT vs DCRA, MEM2 (%)",
+         pct(thr_rows.at("MEM2")[3], thr_rows.at("MEM2")[1])},
+        {"RaT vs DCRA, MEM4 (%)",
+         pct(thr_rows.at("MEM4")[3], thr_rows.at("MEM4")[1])},
+        {"RaT vs HillClimbing, MEM2 (%)",
+         pct(thr_rows.at("MEM2")[3], thr_rows.at("MEM2")[2])},
+        {"RaT vs HillClimbing, MEM4 (%)",
+         pct(thr_rows.at("MEM4")[3], thr_rows.at("MEM4")[2])},
+    };
+    for (const auto &h : headlines)
+        report.addHeadline(h.label, h.measured);
+
     std::printf("\nheadline (throughput): paper vs measured\n");
     std::printf("  RaT vs DCRA, MEM2: paper +75%%, measured %+.0f%%\n",
-                pct(thr_rows.at("MEM2")[3], thr_rows.at("MEM2")[1]));
+                headlines[0].measured);
     std::printf("  RaT vs DCRA, MEM4: paper +74%%, measured %+.0f%%\n",
-                pct(thr_rows.at("MEM4")[3], thr_rows.at("MEM4")[1]));
+                headlines[1].measured);
     std::printf("  RaT vs HillClimbing, MEM2: paper +53%%, measured "
                 "%+.0f%%\n",
-                pct(thr_rows.at("MEM2")[3], thr_rows.at("MEM2")[2]));
+                headlines[2].measured);
     std::printf("  RaT vs HillClimbing, MEM4: paper +58%%, measured "
                 "%+.0f%%\n",
-                pct(thr_rows.at("MEM4")[3], thr_rows.at("MEM4")[2]));
+                headlines[3].measured);
+
+    report.write();
     return 0;
 }

@@ -61,6 +61,11 @@ main()
     printGroupTable("Fig. 6 Throughput (Eq. 1 IPC) by register-file size",
                     labels, rows, group_order);
 
+    BenchReport report("fig6_regfile");
+    report.addGroupTable(
+        "Fig. 6 Throughput (Eq. 1 IPC) by register-file size", labels,
+        rows, group_order);
+
     // The paper's Section 6.2 headline comparisons.
     const auto col = [&](bool rat, unsigned size_idx) {
         return (rat ? 5u : 0u) + size_idx;
@@ -71,8 +76,9 @@ main()
     for (const auto &g : group_order) {
         const double rat128 = rows.at(g)[col(true, 1)];
         const double flush320 = rows.at(g)[col(false, 4)];
-        std::printf("  %-6s %+7.1f%%\n", g.c_str(),
-                    pct(rat128, flush320));
+        const double gain = pct(rat128, flush320);
+        report.addHeadline("RaT@128 vs FLUSH@320, " + g + " (%)", gain);
+        std::printf("  %-6s %+7.1f%%\n", g.c_str(), gain);
     }
     std::printf("\nslowdown 320->64 (paper MEM4: FLUSH -27%%, RaT "
                 "-15%%):\n");
@@ -81,8 +87,12 @@ main()
             pct(rows.at(g)[col(false, 0)], rows.at(g)[col(false, 4)]);
         const double r =
             pct(rows.at(g)[col(true, 0)], rows.at(g)[col(true, 4)]);
+        report.addHeadline("slowdown 320->64 FLUSH, " + g + " (%)", f);
+        report.addHeadline("slowdown 320->64 RaT, " + g + " (%)", r);
         std::printf("  %-6s FLUSH %+6.1f%%   RaT %+6.1f%%\n", g.c_str(),
                     f, r);
     }
+
+    report.write();
     return 0;
 }

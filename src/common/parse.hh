@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Checked numeric parsing shared by the CLI and the bench env knobs.
+ * `std::strtoull` silently maps garbage to 0 and ignores trailing
+ * junk; these helpers reject both instead of mis-configuring a run.
+ */
+
+#ifndef RAT_COMMON_PARSE_HH
+#define RAT_COMMON_PARSE_HH
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rat {
+
+/**
+ * Parse a non-negative decimal integer. The whole string must be
+ * consumed; leading whitespace, signs, empty input, trailing junk and
+ * overflow all yield std::nullopt.
+ */
+inline std::optional<std::uint64_t>
+tryParseU64(const char *text)
+{
+    if (!text || !*text ||
+        !std::isdigit(static_cast<unsigned char>(*text)))
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || !end || *end != '\0')
+        return std::nullopt;
+    return static_cast<std::uint64_t>(value);
+}
+
+/** Checked parse that fatal()s on garbage, naming the offending
+ * option/variable in the diagnostic. */
+inline std::uint64_t
+parseU64(const char *text, const char *what)
+{
+    const auto value = tryParseU64(text);
+    if (!value)
+        fatal("%s: expected an unsigned integer, got '%s'", what,
+              text ? text : "");
+    return *value;
+}
+
+/** parseU64 with a range check for `unsigned`-typed config fields. */
+inline unsigned
+parseUnsigned(const char *text, const char *what)
+{
+    const std::uint64_t value = parseU64(text, what);
+    if (value > std::numeric_limits<unsigned>::max())
+        fatal("%s: value %llu out of range", what,
+              static_cast<unsigned long long>(value));
+    return static_cast<unsigned>(value);
+}
+
+/** Split on a delimiter, dropping empty items ("a,,b" -> {a, b}). */
+inline std::vector<std::string>
+splitList(const std::string &list, char delimiter)
+{
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t pos = list.find(delimiter, start);
+        const std::string item =
+            list.substr(start, pos == std::string::npos
+                                   ? std::string::npos
+                                   : pos - start);
+        if (!item.empty())
+            items.push_back(item);
+        if (pos == std::string::npos)
+            break;
+        start = pos + 1;
+    }
+    return items;
+}
+
+/** Parse a comma-separated list of unsigned integers ("64,128,320"). */
+inline std::vector<std::uint64_t>
+parseU64List(const std::string &list, const char *what)
+{
+    std::vector<std::uint64_t> values;
+    for (const std::string &item : splitList(list, ','))
+        values.push_back(parseU64(item.c_str(), what));
+    if (values.empty())
+        fatal("%s: expected a comma-separated list of unsigned "
+              "integers, got '%s'",
+              what, list.c_str());
+    return values;
+}
+
+} // namespace rat
+
+#endif // RAT_COMMON_PARSE_HH

@@ -1,0 +1,81 @@
+#include "report/csv.hh"
+
+#include "common/logging.hh"
+#include "report/json.hh"
+
+namespace rat::report {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
+        return cell;
+    std::string out;
+    out.reserve(cell.size() + 2);
+    out += '"';
+    for (const char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvTable::setHeader(std::vector<std::string> columns)
+{
+    RAT_ASSERT(rows_.empty(), "CSV header must be set before rows");
+    header_ = std::move(columns);
+}
+
+void
+CsvTable::addRow(std::vector<std::string> cells)
+{
+    RAT_ASSERT(header_.empty() || cells.size() == header_.size(),
+               "CSV row width %zu != header width %zu", cells.size(),
+               header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+CsvTable::Row &
+CsvTable::Row::add(const std::string &cell)
+{
+    cells_.push_back(cell);
+    return *this;
+}
+
+CsvTable::Row &
+CsvTable::Row::add(std::uint64_t value)
+{
+    cells_.push_back(std::to_string(value));
+    return *this;
+}
+
+CsvTable::Row &
+CsvTable::Row::add(double value)
+{
+    cells_.push_back(formatDouble(value));
+    return *this;
+}
+
+std::string
+CsvTable::dump() const
+{
+    std::string out;
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out += ',';
+            out += csvEscape(cells[i]);
+        }
+        out += '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return out;
+}
+
+} // namespace rat::report

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal CSV table writer (RFC 4180 quoting) for the report
+ * subsystem. Deterministic: rows serialize in insertion order and
+ * numeric cells use the same canonical formatting as the JSON writer.
+ */
+
+#ifndef RAT_REPORT_CSV_HH
+#define RAT_REPORT_CSV_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rat::report {
+
+/** Quote a cell when it contains a comma, quote or newline. */
+std::string csvEscape(const std::string &cell);
+
+/** A rectangular CSV document: one header row plus data rows. */
+class CsvTable
+{
+  public:
+    /** Set the header; column count checks every later addRow. */
+    void setHeader(std::vector<std::string> columns);
+
+    /** Append a row of preformatted cells (must match header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Row builder helpers for mixed-type rows. */
+    class Row
+    {
+      public:
+        Row &add(const std::string &cell);
+        Row &add(const char *cell) { return add(std::string(cell)); }
+        Row &add(std::uint64_t value);
+        Row &add(double value); ///< canonical shortest form
+        std::vector<std::string> take() { return std::move(cells_); }
+
+      private:
+        std::vector<std::string> cells_;
+    };
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Serialize with "\n" line endings and a trailing newline. */
+    std::string dump() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rat::report
+
+#endif // RAT_REPORT_CSV_HH

@@ -1,0 +1,143 @@
+#include "report/result_cache.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "report/serialize.hh"
+
+namespace rat::report {
+
+namespace {
+
+/**
+ * Cache format version, folded into every key: bump it whenever the
+ * serialization or simulation semantics change in a way the config
+ * alone cannot express, and every stale cell turns into a miss.
+ */
+constexpr unsigned kCacheFormatVersion = 1;
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultCache::keyFor(const sim::SimConfig &config,
+                    const std::vector<std::string> &programs)
+{
+    Json key = Json::object();
+    key["v"] = Json(std::uint64_t{kCacheFormatVersion});
+    key["config"] = toJson(config);
+    Json progs = Json::array();
+    for (const std::string &p : programs)
+        progs.push(Json(p));
+    key["programs"] = std::move(progs);
+    return key.dump();
+}
+
+std::string
+ResultCache::fileNameFor(const std::string &key)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return std::string(buf) + ".json";
+}
+
+std::optional<sim::SimResult>
+ResultCache::load(const std::string &key) const
+{
+    if (!enabled())
+        return std::nullopt;
+    const std::filesystem::path path =
+        std::filesystem::path(dir_) / fileNameFor(key);
+
+    std::ifstream in(path);
+    if (!in) {
+        misses_.fetch_add(1);
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const auto doc = Json::parse(text.str());
+    if (!doc || !doc->isObject()) {
+        warn("result cache: ignoring unparseable cell %s",
+             path.c_str());
+        misses_.fetch_add(1);
+        return std::nullopt;
+    }
+    const Json *stored_key = doc->find("key");
+    if (!stored_key || !stored_key->isString() ||
+        stored_key->asString() != key) {
+        // Hash collision or key-format drift: treat as a miss.
+        misses_.fetch_add(1);
+        return std::nullopt;
+    }
+    const Json *result_json = doc->find("result");
+    sim::SimResult result;
+    if (!result_json || !result_json->isObject() ||
+        !fromJson(*result_json, result)) {
+        warn("result cache: ignoring malformed result in %s",
+             path.c_str());
+        misses_.fetch_add(1);
+        return std::nullopt;
+    }
+    hits_.fetch_add(1);
+    return result;
+}
+
+void
+ResultCache::store(const std::string &key,
+                   const sim::SimResult &result) const
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        warn("result cache: cannot create %s: %s", dir_.c_str(),
+             ec.message().c_str());
+        return;
+    }
+
+    Json cell = Json::object();
+    cell["key"] = Json(key);
+    cell["result"] = toJson(result);
+
+    const std::filesystem::path path =
+        std::filesystem::path(dir_) / fileNameFor(key);
+    // Unique temp per process; rename() is atomic, so readers never see
+    // a partially written cell.
+    const std::filesystem::path tmp =
+        path.string() + "." + std::to_string(::getpid()) + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warn("result cache: cannot write %s", tmp.c_str());
+            return;
+        }
+        out << cell.dump(2);
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        warn("result cache: rename to %s failed: %s", path.c_str(),
+             ec.message().c_str());
+}
+
+} // namespace rat::report

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * On-disk memoization of completed simulation cells.
+ *
+ * A cell is keyed by the canonical compact-JSON serialization of its
+ * *effective* `SimConfig` (which already contains policy, RaT flags
+ * and seed) plus the ordered program list — everything a run is a pure
+ * function of (DESIGN.md, "Determinism and seeding"). The key string
+ * is FNV-1a-hashed into the cell's file name; the file stores the full
+ * key alongside the result, and a load only hits when the stored key
+ * matches byte-for-byte, so hash collisions degrade to misses, never
+ * to wrong results.
+ */
+
+#ifndef RAT_REPORT_RESULT_CACHE_HH
+#define RAT_REPORT_RESULT_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace rat::report {
+
+/** 64-bit FNV-1a over a byte string. */
+std::uint64_t fnv1a64(const std::string &text);
+
+class ResultCache
+{
+  public:
+    /** @param dir Cache directory; an empty string disables caching. */
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Canonical key string of one cell (configuration + programs). */
+    static std::string keyFor(const sim::SimConfig &config,
+                              const std::vector<std::string> &programs);
+
+    /** File name (inside dir) a key maps to: <fnv1a-hex>.json. */
+    static std::string fileNameFor(const std::string &key);
+
+    /**
+     * Look up a cell. Returns std::nullopt when disabled, absent,
+     * unparseable, from a different format version, or when the stored
+     * key differs from @p key (collision). Thread-safe.
+     */
+    std::optional<sim::SimResult> load(const std::string &key) const;
+
+    /**
+     * Persist a cell (no-op when disabled). Writes to a temp file and
+     * renames, so concurrent readers never observe partial JSON.
+     * Thread-safe for distinct keys (campaign cells are distinct by
+     * construction).
+     */
+    void store(const std::string &key, const sim::SimResult &result) const;
+
+    /** Cells served from disk since construction. */
+    std::uint64_t hits() const { return hits_.load(); }
+    /** Failed lookups since construction. */
+    std::uint64_t misses() const { return misses_.load(); }
+
+  private:
+    std::string dir_;
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace rat::report
+
+#endif // RAT_REPORT_RESULT_CACHE_HH

@@ -1,0 +1,503 @@
+#include "report/serialize.hh"
+
+#include <limits>
+
+#include "policy/factory.hh"
+#include "sim/metrics.hh"
+#include "sim/workloads.hh"
+
+namespace rat::report {
+
+namespace {
+
+// Checked member extraction: each reader returns false when the member
+// is absent or has the wrong type, leaving @p out untouched.
+
+bool
+getU64(const Json &obj, const char *key, std::uint64_t &out)
+{
+    const Json *v = obj.find(key);
+    if (!v || !v->isU64())
+        return false;
+    out = v->asU64();
+    return true;
+}
+
+bool
+getUnsigned(const Json &obj, const char *key, unsigned &out)
+{
+    std::uint64_t wide = 0;
+    if (!getU64(obj, key, wide) ||
+        wide > std::numeric_limits<unsigned>::max())
+        return false;
+    out = static_cast<unsigned>(wide);
+    return true;
+}
+
+bool
+getInt(const Json &obj, const char *key, int &out)
+{
+    const Json *v = obj.find(key);
+    if (!v || !v->isI64())
+        return false;
+    const std::int64_t wide = v->asI64();
+    if (wide < std::numeric_limits<int>::min() ||
+        wide > std::numeric_limits<int>::max())
+        return false;
+    out = static_cast<int>(wide);
+    return true;
+}
+
+bool
+getDouble(const Json &obj, const char *key, double &out)
+{
+    const Json *v = obj.find(key);
+    if (!v || !v->isNumber())
+        return false;
+    out = v->asDouble();
+    return true;
+}
+
+bool
+getBool(const Json &obj, const char *key, bool &out)
+{
+    const Json *v = obj.find(key);
+    if (!v || !v->isBool())
+        return false;
+    out = v->asBool();
+    return true;
+}
+
+bool
+getString(const Json &obj, const char *key, std::string &out)
+{
+    const Json *v = obj.find(key);
+    if (!v || !v->isString())
+        return false;
+    out = v->asString();
+    return true;
+}
+
+} // namespace
+
+Json
+toJson(const core::RatConfig &rat)
+{
+    Json j = Json::object();
+    j["dropFpInRunahead"] = Json(rat.dropFpInRunahead);
+    j["useRunaheadCache"] = Json(rat.useRunaheadCache);
+    j["runaheadCacheLines"] = Json(std::uint64_t{rat.runaheadCacheLines});
+    j["disablePrefetch"] = Json(rat.disablePrefetch);
+    j["noFetchInRunahead"] = Json(rat.noFetchInRunahead);
+    return j;
+}
+
+bool
+fromJson(const Json &json, core::RatConfig &rat)
+{
+    return getBool(json, "dropFpInRunahead", rat.dropFpInRunahead) &&
+           getBool(json, "useRunaheadCache", rat.useRunaheadCache) &&
+           getUnsigned(json, "runaheadCacheLines",
+                       rat.runaheadCacheLines) &&
+           getBool(json, "disablePrefetch", rat.disablePrefetch) &&
+           getBool(json, "noFetchInRunahead", rat.noFetchInRunahead);
+}
+
+Json
+toJson(const core::CoreConfig &core)
+{
+    Json j = Json::object();
+    j["numThreads"] = Json(std::uint64_t{core.numThreads});
+    j["fetchWidth"] = Json(std::uint64_t{core.fetchWidth});
+    j["fetchThreads"] = Json(std::uint64_t{core.fetchThreads});
+    j["renameWidth"] = Json(std::uint64_t{core.renameWidth});
+    j["issueWidth"] = Json(std::uint64_t{core.issueWidth});
+    j["commitWidth"] = Json(std::uint64_t{core.commitWidth});
+    j["frontendDelay"] = Json(std::uint64_t{core.frontendDelay});
+    j["robEntries"] = Json(std::uint64_t{core.robEntries});
+    j["intIqEntries"] = Json(std::uint64_t{core.intIqEntries});
+    j["fpIqEntries"] = Json(std::uint64_t{core.fpIqEntries});
+    j["lsIqEntries"] = Json(std::uint64_t{core.lsIqEntries});
+    j["lsqEntries"] = Json(std::uint64_t{core.lsqEntries});
+    j["intRegs"] = Json(std::uint64_t{core.intRegs});
+    j["fpRegs"] = Json(std::uint64_t{core.fpRegs});
+    j["intUnits"] = Json(std::uint64_t{core.intUnits});
+    j["fpUnits"] = Json(std::uint64_t{core.fpUnits});
+    j["memUnits"] = Json(std::uint64_t{core.memUnits});
+    j["fetchQueueEntries"] = Json(std::uint64_t{core.fetchQueueEntries});
+    j["btbMissPenalty"] = Json(std::uint64_t{core.btbMissPenalty});
+    j["mispredictRedirect"] = Json(std::uint64_t{core.mispredictRedirect});
+    j["ifetchPrefetchLines"] =
+        Json(std::uint64_t{core.ifetchPrefetchLines});
+    j["policy"] = Json(policy::policyKindName(core.policy));
+    j["rat"] = toJson(core.rat);
+    Json predictor = Json::object();
+    predictor["tableEntries"] =
+        Json(std::uint64_t{core.predictor.tableEntries});
+    predictor["historyBits"] =
+        Json(std::uint64_t{core.predictor.historyBits});
+    predictor["weightLimit"] =
+        Json(std::int64_t{core.predictor.weightLimit});
+    j["predictor"] = std::move(predictor);
+    return j;
+}
+
+bool
+fromJson(const Json &json, core::CoreConfig &core)
+{
+    std::string policy;
+    if (!getString(json, "policy", policy))
+        return false;
+    const auto kind = policy::parsePolicyKind(policy);
+    if (!kind)
+        return false;
+    core.policy = *kind;
+
+    const Json *rat = json.find("rat");
+    if (!rat || !fromJson(*rat, core.rat))
+        return false;
+
+    const Json *predictor = json.find("predictor");
+    if (!predictor || !predictor->isObject())
+        return false;
+    if (!getUnsigned(*predictor, "tableEntries",
+                     core.predictor.tableEntries) ||
+        !getUnsigned(*predictor, "historyBits",
+                     core.predictor.historyBits) ||
+        !getInt(*predictor, "weightLimit", core.predictor.weightLimit))
+        return false;
+
+    return getUnsigned(json, "numThreads", core.numThreads) &&
+           getUnsigned(json, "fetchWidth", core.fetchWidth) &&
+           getUnsigned(json, "fetchThreads", core.fetchThreads) &&
+           getUnsigned(json, "renameWidth", core.renameWidth) &&
+           getUnsigned(json, "issueWidth", core.issueWidth) &&
+           getUnsigned(json, "commitWidth", core.commitWidth) &&
+           getUnsigned(json, "frontendDelay", core.frontendDelay) &&
+           getUnsigned(json, "robEntries", core.robEntries) &&
+           getUnsigned(json, "intIqEntries", core.intIqEntries) &&
+           getUnsigned(json, "fpIqEntries", core.fpIqEntries) &&
+           getUnsigned(json, "lsIqEntries", core.lsIqEntries) &&
+           getUnsigned(json, "lsqEntries", core.lsqEntries) &&
+           getUnsigned(json, "intRegs", core.intRegs) &&
+           getUnsigned(json, "fpRegs", core.fpRegs) &&
+           getUnsigned(json, "intUnits", core.intUnits) &&
+           getUnsigned(json, "fpUnits", core.fpUnits) &&
+           getUnsigned(json, "memUnits", core.memUnits) &&
+           getUnsigned(json, "fetchQueueEntries",
+                       core.fetchQueueEntries) &&
+           getUnsigned(json, "btbMissPenalty", core.btbMissPenalty) &&
+           getUnsigned(json, "mispredictRedirect",
+                       core.mispredictRedirect) &&
+           getUnsigned(json, "ifetchPrefetchLines",
+                       core.ifetchPrefetchLines);
+}
+
+Json
+toJson(const mem::CacheConfig &cache)
+{
+    Json j = Json::object();
+    j["name"] = Json(cache.name);
+    j["sizeBytes"] = Json(cache.sizeBytes);
+    j["ways"] = Json(std::uint64_t{cache.ways});
+    j["lineBytes"] = Json(std::uint64_t{cache.lineBytes});
+    j["latency"] = Json(std::uint64_t{cache.latency});
+    j["mshrs"] = Json(std::uint64_t{cache.mshrs});
+    return j;
+}
+
+bool
+fromJson(const Json &json, mem::CacheConfig &cache)
+{
+    return getString(json, "name", cache.name) &&
+           getU64(json, "sizeBytes", cache.sizeBytes) &&
+           getUnsigned(json, "ways", cache.ways) &&
+           getUnsigned(json, "lineBytes", cache.lineBytes) &&
+           getUnsigned(json, "latency", cache.latency) &&
+           getUnsigned(json, "mshrs", cache.mshrs);
+}
+
+Json
+toJson(const mem::MemConfig &mem)
+{
+    Json j = Json::object();
+    j["l1i"] = toJson(mem.l1i);
+    j["l1d"] = toJson(mem.l1d);
+    j["l2"] = toJson(mem.l2);
+    j["memLatency"] = Json(std::uint64_t{mem.memLatency});
+    return j;
+}
+
+bool
+fromJson(const Json &json, mem::MemConfig &mem)
+{
+    const Json *l1i = json.find("l1i");
+    const Json *l1d = json.find("l1d");
+    const Json *l2 = json.find("l2");
+    return l1i && fromJson(*l1i, mem.l1i) && l1d &&
+           fromJson(*l1d, mem.l1d) && l2 && fromJson(*l2, mem.l2) &&
+           getUnsigned(json, "memLatency", mem.memLatency);
+}
+
+Json
+toJson(const sim::SimConfig &config)
+{
+    Json j = Json::object();
+    j["core"] = toJson(config.core);
+    j["mem"] = toJson(config.mem);
+    j["prewarmInsts"] = Json(config.prewarmInsts);
+    j["warmupCycles"] = Json(config.warmupCycles);
+    j["measureCycles"] = Json(config.measureCycles);
+    j["seed"] = Json(config.seed);
+    return j;
+}
+
+bool
+fromJson(const Json &json, sim::SimConfig &config)
+{
+    const Json *core = json.find("core");
+    const Json *mem = json.find("mem");
+    return core && fromJson(*core, config.core) && mem &&
+           fromJson(*mem, config.mem) &&
+           getU64(json, "prewarmInsts", config.prewarmInsts) &&
+           getU64(json, "warmupCycles", config.warmupCycles) &&
+           getU64(json, "measureCycles", config.measureCycles) &&
+           getU64(json, "seed", config.seed);
+}
+
+Json
+toJson(const core::ThreadStats &stats)
+{
+    Json j = Json::object();
+    j["committedInsts"] = Json(stats.committedInsts);
+    j["executedInsts"] = Json(stats.executedInsts);
+    j["fetchedInsts"] = Json(stats.fetchedInsts);
+    j["pseudoRetired"] = Json(stats.pseudoRetired);
+    j["invalidInsts"] = Json(stats.invalidInsts);
+    j["runaheadEntries"] = Json(stats.runaheadEntries);
+    j["uselessRunaheadEpisodes"] = Json(stats.uselessRunaheadEpisodes);
+    j["runaheadCycles"] = Json(stats.runaheadCycles);
+    j["normalCycles"] = Json(stats.normalCycles);
+    j["branches"] = Json(stats.branches);
+    j["branchMispredicts"] = Json(stats.branchMispredicts);
+    j["squashedInsts"] = Json(stats.squashedInsts);
+    j["normalRegCycles"] = Json(stats.normalRegCycles);
+    j["runaheadRegCycles"] = Json(stats.runaheadRegCycles);
+    return j;
+}
+
+bool
+fromJson(const Json &json, core::ThreadStats &stats)
+{
+    return getU64(json, "committedInsts", stats.committedInsts) &&
+           getU64(json, "executedInsts", stats.executedInsts) &&
+           getU64(json, "fetchedInsts", stats.fetchedInsts) &&
+           getU64(json, "pseudoRetired", stats.pseudoRetired) &&
+           getU64(json, "invalidInsts", stats.invalidInsts) &&
+           getU64(json, "runaheadEntries", stats.runaheadEntries) &&
+           getU64(json, "uselessRunaheadEpisodes",
+                  stats.uselessRunaheadEpisodes) &&
+           getU64(json, "runaheadCycles", stats.runaheadCycles) &&
+           getU64(json, "normalCycles", stats.normalCycles) &&
+           getU64(json, "branches", stats.branches) &&
+           getU64(json, "branchMispredicts", stats.branchMispredicts) &&
+           getU64(json, "squashedInsts", stats.squashedInsts) &&
+           getU64(json, "normalRegCycles", stats.normalRegCycles) &&
+           getU64(json, "runaheadRegCycles", stats.runaheadRegCycles);
+}
+
+Json
+toJson(const mem::ThreadMemStats &stats)
+{
+    Json j = Json::object();
+    j["loads"] = Json(stats.loads);
+    j["stores"] = Json(stats.stores);
+    j["l1dMisses"] = Json(stats.l1dMisses);
+    j["l2DemandMisses"] = Json(stats.l2DemandMisses);
+    j["ifetchL1Misses"] = Json(stats.ifetchL1Misses);
+    j["ifetchL2Misses"] = Json(stats.ifetchL2Misses);
+    j["ifetchPrefetches"] = Json(stats.ifetchPrefetches);
+    j["raMemPrefetches"] = Json(stats.raMemPrefetches);
+    j["raL2Prefetches"] = Json(stats.raL2Prefetches);
+    return j;
+}
+
+bool
+fromJson(const Json &json, mem::ThreadMemStats &stats)
+{
+    return getU64(json, "loads", stats.loads) &&
+           getU64(json, "stores", stats.stores) &&
+           getU64(json, "l1dMisses", stats.l1dMisses) &&
+           getU64(json, "l2DemandMisses", stats.l2DemandMisses) &&
+           getU64(json, "ifetchL1Misses", stats.ifetchL1Misses) &&
+           getU64(json, "ifetchL2Misses", stats.ifetchL2Misses) &&
+           getU64(json, "ifetchPrefetches", stats.ifetchPrefetches) &&
+           getU64(json, "raMemPrefetches", stats.raMemPrefetches) &&
+           getU64(json, "raL2Prefetches", stats.raL2Prefetches);
+}
+
+Json
+toJson(const sim::ThreadResult &thread)
+{
+    Json j = Json::object();
+    j["program"] = Json(thread.program);
+    j["ipc"] = Json(thread.ipc);
+    j["l2Mpki"] = Json(thread.l2Mpki);
+    j["core"] = toJson(thread.core);
+    j["mem"] = toJson(thread.mem);
+    return j;
+}
+
+bool
+fromJson(const Json &json, sim::ThreadResult &thread)
+{
+    const Json *core = json.find("core");
+    const Json *mem = json.find("mem");
+    return getString(json, "program", thread.program) &&
+           getDouble(json, "ipc", thread.ipc) &&
+           getDouble(json, "l2Mpki", thread.l2Mpki) && core &&
+           fromJson(*core, thread.core) && mem &&
+           fromJson(*mem, thread.mem);
+}
+
+Json
+toJson(const sim::SimResult &result)
+{
+    Json j = Json::object();
+    j["cycles"] = Json(result.cycles);
+    Json threads = Json::array();
+    for (const sim::ThreadResult &t : result.threads)
+        threads.push(toJson(t));
+    j["threads"] = std::move(threads);
+    return j;
+}
+
+bool
+fromJson(const Json &json, sim::SimResult &result)
+{
+    if (!getU64(json, "cycles", result.cycles))
+        return false;
+    const Json *threads = json.find("threads");
+    if (!threads || !threads->isArray())
+        return false;
+    result.threads.clear();
+    for (const Json &t : threads->elements()) {
+        sim::ThreadResult thread;
+        if (!t.isObject() || !fromJson(t, thread))
+            return false;
+        result.threads.push_back(std::move(thread));
+    }
+    return true;
+}
+
+Json
+toJson(const sim::GroupMetrics &metrics)
+{
+    Json j = Json::object();
+    j["technique"] = Json(metrics.technique);
+    j["group"] = Json(sim::groupName(metrics.group));
+    j["meanThroughput"] = Json(metrics.meanThroughput);
+    j["meanFairness"] = Json(metrics.meanFairness);
+    j["meanEd2"] = Json(metrics.meanEd2);
+    Json results = Json::array();
+    for (const sim::SimResult &r : metrics.results)
+        results.push(toJson(r));
+    j["results"] = std::move(results);
+    return j;
+}
+
+bool
+fromJson(const Json &json, sim::GroupMetrics &metrics)
+{
+    std::string group;
+    if (!getString(json, "group", group))
+        return false;
+    const auto parsed = sim::parseGroup(group);
+    if (!parsed)
+        return false;
+    metrics.group = *parsed;
+    if (!getString(json, "technique", metrics.technique) ||
+        !getDouble(json, "meanThroughput", metrics.meanThroughput) ||
+        !getDouble(json, "meanFairness", metrics.meanFairness) ||
+        !getDouble(json, "meanEd2", metrics.meanEd2))
+        return false;
+    const Json *results = json.find("results");
+    if (!results || !results->isArray())
+        return false;
+    metrics.results.clear();
+    for (const Json &r : results->elements()) {
+        sim::SimResult result;
+        if (!r.isObject() || !fromJson(r, result))
+            return false;
+        metrics.results.push_back(std::move(result));
+    }
+    return true;
+}
+
+Json
+resultMetricsJson(const sim::SimResult &result)
+{
+    Json j = Json::object();
+    j["throughputEq1"] = Json(result.throughputEq1());
+    j["totalIpc"] = Json(result.totalIpc());
+    j["committedTotal"] = Json(result.committedTotal());
+    j["executedTotal"] = Json(result.executedTotal());
+    j["ed2"] = Json(sim::ed2(result));
+    return j;
+}
+
+CsvTable
+threadResultsCsv(const sim::SimResult &result)
+{
+    CsvTable csv;
+    csv.setHeader({"thread", "program", "ipc", "committedInsts",
+                   "l2Mpki", "branches", "branchMispredicts",
+                   "runaheadEntries", "runaheadCycles"});
+    for (std::size_t i = 0; i < result.threads.size(); ++i) {
+        const sim::ThreadResult &t = result.threads[i];
+        CsvTable::Row row;
+        row.add(std::uint64_t{i})
+            .add(t.program)
+            .add(t.ipc)
+            .add(t.core.committedInsts)
+            .add(t.l2Mpki)
+            .add(t.core.branches)
+            .add(t.core.branchMispredicts)
+            .add(t.core.runaheadEntries)
+            .add(t.core.runaheadCycles);
+        csv.addRow(row.take());
+    }
+    return csv;
+}
+
+CsvTable
+groupMetricsCsv(const sim::GroupMetrics &metrics)
+{
+    CsvTable csv;
+    csv.setHeader({"group", "technique", "workload", "throughput",
+                   "totalIpc", "cycles"});
+    const auto &workloads = sim::workloadsOf(metrics.group);
+    for (std::size_t i = 0; i < metrics.results.size(); ++i) {
+        const sim::SimResult &r = metrics.results[i];
+        CsvTable::Row row;
+        row.add(sim::groupName(metrics.group))
+            .add(metrics.technique)
+            .add(i < workloads.size() ? workloads[i].name
+                                      : std::to_string(i))
+            .add(sim::throughput(r))
+            .add(r.totalIpc())
+            .add(r.cycles);
+        csv.addRow(row.take());
+    }
+    CsvTable::Row mean;
+    mean.add(sim::groupName(metrics.group))
+        .add(metrics.technique)
+        .add("MEAN")
+        .add(metrics.meanThroughput)
+        .add("")
+        .add("");
+    csv.addRow(mean.take());
+    return csv;
+}
+
+} // namespace rat::report

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * JSON/CSV serializers for the simulator's configuration and result
+ * types. `toJson` emits every field that affects or describes a run;
+ * the matching `fromJson` reads it back exactly (numeric fields
+ * round-trip bit-for-bit, see report/json.hh), returning false on
+ * missing or ill-typed members instead of guessing.
+ *
+ * The on-disk result cache (report/result_cache.hh) builds its content
+ * hash from the canonical compact dump of `toJson(SimConfig)`, so the
+ * serialization *is* the cache-key definition: adding a semantically
+ * relevant config field here automatically invalidates stale cells.
+ */
+
+#ifndef RAT_REPORT_SERIALIZE_HH
+#define RAT_REPORT_SERIALIZE_HH
+
+#include "report/csv.hh"
+#include "report/json.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+namespace rat::report {
+
+// --- Configuration ---
+Json toJson(const core::RatConfig &rat);
+Json toJson(const core::CoreConfig &core);
+Json toJson(const mem::CacheConfig &cache);
+Json toJson(const mem::MemConfig &mem);
+Json toJson(const sim::SimConfig &config);
+
+bool fromJson(const Json &json, core::RatConfig &rat);
+bool fromJson(const Json &json, core::CoreConfig &core);
+bool fromJson(const Json &json, mem::CacheConfig &cache);
+bool fromJson(const Json &json, mem::MemConfig &mem);
+bool fromJson(const Json &json, sim::SimConfig &config);
+
+// --- Results ---
+Json toJson(const core::ThreadStats &stats);
+Json toJson(const mem::ThreadMemStats &stats);
+Json toJson(const sim::ThreadResult &thread);
+Json toJson(const sim::SimResult &result);
+Json toJson(const sim::GroupMetrics &metrics);
+
+bool fromJson(const Json &json, core::ThreadStats &stats);
+bool fromJson(const Json &json, mem::ThreadMemStats &stats);
+bool fromJson(const Json &json, sim::ThreadResult &thread);
+bool fromJson(const Json &json, sim::SimResult &result);
+bool fromJson(const Json &json, sim::GroupMetrics &metrics);
+
+/** Derived headline metrics (Eq. 1/Eq. 2-less summary) of one run. */
+Json resultMetricsJson(const sim::SimResult &result);
+
+/** Per-thread result rows of one run as a CSV table. */
+CsvTable threadResultsCsv(const sim::SimResult &result);
+
+/** Per-workload rows + group means of one GroupMetrics as CSV. */
+CsvTable groupMetricsCsv(const sim::GroupMetrics &metrics);
+
+} // namespace rat::report
+
+#endif // RAT_REPORT_SERIALIZE_HH

@@ -1,0 +1,206 @@
+#include "sim/campaign.hh"
+
+#include <functional>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/logging.hh"
+#include "report/result_cache.hh"
+#include "report/serialize.hh"
+#include "sim/metrics.hh"
+
+namespace rat::sim {
+
+namespace {
+
+/** An axis with an empty spec collapses to the base config's value. */
+template <typename T>
+std::vector<T>
+axisOrDefault(const std::vector<T> &axis, T base_value)
+{
+    return axis.empty() ? std::vector<T>{base_value} : axis;
+}
+
+} // namespace
+
+std::vector<CampaignCell>
+expandCampaign(const CampaignSpec &spec)
+{
+    RAT_ASSERT(!spec.techniques.empty(),
+               "campaign needs at least one technique");
+
+    // Workload list: group members first (Table 2 order), then the
+    // explicit extras.
+    std::vector<std::pair<std::string, const Workload *>> workloads;
+    for (const WorkloadGroup g : spec.groups) {
+        for (const Workload &w : workloadsOf(g))
+            workloads.emplace_back(groupName(g), &w);
+    }
+    for (const Workload &w : spec.workloads)
+        workloads.emplace_back("", &w);
+    RAT_ASSERT(!workloads.empty(),
+               "campaign needs at least one group or workload");
+
+    const auto regs =
+        axisOrDefault(spec.regsAxis, spec.base.core.intRegs);
+    const auto robs = axisOrDefault(spec.robAxis, spec.base.core.robEntries);
+    const auto measures =
+        axisOrDefault(spec.measureAxis, spec.base.measureCycles);
+    const auto seeds = axisOrDefault(spec.seedAxis, spec.base.seed);
+
+    std::vector<CampaignCell> cells;
+    cells.reserve(spec.techniques.size() * workloads.size() *
+                  regs.size() * robs.size() * measures.size() *
+                  seeds.size());
+    for (const TechniqueSpec &tech : spec.techniques) {
+        for (const auto &[group, workload] : workloads) {
+            for (const unsigned r : regs) {
+                for (const unsigned rob : robs) {
+                    for (const Cycle measure : measures) {
+                        for (const std::uint64_t seed : seeds) {
+                            CampaignCell cell;
+                            cell.technique = tech.label;
+                            cell.group = group;
+                            cell.workload = workload->name;
+                            cell.regs = r;
+                            cell.rob = rob;
+                            cell.measureCycles = measure;
+                            cell.seed = seed;
+                            cell.programs = workload->programs;
+
+                            SimConfig cfg = spec.base;
+                            cfg.core.numThreads = static_cast<unsigned>(
+                                workload->programs.size());
+                            cfg.core.policy = tech.policy;
+                            cfg.core.rat = tech.rat;
+                            cfg.core.intRegs = r;
+                            cfg.core.fpRegs = r;
+                            cfg.core.robEntries = rob;
+                            cfg.measureCycles = measure;
+                            cfg.seed = seed;
+                            cell.config = cfg;
+                            cell.key = report::ResultCache::keyFor(
+                                cfg, cell.programs);
+                            cells.push_back(std::move(cell));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+CampaignOutcome
+runCampaign(const CampaignSpec &spec)
+{
+    CampaignOutcome outcome;
+    outcome.cells = expandCampaign(spec);
+
+    const report::ResultCache cache(spec.cacheDir);
+
+    // Probe the cache and dedupe: identical keys (e.g. a workload both
+    // in a group and listed explicitly) simulate exactly once.
+    std::map<std::string, std::vector<std::size_t>> pending;
+    for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+        CampaignCell &cell = outcome.cells[i];
+        if (cache.enabled()) {
+            if (auto hit = cache.load(cell.key)) {
+                cell.result = std::move(*hit);
+                cell.fromCache = true;
+                continue;
+            }
+        }
+        pending[cell.key].push_back(i);
+    }
+    outcome.cacheHits = cache.hits();
+    outcome.cacheMisses = cache.misses();
+
+    // Simulate the unique misses on the worker pool. Each job owns a
+    // distinct lead cell, so no locking is needed.
+    std::vector<std::size_t> leads;
+    leads.reserve(pending.size());
+    for (const auto &[key, indices] : pending)
+        leads.push_back(indices.front());
+
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(leads.size());
+    for (const std::size_t lead : leads) {
+        jobs.emplace_back([&outcome, &cache, lead] {
+            CampaignCell &cell = outcome.cells[lead];
+            Simulator sim(cell.config, cell.programs);
+            cell.result = sim.run();
+            cache.store(cell.key, cell.result);
+        });
+    }
+    unsigned workers = spec.parallelism;
+    if (!workers) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw ? hw : 4;
+    }
+    runParallel(jobs, workers);
+    outcome.simulated = jobs.size();
+
+    // Fan results out to duplicate cells.
+    for (const auto &[key, indices] : pending) {
+        for (std::size_t i = 1; i < indices.size(); ++i)
+            outcome.cells[indices[i]].result =
+                outcome.cells[indices.front()].result;
+    }
+    return outcome;
+}
+
+report::Json
+campaignJson(const CampaignOutcome &outcome, const CampaignSpec &spec)
+{
+    report::Json j = report::Json::object();
+    j["schema"] = report::Json("ratsim-campaign-v1");
+    j["base"] = report::toJson(spec.base);
+
+    report::Json cells = report::Json::array();
+    for (const CampaignCell &cell : outcome.cells) {
+        report::Json c = report::Json::object();
+        c["technique"] = report::Json(cell.technique);
+        if (!cell.group.empty())
+            c["group"] = report::Json(cell.group);
+        c["workload"] = report::Json(cell.workload);
+        c["regs"] = report::Json(std::uint64_t{cell.regs});
+        c["rob"] = report::Json(std::uint64_t{cell.rob});
+        c["measureCycles"] = report::Json(cell.measureCycles);
+        c["seed"] = report::Json(cell.seed);
+        c["metrics"] = report::resultMetricsJson(cell.result);
+        c["result"] = report::toJson(cell.result);
+        cells.push(std::move(c));
+    }
+    j["cells"] = std::move(cells);
+    return j;
+}
+
+report::CsvTable
+campaignCsv(const CampaignOutcome &outcome)
+{
+    report::CsvTable csv;
+    csv.setHeader({"technique", "group", "workload", "regs", "rob",
+                   "measureCycles", "seed", "throughput", "totalIpc",
+                   "ed2", "committedTotal", "cycles"});
+    for (const CampaignCell &cell : outcome.cells) {
+        report::CsvTable::Row row;
+        row.add(cell.technique)
+            .add(cell.group)
+            .add(cell.workload)
+            .add(std::uint64_t{cell.regs})
+            .add(std::uint64_t{cell.rob})
+            .add(cell.measureCycles)
+            .add(cell.seed)
+            .add(throughput(cell.result))
+            .add(cell.result.totalIpc())
+            .add(ed2(cell.result))
+            .add(cell.result.committedTotal())
+            .add(cell.result.cycles);
+        csv.addRow(row.take());
+    }
+    return csv;
+}
+
+} // namespace rat::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Declarative experiment campaigns: a spec of techniques x workloads x
+ * configuration axes (renaming registers, ROB size, measured window,
+ * seeds) expands into a job grid, runs through the shared worker pool,
+ * and memoizes completed cells in the on-disk result cache
+ * (report/result_cache.hh) so re-runs and extended sweeps only
+ * simulate cells they have not seen before.
+ *
+ * Because a simulation is a pure function of (SimConfig, programs)
+ * (DESIGN.md), a cached cell is bit-identical to re-running it: cold,
+ * warm-cache and serial campaign runs all produce the same results.
+ */
+
+#ifndef RAT_SIM_CAMPAIGN_HH
+#define RAT_SIM_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/csv.hh"
+#include "report/json.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "sim/workloads.hh"
+
+namespace rat::sim {
+
+/**
+ * A declarative campaign. Empty axes mean "use the base config's
+ * value"; the grid is the full cross product
+ *   techniques x (group workloads + explicit workloads)
+ *              x regs x rob x measure x seeds.
+ */
+struct CampaignSpec {
+    SimConfig base{};
+    std::vector<TechniqueSpec> techniques; ///< required, >= 1
+    std::vector<WorkloadGroup> groups;     ///< whole Table 2 groups
+    std::vector<Workload> workloads;       ///< explicit extra workloads
+    std::vector<unsigned> regsAxis;        ///< INT+FP renaming registers
+    std::vector<unsigned> robAxis;         ///< shared ROB entries
+    std::vector<Cycle> measureAxis;        ///< measured-window cycles
+    std::vector<std::uint64_t> seedAxis;   ///< workload seeds
+    std::string cacheDir;                  ///< empty = no result cache
+    unsigned parallelism = 0;              ///< 0 = hardware threads
+};
+
+/** One grid cell: coordinates, effective config, and (after running)
+ * the simulation result. */
+struct CampaignCell {
+    std::string technique;
+    std::string group;    ///< "" for an explicit workload
+    std::string workload; ///< canonical comma-joined name
+    unsigned regs = 0;
+    unsigned rob = 0;
+    Cycle measureCycles = 0;
+    std::uint64_t seed = 0;
+    SimConfig config; ///< fully resolved configuration of this cell
+    std::vector<std::string> programs;
+    std::string key;        ///< canonical cache-key string
+    bool fromCache = false; ///< served from the on-disk cache
+    SimResult result;
+};
+
+/** Everything a finished campaign produced. */
+struct CampaignOutcome {
+    std::vector<CampaignCell> cells; ///< deterministic grid order
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t simulated = 0; ///< cells actually executed
+};
+
+/**
+ * Expand the grid without running anything: every cell has its
+ * coordinates, effective config and cache key, but no result. The
+ * expansion order is deterministic (techniques, then workloads, then
+ * axes) and defines the cell order of runCampaign.
+ */
+std::vector<CampaignCell> expandCampaign(const CampaignSpec &spec);
+
+/**
+ * Expand and run a campaign: probe the result cache, simulate the
+ * misses on the worker pool (duplicate cells simulate once), store new
+ * cells back, and return everything in grid order.
+ */
+CampaignOutcome runCampaign(const CampaignSpec &spec);
+
+/**
+ * Structured report of a finished campaign. Deliberately excludes
+ * cache/parallelism metadata so cold, warm-cache and serial runs of
+ * the same spec serialize byte-identically.
+ */
+report::Json campaignJson(const CampaignOutcome &outcome,
+                          const CampaignSpec &spec);
+
+/** Flat per-cell metric rows of a finished campaign. */
+report::CsvTable campaignCsv(const CampaignOutcome &outcome);
+
+} // namespace rat::sim
+
+#endif // RAT_SIM_CAMPAIGN_HH

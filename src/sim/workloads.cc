@@ -10,24 +10,35 @@
 
 namespace rat::sim {
 
+Workload
+Workload::fromPrograms(std::vector<std::string> programs)
+{
+    Workload w;
+    std::ostringstream name;
+    bool first = true;
+    for (const std::string &p : programs) {
+        if (!first)
+            name << ",";
+        name << p;
+        first = false;
+    }
+    w.name = name.str();
+    w.programs = std::move(programs);
+    return w;
+}
+
 namespace {
 
 Workload
 make(std::initializer_list<const char *> programs)
 {
-    Workload w;
-    std::ostringstream name;
-    bool first = true;
+    std::vector<std::string> names;
+    names.reserve(programs.size());
     for (const char *p : programs) {
         RAT_ASSERT(trace::isSpec2000(p), "unknown program '%s'", p);
-        if (!first)
-            name << ",";
-        name << p;
-        w.programs.emplace_back(p);
-        first = false;
+        names.emplace_back(p);
     }
-    w.name = name.str();
-    return w;
+    return Workload::fromPrograms(std::move(names));
 }
 
 // Table 2, verbatim.
@@ -118,6 +129,16 @@ groupName(WorkloadGroup group)
         return "MEM4";
     }
     return "?";
+}
+
+std::optional<WorkloadGroup>
+parseGroup(const std::string &name)
+{
+    for (const WorkloadGroup g : allGroups()) {
+        if (name == groupName(g))
+            return g;
+    }
+    return std::nullopt;
 }
 
 unsigned

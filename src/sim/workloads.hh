@@ -8,6 +8,7 @@
 #ifndef RAT_SIM_WORKLOADS_HH
 #define RAT_SIM_WORKLOADS_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,10 @@ namespace rat::sim {
 struct Workload {
     std::string name;                  ///< e.g. "art,mcf"
     std::vector<std::string> programs; ///< profile names
+
+    /** Build a workload from program names; the display name is the
+     * canonical comma-joined list. */
+    static Workload fromPrograms(std::vector<std::string> programs);
 };
 
 /** Table 2 column identifiers. */
@@ -27,6 +32,9 @@ const std::vector<WorkloadGroup> &allGroups();
 
 /** Group display name ("ILP2", ...). */
 const char *groupName(WorkloadGroup group);
+
+/** Inverse of groupName; std::nullopt for unknown names. */
+std::optional<WorkloadGroup> parseGroup(const std::string &name);
 
 /** Number of threads in the group's workloads (2 or 4). */
 unsigned groupThreads(WorkloadGroup group);

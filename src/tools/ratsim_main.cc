@@ -2,22 +2,35 @@
  * @file
  * ratsim — command-line driver for the Runahead Threads SMT simulator.
  *
+ * Subcommands:
+ *   ratsim run    [options]   single workload or group, human output
+ *   ratsim report [options]   same run, structured JSON/CSV output
+ *   ratsim sweep  [options]   declarative campaign over a config grid
+ *                             with an optional on-disk result cache
+ *
+ * Bare `ratsim [options]` is kept as an alias of `ratsim run` for
+ * backward compatibility.
+ *
  * Examples:
- *   ratsim --workload art,mcf --policy RaT
- *   ratsim --workload art,gzip --policy FLUSH --measure 200000
- *   ratsim --group MEM2 --policy RaT --fairness
- *   ratsim --workload swim,mcf --policy RaT --regs 64 --runahead-cache
+ *   ratsim run --workload art,mcf --policy RaT
+ *   ratsim run --group MEM2 --policy RaT --fairness
+ *   ratsim report --workload art,mcf --policy RaT --json run.json
+ *   ratsim sweep --policies ICOUNT,RaT --groups MEM2 --regs 128,320 \
+ *                --cache .ratsim-cache --json sweep.json
  *   ratsim --list-programs
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 #include "policy/factory.hh"
+#include "report/serialize.hh"
+#include "sim/campaign.hh"
 #include "sim/experiment.hh"
 #include "sim/metrics.hh"
 #include "sim/simulator.hh"
@@ -34,7 +47,9 @@ usage()
     std::printf(
         "ratsim — Runahead Threads SMT simulator (HPCA 2008 reproduction)\n"
         "\n"
-        "usage: ratsim [options]\n"
+        "usage: ratsim [run|report|sweep] [options]\n"
+        "\n"
+        "run/report options:\n"
         "  --workload P1,P2[,P3,P4]  programs to co-run (default art,mcf)\n"
         "  --group NAME              run a whole Table 2 group instead\n"
         "                            (ILP2 MIX2 MEM2 ILP4 MIX4 MEM4)\n"
@@ -51,9 +66,55 @@ usage()
         "  --runahead-cache          enable the runahead cache\n"
         "  --no-prefetch             Fig. 4 ablation: no runahead prefetch\n"
         "  --no-ra-fetch             Fig. 4 ablation: no fetch in runahead\n"
+        "  --json PATH               (report) write JSON ('-' = stdout)\n"
+        "  --csv PATH                (report) write CSV ('-' = stdout)\n"
+        "\n"
+        "sweep options (comma-separated axes):\n"
+        "  --policies A,B,...        techniques (default ICOUNT,RaT)\n"
+        "  --groups G1,G2,...        Table 2 groups to sweep\n"
+        "  --workloads W1;W2;...     explicit workloads, ';'-separated\n"
+        "                            (default art,mcf when no --groups)\n"
+        "  --regs N1,N2,...          renaming-register axis\n"
+        "  --rob N1,N2,...           ROB-size axis\n"
+        "  --measure N1,N2,...       measured-window axis\n"
+        "  --seeds N1,N2,...         seed axis\n"
+        "  --warmup/--prewarm N      scalar warm-up settings\n"
+        "  --cache DIR               on-disk result cache directory\n"
+        "  --jobs N                  worker threads (default: hardware)\n"
+        "  --json PATH / --csv PATH  structured output ('-' = stdout)\n"
+        "\n"
+        "discovery:\n"
         "  --list-programs           print modelled SPEC2000 programs\n"
         "  --list-groups             print Table 2 workloads\n"
         "  --help                    this text\n");
+}
+
+/**
+ * Handle a discovery/help flag in an option position (prints and
+ * exits). Never called for option *values*: those are consumed by
+ * next() before the parse loop sees them, so
+ * `--workload --list-programs` still fails as a bad workload.
+ */
+void
+handleDiscovery(const std::string &arg)
+{
+    if (arg == "--help" || arg == "-h") {
+        usage();
+        std::exit(0);
+    }
+    if (arg == "--list-programs") {
+        for (const auto &name : trace::spec2000Names())
+            std::printf("%s\n", name.c_str());
+        std::exit(0);
+    }
+    if (arg == "--list-groups") {
+        for (const sim::WorkloadGroup g : sim::allGroups()) {
+            std::printf("%s:\n", sim::groupName(g));
+            for (const sim::Workload &w : sim::workloadsOf(g))
+                std::printf("  %s\n", w.name.c_str());
+        }
+        std::exit(0);
+    }
 }
 
 core::PolicyKind
@@ -67,27 +128,42 @@ parsePolicy(const std::string &name)
 std::vector<std::string>
 splitPrograms(const std::string &list)
 {
-    std::vector<std::string> programs;
-    std::size_t start = 0;
-    while (start <= list.size()) {
-        const std::size_t comma = list.find(',', start);
-        const std::string name =
-            list.substr(start, comma == std::string::npos
-                                   ? std::string::npos
-                                   : comma - start);
-        if (!name.empty()) {
-            if (!trace::isSpec2000(name))
-                fatal("unknown program '%s' (try --list-programs)",
-                      name.c_str());
-            programs.push_back(name);
-        }
-        if (comma == std::string::npos)
-            break;
-        start = comma + 1;
+    const std::vector<std::string> programs = splitList(list, ',');
+    for (const std::string &name : programs) {
+        if (!trace::isSpec2000(name))
+            fatal("unknown program '%s' (try --list-programs)",
+                  name.c_str());
     }
     if (programs.empty() || programs.size() > 4)
         fatal("workload needs 1..4 programs");
     return programs;
+}
+
+/** Split a ';'-separated list of comma-joined workloads. */
+std::vector<sim::Workload>
+splitWorkloads(const std::string &list)
+{
+    std::vector<sim::Workload> workloads;
+    for (const std::string &item : splitList(list, ';'))
+        workloads.push_back(
+            sim::Workload::fromPrograms(splitPrograms(item)));
+    return workloads;
+}
+
+/** Write @p text to @p path, with "-" meaning stdout. */
+void
+writeOutput(const std::string &path, const std::string &text,
+            const char *what)
+{
+    if (path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write %s file '%s'", what, path.c_str());
+    out << text;
+    std::printf("wrote %s %s\n", what, path.c_str());
 }
 
 void
@@ -121,93 +197,116 @@ printRun(const sim::SimResult &r, bool with_fairness,
     }
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
-{
-    std::string workload_list = "art,mcf";
-    std::string group_name;
-    std::string policy_name = "RaT";
+/** Options shared by the run and report subcommands. */
+struct RunOptions {
+    std::string workloadList = "art,mcf";
+    std::string groupName;
+    std::string policyName = "RaT";
     sim::SimConfig cfg;
-    bool with_fairness = false;
+    bool withFairness = false;
+    std::string jsonPath; ///< report only
+    std::string csvPath;  ///< report only
+};
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                fatal("option %s needs a value", arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--help" || arg == "-h") {
+/**
+ * Parse one run/report/common option at @p args[i]; returns false when
+ * the option is unknown. @p i advances past consumed values.
+ */
+bool
+parseRunOption(const std::vector<std::string> &args, std::size_t &i,
+               RunOptions &opt, bool structured)
+{
+    const std::string &arg = args[i];
+    auto next = [&]() -> const char * {
+        if (i + 1 >= args.size())
+            fatal("option %s needs a value", arg.c_str());
+        return args[++i].c_str();
+    };
+    handleDiscovery(arg); // exits on --help / --list-*
+    if (arg == "--workload") {
+        opt.workloadList = next();
+    } else if (arg == "--group") {
+        opt.groupName = next();
+    } else if (arg == "--policy") {
+        opt.policyName = next();
+    } else if (arg == "--measure") {
+        opt.cfg.measureCycles = parseU64(next(), "--measure");
+    } else if (arg == "--warmup") {
+        opt.cfg.warmupCycles = parseU64(next(), "--warmup");
+    } else if (arg == "--prewarm") {
+        opt.cfg.prewarmInsts = parseU64(next(), "--prewarm");
+    } else if (arg == "--seed") {
+        opt.cfg.seed = parseU64(next(), "--seed");
+    } else if (arg == "--regs") {
+        const unsigned regs = parseUnsigned(next(), "--regs");
+        opt.cfg.core.intRegs = regs;
+        opt.cfg.core.fpRegs = regs;
+    } else if (arg == "--rob") {
+        opt.cfg.core.robEntries = parseUnsigned(next(), "--rob");
+    } else if (arg == "--fairness") {
+        opt.withFairness = true;
+    } else if (arg == "--no-fp-drop") {
+        opt.cfg.core.rat.dropFpInRunahead = false;
+    } else if (arg == "--runahead-cache") {
+        opt.cfg.core.rat.useRunaheadCache = true;
+    } else if (arg == "--no-prefetch") {
+        opt.cfg.core.rat.disablePrefetch = true;
+    } else if (arg == "--no-ra-fetch") {
+        opt.cfg.core.rat.noFetchInRunahead = true;
+    } else if (structured && arg == "--json") {
+        opt.jsonPath = next();
+    } else if (structured && arg == "--csv") {
+        opt.csvPath = next();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** `ratsim run` / legacy bare invocation / `ratsim report`. */
+int
+runCommand(const std::vector<std::string> &args, bool structured)
+{
+    RunOptions opt;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (!parseRunOption(args, i, opt, structured)) {
             usage();
-            return 0;
-        } else if (arg == "--list-programs") {
-            for (const auto &name : trace::spec2000Names())
-                std::printf("%s\n", name.c_str());
-            return 0;
-        } else if (arg == "--list-groups") {
-            for (const sim::WorkloadGroup g : sim::allGroups()) {
-                std::printf("%s:\n", sim::groupName(g));
-                for (const sim::Workload &w : sim::workloadsOf(g))
-                    std::printf("  %s\n", w.name.c_str());
-            }
-            return 0;
-        } else if (arg == "--workload") {
-            workload_list = next();
-        } else if (arg == "--group") {
-            group_name = next();
-        } else if (arg == "--policy") {
-            policy_name = next();
-        } else if (arg == "--measure") {
-            cfg.measureCycles = std::strtoull(next(), nullptr, 10);
-        } else if (arg == "--warmup") {
-            cfg.warmupCycles = std::strtoull(next(), nullptr, 10);
-        } else if (arg == "--prewarm") {
-            cfg.prewarmInsts = std::strtoull(next(), nullptr, 10);
-        } else if (arg == "--seed") {
-            cfg.seed = std::strtoull(next(), nullptr, 10);
-        } else if (arg == "--regs") {
-            const unsigned regs =
-                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
-            cfg.core.intRegs = regs;
-            cfg.core.fpRegs = regs;
-        } else if (arg == "--rob") {
-            cfg.core.robEntries =
-                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--fairness") {
-            with_fairness = true;
-        } else if (arg == "--no-fp-drop") {
-            cfg.core.rat.dropFpInRunahead = false;
-        } else if (arg == "--runahead-cache") {
-            cfg.core.rat.useRunaheadCache = true;
-        } else if (arg == "--no-prefetch") {
-            cfg.core.rat.disablePrefetch = true;
-        } else if (arg == "--no-ra-fetch") {
-            cfg.core.rat.noFetchInRunahead = true;
-        } else {
-            usage();
-            fatal("unknown option '%s'", arg.c_str());
+            fatal("unknown option '%s'", args[i].c_str());
         }
     }
+    opt.cfg.core.policy = parsePolicy(opt.policyName);
+    // Structured output defaults to JSON on stdout.
+    if (structured && opt.jsonPath.empty() && opt.csvPath.empty())
+        opt.jsonPath = "-";
 
-    cfg.core.policy = parsePolicy(policy_name);
-
-    if (!group_name.empty()) {
-        const sim::WorkloadGroup *found = nullptr;
-        for (const sim::WorkloadGroup &g : sim::allGroups()) {
-            if (group_name == sim::groupName(g))
-                found = &g;
+    if (!opt.groupName.empty()) {
+        const auto group = sim::parseGroup(opt.groupName);
+        if (!group)
+            fatal("unknown group '%s'", opt.groupName.c_str());
+        sim::ExperimentRunner runner(opt.cfg);
+        const sim::TechniqueSpec tech{opt.policyName,
+                                      opt.cfg.core.policy,
+                                      opt.cfg.core.rat};
+        const sim::GroupMetrics gm = runner.runGroup(*group, tech);
+        if (structured) {
+            if (!opt.jsonPath.empty()) {
+                report::Json j = report::Json::object();
+                j["schema"] = report::Json("ratsim-group-v1");
+                // Effective config: every run in the group uses the
+                // group's thread count, not the base default.
+                j["config"] = report::toJson(
+                    runner.configFor(tech, sim::groupThreads(*group)));
+                j["groupMetrics"] = report::toJson(gm);
+                writeOutput(opt.jsonPath, j.dump(2), "JSON");
+            }
+            if (!opt.csvPath.empty())
+                writeOutput(opt.csvPath,
+                            report::groupMetricsCsv(gm).dump(), "CSV");
+            return 0;
         }
-        if (!found)
-            fatal("unknown group '%s'", group_name.c_str());
-        sim::ExperimentRunner runner(cfg);
-        const sim::TechniqueSpec tech{policy_name, cfg.core.policy,
-                                      cfg.core.rat};
-        const sim::GroupMetrics gm = runner.runGroup(*found, tech);
-        std::printf("%s under %s:\n", group_name.c_str(),
-                    policy_name.c_str());
-        const auto &workloads = sim::workloadsOf(*found);
+        std::printf("%s under %s:\n", opt.groupName.c_str(),
+                    opt.policyName.c_str());
+        const auto &workloads = sim::workloadsOf(*group);
         for (std::size_t i = 0; i < workloads.size(); ++i) {
             std::printf("  %-28s throughput %.3f\n",
                         workloads[i].name.c_str(),
@@ -219,19 +318,185 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const auto programs = splitPrograms(workload_list);
-    sim::Workload w;
-    w.programs = programs;
-    for (const auto &p : programs)
-        w.name += (w.name.empty() ? "" : ",") + p;
+    const sim::Workload w =
+        sim::Workload::fromPrograms(splitPrograms(opt.workloadList));
+    sim::ExperimentRunner runner(opt.cfg);
+    const sim::TechniqueSpec tech{opt.policyName, opt.cfg.core.policy,
+                                  opt.cfg.core.rat};
+    const sim::SimResult r = runner.runWorkload(w, tech);
+
+    if (structured) {
+        if (!opt.jsonPath.empty()) {
+            report::Json j = report::Json::object();
+            j["schema"] = report::Json("ratsim-run-v1");
+            j["workload"] = report::Json(w.name);
+            j["technique"] = report::Json(opt.policyName);
+            j["config"] = report::toJson(
+                runner.configFor(tech,
+                                 static_cast<unsigned>(
+                                     w.programs.size())));
+            j["metrics"] = report::resultMetricsJson(r);
+            if (opt.withFairness) {
+                j["fairness"] = report::Json(
+                    sim::fairness(r, runner.baselinesFor(w)));
+            }
+            j["result"] = report::toJson(r);
+            writeOutput(opt.jsonPath, j.dump(2), "JSON");
+        }
+        if (!opt.csvPath.empty())
+            writeOutput(opt.csvPath, report::threadResultsCsv(r).dump(),
+                        "CSV");
+        return 0;
+    }
 
     std::printf("workload %s under %s (%llu measured cycles)\n\n",
-                w.name.c_str(), policy_name.c_str(),
-                static_cast<unsigned long long>(cfg.measureCycles));
-    sim::ExperimentRunner runner(cfg);
-    const sim::TechniqueSpec tech{policy_name, cfg.core.policy,
-                                  cfg.core.rat};
-    const sim::SimResult r = runner.runWorkload(w, tech);
-    printRun(r, with_fairness, &runner, &w);
+                w.name.c_str(), opt.policyName.c_str(),
+                static_cast<unsigned long long>(opt.cfg.measureCycles));
+    printRun(r, opt.withFairness, &runner, &w);
     return 0;
+}
+
+/** `ratsim sweep`: declarative campaign over a configuration grid. */
+int
+sweepCommand(const std::vector<std::string> &args)
+{
+    sim::CampaignSpec spec;
+    std::string policies = "ICOUNT,RaT";
+    std::string groups;
+    std::string workloads;
+    bool groups_given = false;
+    bool workloads_given = false;
+    std::string json_path, csv_path;
+    core::RatConfig rat_flags;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= args.size())
+                fatal("option %s needs a value", arg.c_str());
+            return args[++i].c_str();
+        };
+        auto unsignedAxis = [](const char *text, const char *what) {
+            std::vector<unsigned> values;
+            for (const std::string &item : splitList(text, ','))
+                values.push_back(parseUnsigned(item.c_str(), what));
+            if (values.empty())
+                fatal("%s: expected a comma-separated list of unsigned "
+                      "integers, got '%s'",
+                      what, text);
+            return values;
+        };
+        handleDiscovery(arg); // exits on --help / --list-*
+        if (arg == "--policies") {
+            policies = next();
+        } else if (arg == "--groups") {
+            groups = next();
+            groups_given = true;
+        } else if (arg == "--workloads") {
+            workloads = next();
+            workloads_given = true;
+        } else if (arg == "--regs") {
+            spec.regsAxis = unsignedAxis(next(), "--regs");
+        } else if (arg == "--rob") {
+            spec.robAxis = unsignedAxis(next(), "--rob");
+        } else if (arg == "--measure") {
+            spec.measureAxis = parseU64List(next(), "--measure");
+        } else if (arg == "--seeds") {
+            spec.seedAxis = parseU64List(next(), "--seeds");
+        } else if (arg == "--warmup") {
+            spec.base.warmupCycles = parseU64(next(), "--warmup");
+        } else if (arg == "--prewarm") {
+            spec.base.prewarmInsts = parseU64(next(), "--prewarm");
+        } else if (arg == "--cache") {
+            spec.cacheDir = next();
+        } else if (arg == "--jobs") {
+            spec.parallelism = parseUnsigned(next(), "--jobs");
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--no-fp-drop") {
+            rat_flags.dropFpInRunahead = false;
+        } else if (arg == "--runahead-cache") {
+            rat_flags.useRunaheadCache = true;
+        } else if (arg == "--no-prefetch") {
+            rat_flags.disablePrefetch = true;
+        } else if (arg == "--no-ra-fetch") {
+            rat_flags.noFetchInRunahead = true;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    spec.base.core.rat = rat_flags;
+    for (const std::string &name : splitList(policies, ','))
+        spec.techniques.push_back({name, parsePolicy(name), rat_flags});
+    if (spec.techniques.empty())
+        fatal("--policies needs at least one technique");
+
+    for (const std::string &name : splitList(groups, ',')) {
+        const auto group = sim::parseGroup(name);
+        if (!group)
+            fatal("unknown group '%s'", name.c_str());
+        spec.groups.push_back(*group);
+    }
+    if (groups_given && spec.groups.empty())
+        fatal("--groups: expected at least one group name, got '%s'",
+              groups.c_str());
+    if (workloads_given) {
+        spec.workloads = splitWorkloads(workloads);
+        if (spec.workloads.empty())
+            fatal("--workloads: expected at least one workload, "
+                  "got '%s'",
+                  workloads.c_str());
+    }
+    // No explicit grid: default to the paper's headline pair.
+    if (spec.groups.empty() && spec.workloads.empty())
+        spec.workloads = splitWorkloads("art,mcf");
+
+    const sim::CampaignOutcome outcome = sim::runCampaign(spec);
+
+    std::printf("sweep: %zu cells (%llu simulated, %llu from cache)\n",
+                outcome.cells.size(),
+                static_cast<unsigned long long>(outcome.simulated),
+                static_cast<unsigned long long>(outcome.cacheHits));
+    std::printf("%-14s %-6s %-28s %5s %5s %10s %8s\n", "technique",
+                "group", "workload", "regs", "rob", "seed",
+                "thrpt");
+    for (const sim::CampaignCell &cell : outcome.cells) {
+        std::printf("%-14s %-6s %-28s %5u %5u %10llu %8.3f\n",
+                    cell.technique.c_str(), cell.group.c_str(),
+                    cell.workload.c_str(), cell.regs, cell.rob,
+                    static_cast<unsigned long long>(cell.seed),
+                    sim::throughput(cell.result));
+    }
+
+    if (!json_path.empty())
+        writeOutput(json_path, sim::campaignJson(outcome, spec).dump(2),
+                    "JSON");
+    if (!csv_path.empty())
+        writeOutput(csv_path, sim::campaignCsv(outcome).dump(), "CSV");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+
+    if (!args.empty() && args[0] == "run")
+        return runCommand({args.begin() + 1, args.end()}, false);
+    if (!args.empty() && args[0] == "report")
+        return runCommand({args.begin() + 1, args.end()}, true);
+    if (!args.empty() && args[0] == "sweep")
+        return sweepCommand({args.begin() + 1, args.end()});
+    if (!args.empty() && !args[0].empty() && args[0][0] != '-') {
+        usage();
+        fatal("unknown subcommand '%s'", args[0].c_str());
+    }
+    // Legacy: bare options behave like `ratsim run`.
+    return runCommand(args, false);
 }

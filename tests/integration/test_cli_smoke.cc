@@ -94,4 +94,102 @@ TEST(CliSmoke, UnknownProgramFailsWithDiagnostic)
         << r.output;
 }
 
+TEST(CliSmoke, GarbageNumericOptionFailsWithDiagnostic)
+{
+    // strtoull would silently turn "abc" into 0 measured cycles; the
+    // checked parser must reject it instead.
+    const CliResult r = runCli("--workload art,mcf --measure abc");
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_NE(r.output.find("expected an unsigned integer"),
+              std::string::npos)
+        << r.output;
+
+    const CliResult trailing = runCli("--workload art,mcf --seed 12x");
+    EXPECT_NE(trailing.exitCode, 0);
+    EXPECT_NE(trailing.output.find("expected an unsigned integer"),
+              std::string::npos)
+        << trailing.output;
+}
+
+TEST(CliSmoke, RunSubcommandMatchesLegacyInvocation)
+{
+    const char *args =
+        "--workload art,mcf --policy RaT --measure 2000 --warmup 500 "
+        "--prewarm 20000";
+    const CliResult legacy = runCli(args);
+    const CliResult sub = runCli(std::string("run ") + args);
+    ASSERT_EQ(legacy.exitCode, 0) << legacy.output;
+    ASSERT_EQ(sub.exitCode, 0) << sub.output;
+    EXPECT_EQ(legacy.output, sub.output);
+}
+
+TEST(CliSmoke, ReportSubcommandEmitsJsonToStdout)
+{
+    const CliResult r = runCli(
+        "report --workload art,mcf --policy RaT --measure 2000 "
+        "--warmup 500 --prewarm 20000 --json -");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("\"schema\": \"ratsim-run-v1\""),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"workload\": \"art,mcf\""),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"committedInsts\""), std::string::npos)
+        << r.output;
+}
+
+TEST(CliSmoke, ReportSubcommandEmitsCsvToStdout)
+{
+    const CliResult r = runCli(
+        "report --workload art,mcf --policy ICOUNT --measure 2000 "
+        "--warmup 500 --prewarm 20000 --csv -");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("thread,program,ipc"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("art"), std::string::npos) << r.output;
+}
+
+TEST(CliSmoke, SweepSubcommandRunsGrid)
+{
+    const CliResult r = runCli(
+        "sweep --policies ICOUNT --workloads art,mcf --measure 1000 "
+        "--warmup 200 --prewarm 5000");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("sweep: 1 cells"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("ICOUNT"), std::string::npos) << r.output;
+}
+
+TEST(CliSmoke, DiscoveryFlagInValuePositionIsNotHijacked)
+{
+    // "--list-programs" here is the (missing) value of --workload; it
+    // must parse as a bad program name, not short-circuit into the
+    // program listing with exit 0.
+    const CliResult r = runCli("run --workload --list-programs");
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_NE(r.output.find("unknown program"), std::string::npos)
+        << r.output;
+}
+
+TEST(CliSmoke, EmptySweepListsFailWithDiagnostic)
+{
+    const CliResult w = runCli("sweep --workloads \";\"");
+    EXPECT_NE(w.exitCode, 0);
+    EXPECT_NE(w.output.find("--workloads"), std::string::npos)
+        << w.output;
+
+    const CliResult g = runCli("sweep --groups \"\"");
+    EXPECT_NE(g.exitCode, 0);
+    EXPECT_NE(g.output.find("--groups"), std::string::npos) << g.output;
+}
+
+TEST(CliSmoke, UnknownSubcommandFailsWithDiagnostic)
+{
+    const CliResult r = runCli("frobnicate");
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_NE(r.output.find("unknown subcommand"), std::string::npos)
+        << r.output;
+}
+
 } // namespace

@@ -82,6 +82,71 @@ TEST(GoldenStats, IcountOnArtMcfSeed1)
     EXPECT_DOUBLE_EQ(r.throughputEq1(), (3829.0 + 1165.0) / 2 / 20000.0);
 }
 
+SimResult
+runMem4(const TechniqueSpec &tech)
+{
+    SimConfig cfg; // defaults: seed 1, 20k warmup, 1M prewarm insts
+    cfg.measureCycles = 20000;
+    ExperimentRunner runner(cfg);
+    // First MEM4 workload of Table 2: four memory-bound threads.
+    Workload w;
+    w.name = "art,mcf,swim,twolf";
+    w.programs = {"art", "mcf", "swim", "twolf"};
+    return runner.runWorkload(w, tech);
+}
+
+TEST(GoldenStats, RatOnMem4QuadSeed1)
+{
+    // 4-thread pin: guards the multi-thread semantics (shared ROB/IQ
+    // arbitration across four contexts) the 2-thread pins cannot see.
+    const SimResult r = runMem4(ratSpec());
+    ASSERT_EQ(r.threads.size(), 4u);
+    EXPECT_EQ(r.cycles, 20000u);
+
+    const ThreadResult &art = r.threads[0];
+    EXPECT_EQ(art.program, "art");
+    EXPECT_EQ(art.core.committedInsts, 10176u);
+    EXPECT_EQ(art.core.runaheadEntries, 37u);
+    EXPECT_EQ(art.core.runaheadCycles, 13102u);
+
+    const ThreadResult &mcf = r.threads[1];
+    EXPECT_EQ(mcf.program, "mcf");
+    EXPECT_EQ(mcf.core.committedInsts, 1039u);
+    EXPECT_EQ(mcf.core.runaheadEntries, 47u);
+    EXPECT_EQ(mcf.core.runaheadCycles, 17206u);
+
+    const ThreadResult &swim = r.threads[2];
+    EXPECT_EQ(swim.program, "swim");
+    EXPECT_EQ(swim.core.committedInsts, 14818u);
+    EXPECT_EQ(swim.core.runaheadEntries, 32u);
+    EXPECT_EQ(swim.core.runaheadCycles, 11714u);
+
+    const ThreadResult &twolf = r.threads[3];
+    EXPECT_EQ(twolf.program, "twolf");
+    EXPECT_EQ(twolf.core.committedInsts, 3019u);
+    EXPECT_EQ(twolf.core.runaheadEntries, 47u);
+    EXPECT_EQ(twolf.core.runaheadCycles, 15621u);
+
+    EXPECT_DOUBLE_EQ(
+        r.throughputEq1(),
+        (10176.0 + 1039.0 + 14818.0 + 3019.0) / 4 / 20000.0);
+}
+
+TEST(GoldenStats, IcountOnMem4QuadSeed1)
+{
+    const SimResult r = runMem4(icountSpec());
+    ASSERT_EQ(r.threads.size(), 4u);
+    EXPECT_EQ(r.cycles, 20000u);
+    EXPECT_EQ(r.threads[0].core.committedInsts, 2002u);
+    EXPECT_EQ(r.threads[1].core.committedInsts, 1195u);
+    EXPECT_EQ(r.threads[2].core.committedInsts, 2296u);
+    EXPECT_EQ(r.threads[3].core.committedInsts, 1771u);
+    for (const ThreadResult &t : r.threads) {
+        EXPECT_EQ(t.core.runaheadEntries, 0u);
+        EXPECT_EQ(t.core.runaheadCycles, 0u);
+    }
+}
+
 TEST(GoldenStats, RatBeatsIcountOnMemoryBoundPair)
 {
     // The paper's headline claim on this pair, as a coarse invariant on
