@@ -1,0 +1,173 @@
+/**
+ * perf_simspeed: wall-clock simulator throughput of the event-driven
+ * scheduler against the broadcast reference it replaced (DESIGN.md,
+ * "Event-driven wakeup").
+ *
+ * Every paper figure is a sweep over techniques x workloads x resource
+ * sizes, so simulated-MIPS is the budget that bounds how many scenarios
+ * a campaign can explore. This bench runs the paper's 4-thread MIX
+ * workloads under RaT twice per workload — once with the pre-refactor
+ * broadcast scans (`CoreConfig::broadcastScheduler`), once with the
+ * event-driven waiter lists — verifies the results are bit-identical,
+ * and reports simulated MIPS (measured-window committed instructions
+ * per wall second of that window) and simulated Kcycles/sec over the
+ * same window (prewarm and warmup are identical in both modes and
+ * reported separately in the totals).
+ *
+ * Output: the usual table on stdout plus BENCH_simspeed.json through
+ * BenchReport (before/after series and the headline speedup).
+ *
+ * Extra env knobs (on top of bench_util.hh):
+ *   RATSIM_SPEED_WORKLOADS  cap on MIX4 workloads timed (default: all 8)
+ */
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "report/serialize.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace rat;
+
+struct ModeSample {
+    double seconds = 0.0;     ///< measured-window wall seconds
+    double mips = 0.0;        ///< committed Minsts / measured second
+    double kcps = 0.0;        ///< simulated Kcycles / measured second
+    double prewarmSec = 0.0;  ///< untimed phases (prewarm + warmup)
+    std::string resultJson;   ///< full serialized SimResult
+    std::uint64_t committed = 0;
+};
+
+ModeSample
+timeOne(const sim::SimConfig &base, const sim::Workload &w, bool broadcast)
+{
+    sim::SimConfig cfg = base;
+    cfg.core.policy = core::PolicyKind::Rat;
+    cfg.core.broadcastScheduler = broadcast;
+
+    sim::Simulator simulator(cfg, w.programs);
+    sim::PhaseTiming t;
+    const sim::SimResult r = simulator.run(&t);
+
+    // Throughput over the measured window only: SimResult's committed
+    // counts cover exactly that window (stats reset after warmup), so
+    // numerator and denominator describe the same cycles.
+    ModeSample s;
+    s.seconds = t.measureSeconds;
+    s.prewarmSec = t.prewarmSeconds + t.warmupSeconds;
+    s.committed = r.committedTotal();
+    if (s.seconds > 0.0) {
+        s.mips = static_cast<double>(s.committed) / 1e6 / s.seconds;
+        s.kcps = static_cast<double>(r.cycles) / 1e3 / s.seconds;
+    }
+    s.resultJson = report::toJson(r).dump();
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rat;
+
+    bench::banner(
+        "perf_simspeed: event-driven vs broadcast scheduler throughput",
+        "event-driven wakeup well above 1.5x simulated MIPS (in-tree "
+        "reference; a lower bound on the PR-2 seed gap, see DESIGN.md), "
+        "bit-identical results");
+
+    const sim::SimConfig base = bench::benchConfig();
+    const auto &mix4 = sim::workloadsOf(sim::WorkloadGroup::MIX4);
+    const std::uint64_t cap =
+        bench::envU64("RATSIM_SPEED_WORKLOADS", mix4.size());
+    const std::size_t count =
+        std::min<std::size_t>(mix4.size(), static_cast<std::size_t>(cap));
+    if (count < mix4.size()) {
+        std::printf("note: timing %zu of %zu MIX4 workloads "
+                    "(RATSIM_SPEED_WORKLOADS)\n",
+                    count, mix4.size());
+    }
+
+    const std::vector<std::string> labels = {"bcast MIPS", "event MIPS",
+                                             "speedup"};
+    const std::vector<std::string> cycle_labels = {"bcast Kc/s",
+                                                   "event Kc/s"};
+    std::map<std::string, std::vector<double>> rows;
+    std::map<std::string, std::vector<double>> cycle_rows;
+    std::vector<std::string> order;
+
+    bench::BenchReport bench_report("simspeed");
+    double sum_bcast_sec = 0.0, sum_event_sec = 0.0;
+    double sum_prewarm_sec = 0.0;
+    std::uint64_t sum_committed = 0;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const sim::Workload &w = mix4[i];
+        // Broadcast (before) first, then event-driven (after).
+        const ModeSample before = timeOne(base, w, /*broadcast=*/true);
+        const ModeSample after = timeOne(base, w, /*broadcast=*/false);
+
+        // The refactor's contract: same simulation, only faster.
+        if (before.resultJson != after.resultJson) {
+            fatal("scheduler results diverged on workload '%s'",
+                  w.name.c_str());
+        }
+
+        const double speedup =
+            before.mips > 0.0 ? after.mips / before.mips : 0.0;
+        rows[w.name] = {before.mips, after.mips, speedup};
+        cycle_rows[w.name] = {before.kcps, after.kcps};
+        order.push_back(w.name);
+        sum_bcast_sec += before.seconds;
+        sum_event_sec += after.seconds;
+        sum_prewarm_sec += before.prewarmSec + after.prewarmSec;
+        sum_committed += after.committed;
+    }
+
+    bench::printGroupTable("RaT on MIX4: simulated MIPS by scheduler",
+                           labels, rows, order);
+    bench::printGroupTable("RaT on MIX4: simulated Kcycles/sec by "
+                           "scheduler",
+                           cycle_labels, cycle_rows, order);
+    bench_report.addGroupTable(
+        "RaT on MIX4: simulated MIPS by scheduler (before=broadcast, "
+        "after=event)",
+        labels, rows, order);
+    bench_report.addGroupTable(
+        "RaT on MIX4: simulated Kcycles/sec by scheduler "
+        "(before=broadcast, after=event)",
+        cycle_labels, cycle_rows, order);
+
+    const double total_mips_bcast =
+        sum_bcast_sec > 0.0
+            ? static_cast<double>(sum_committed) / 1e6 / sum_bcast_sec
+            : 0.0;
+    const double total_mips_event =
+        sum_event_sec > 0.0
+            ? static_cast<double>(sum_committed) / 1e6 / sum_event_sec
+            : 0.0;
+    const double total_speedup =
+        total_mips_bcast > 0.0 ? total_mips_event / total_mips_bcast : 0.0;
+
+    std::printf("\nsweep totals (measured windows): broadcast %.2fs, "
+                "event %.2fs, untimed prewarm+warmup %.2fs\n",
+                sum_bcast_sec, sum_event_sec, sum_prewarm_sec);
+    std::printf("simulated MIPS: broadcast %.3f -> event %.3f "
+                "(speedup %.2fx)\n",
+                total_mips_bcast, total_mips_event, total_speedup);
+
+    bench_report.addHeadline("simulated MIPS, broadcast (before)",
+                             total_mips_bcast);
+    bench_report.addHeadline("simulated MIPS, event-driven (after)",
+                             total_mips_event);
+    bench_report.addHeadline("speedup (event vs broadcast)",
+                             total_speedup);
+    bench_report.write();
+    return 0;
+}

@@ -119,6 +119,18 @@ struct CoreConfig {
     PolicyKind policy = PolicyKind::Icount;
     RatConfig rat{};
 
+    /**
+     * Run the pre-event-driven broadcast scheduler: full issue-queue
+     * scans on every register/store wakeup and a per-cycle ready-list
+     * rescan, instead of the event-driven waiter lists (DESIGN.md,
+     * "Event-driven wakeup"). Results are bit-identical in both modes;
+     * this reference implementation exists for the perf_simspeed
+     * before/after bench and the scheduler-equivalence tests. Host-side
+     * implementation choice only, so it is deliberately NOT part of the
+     * serialized configuration (it cannot affect results or cache keys).
+     */
+    bool broadcastScheduler = false;
+
     branch::PerceptronConfig predictor{};
 };
 

@@ -125,8 +125,110 @@ struct DynInst {
     Cycle renameReadyAt = 0; ///< when it may leave the fetch queue
     Cycle completeAt = kNoCycle;
 
+    /** Current slot in the owning issue queue (O(1) removal). */
+    std::uint32_t iqPos = 0;
+
+    /**
+     * Summary of the rare scheduler links below (kWaiterLinks set when
+     * any onWaiterList[i] is, kDepLink mirroring onDepList, kDepHead
+     * mirroring depHead != nullptr). Lives in the hot region so the
+     * release path of a cleanly committed instruction (the common case)
+     * can skip the link cache lines entirely.
+     */
+    std::uint8_t schedLinkMask = 0;
+    static constexpr std::uint8_t kWaiterLinks = 1;
+    static constexpr std::uint8_t kDepLink = 2;
+    static constexpr std::uint8_t kDepHead = 4;
+
+    // Intrusive program-order list links, used first for the thread's
+    // fetch queue and then (after rename) for its ROB list — an
+    // instruction is on at most one of the two at any time. Touched
+    // several times per instruction, so they stay in the hot region.
+    DynInst *seqNext = nullptr;
+    DynInst *seqPrev = nullptr;
+
+    // Intrusive LSQ membership (per-thread program-ordered list), plus
+    // a parallel stores-only chain so store-to-load forwarding walks
+    // only actual stores.
+    DynInst *lsqNext = nullptr;
+    DynInst *lsqPrev = nullptr;
+    DynInst *lsqStoreNext = nullptr;
+    DynInst *lsqStorePrev = nullptr;
+    bool inLsq = false;
+
+    // --- rarely-touched event-scheduler links (DESIGN.md,
+    // "Event-driven wakeup") ------------------------------------------
+    //
+    // Deliberately last: only touched on actual dependence edges, so
+    // the per-stage hot fields above stay packed in the record's first
+    // cache lines.
+    //
+    // Raw pointers are safe in all link families because of the release
+    // invariant: every node is unlinked (or its list consumed) before
+    // the owning instruction returns to the pool, and the pool's slot
+    // array never reallocates.
+
+    // Waiter-list node per source operand: a doubly-linked chain of
+    // (instruction, source-index) nodes anchored at the producing
+    // physical register. Linked at dispatch while the source is
+    // Waiting; consumed wholesale when the producer wakes the register,
+    // or unlinked one node at a time on squash/release.
+    DynInst *wakeNext[kMaxSrcs] = {};
+    DynInst *wakePrev[kMaxSrcs] = {};
+    std::uint8_t wakeNextSrc[kMaxSrcs] = {};
+    std::uint8_t wakePrevSrc[kMaxSrcs] = {};
+    bool onWaiterList[kMaxSrcs] = {};
+
+    // Store-dependence chain: loads blocked on an older in-flight store
+    // (depStoreUid above) link into that store's dependent list so the
+    // store's completion/fold wakes only its actual dependents.
+    DynInst *depHead = nullptr;  ///< stores: first dependent load
+    DynInst *depNext = nullptr;  ///< loads: chain links
+    DynInst *depPrev = nullptr;  ///< loads: chain links
+    DynInst *depStore = nullptr; ///< loads: the store depended on
+    bool onDepList = false;      ///< loads: linked on depStore's chain
+
     /** Handle to this instruction. */
     InstHandle handle() const { return {slot, gen}; }
+
+    /**
+     * Reset the semantic fields for reuse from the pool (hot path: one
+     * call per fetched instruction). Deliberately NOT reset:
+     *  - the intrusive link families (wake-, dep-, lsq-, seq-): the
+     *    release invariant guarantees they are already null/unlinked
+     *    when the slot returns to the free list, and skipping them
+     *    keeps allocation from rewriting ~40% of the record;
+     *  - `op` and `pred`: fully assigned at fetch before any read;
+     *  - `iqPos`: assigned at issue-queue insert;
+     *  - `slot`/`gen`/`uid`/`tid`: managed by InstPool::alloc.
+     */
+    void
+    resetForAlloc()
+    {
+        status = InstStatus::InFetchQueue;
+        inv = false;
+        runahead = false;
+        folded = false;
+        renamed = false;
+        dstIsFp = false;
+        dstPhys = kMapInv;
+        hasDstReg = false;
+        prevMap = kMapArch;
+        prevMapGen = 0;
+        numSrcs = 0;
+        memIssued = false;
+        memLevel = mem::HitLevel::L1;
+        depStoreUid = 0;
+        forwarded = false;
+        countedL2Miss = false;
+        longLatency = false;
+        predTaken = false;
+        mispredicted = false;
+        fetchedAt = 0;
+        renameReadyAt = 0;
+        completeAt = kNoCycle;
+        schedLinkMask = 0;
+    }
 
     /** All sources ready (none waiting, none invalid)? */
     bool
@@ -177,10 +279,8 @@ class InstPool
         const std::uint32_t slot = freeList_.back();
         freeList_.pop_back();
         DynInst &inst = slots_[slot];
-        const std::uint32_t gen = inst.gen + 1;
-        inst = DynInst{};
-        inst.slot = slot;
-        inst.gen = gen;
+        inst.resetForAlloc();
+        ++inst.gen; // distinct from every handle of the prior occupant
         inst.uid = ++nextUid_;
         inst.tid = tid;
         return &inst;

@@ -25,6 +25,16 @@
 namespace rat::core {
 
 /**
+ * One waiter-list node reference: a consuming instruction plus which of
+ * its source operands waits on the register (see DESIGN.md,
+ * "Event-driven wakeup").
+ */
+struct RegWaiter {
+    DynInst *inst = nullptr;
+    std::uint8_t src = 0;
+};
+
+/**
  * One class (INT or FP) of shared renaming registers.
  */
 class PhysRegFile
@@ -93,8 +103,41 @@ class PhysRegFile
     {
         RAT_ASSERT(r < regs_.size() && regs_[r].allocated,
                    "releasing free register %u", r);
+        // Waiters are consumed at wakeup or unlinked at squash before
+        // the producing instruction can release its register; a live
+        // waiter here would dangle across reallocation.
+        RAT_ASSERT(regs_[r].waiter.inst == nullptr,
+                   "releasing register %u with live waiters", r);
         regs_[r].allocated = false;
         freeList_.push_back(r);
+    }
+
+    // --- consumer waiter lists (event-driven wakeup) -------------------
+
+    /** Head of the register's consumer waiter list. */
+    RegWaiter
+    waiterHead(PhysReg r) const
+    {
+        RAT_ASSERT(r < regs_.size(), "bad register %u", r);
+        return regs_[r].waiter;
+    }
+
+    /** Overwrite the waiter-list head (unlink of the first node). */
+    void
+    setWaiterHead(PhysReg r, RegWaiter w)
+    {
+        RAT_ASSERT(r < regs_.size(), "bad register %u", r);
+        regs_[r].waiter = w;
+    }
+
+    /** Detach and return the whole waiter list (wakeup consumes it). */
+    RegWaiter
+    takeWaiters(PhysReg r)
+    {
+        RAT_ASSERT(r < regs_.size(), "bad register %u", r);
+        const RegWaiter w = regs_[r].waiter;
+        regs_[r].waiter = {};
+        return w;
     }
 
     /** Value availability of an allocated register. */
@@ -119,6 +162,8 @@ class PhysRegFile
         bool allocated = false;
         bool ready = false;
         std::uint16_t gen = 0;
+        /** First (inst, src) node waiting on this register's value. */
+        RegWaiter waiter{};
     };
 
     std::vector<Reg> regs_;

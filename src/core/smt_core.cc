@@ -42,10 +42,14 @@ SmtCore::SmtCore(const CoreConfig &config, mem::MemoryHierarchy &mem,
                 config.fetchQueueEntries +
             64),
       rob_(config.robEntries),
-      iqs_{IssueQueue{"intIQ", config.intIqEntries},
-           IssueQueue{"lsIQ", config.lsIqEntries},
-           IssueQueue{"fpIQ", config.fpIqEntries}},
-      lsq_(config.lsqEntries), intRegs_(config.intRegs),
+      iqs_{IssueQueue{"intIQ", config.intIqEntries,
+                      config.broadcastScheduler},
+           IssueQueue{"lsIQ", config.lsIqEntries,
+                      config.broadcastScheduler},
+           IssueQueue{"fpIQ", config.fpIqEntries,
+                      config.broadcastScheduler}},
+      lsq_(config.lsqEntries, config.broadcastScheduler),
+      intRegs_(config.intRegs),
       fpRegs_(config.fpRegs), intUnits_("intFU", config.intUnits),
       fpUnits_("fpFU", config.fpUnits), memUnits_("memFU", config.memUnits),
       predictor_(config.predictor), btb_(), raCache_(
@@ -61,6 +65,8 @@ SmtCore::SmtCore(const CoreConfig &config, mem::MemoryHierarchy &mem,
     for (unsigned t = 0; t < config.numThreads; ++t) {
         RAT_ASSERT(streams[t] != nullptr, "null trace stream");
         threads_[t].gen = streams[t];
+        if (!config_.broadcastScheduler)
+            threads_[t].traceMemo.resize(kTraceMemoSize);
     }
     policy_.reset(*this);
 }
@@ -188,6 +194,7 @@ void
 SmtCore::resetStats()
 {
     stats_ = {};
+    sched_ = {};
     predictor_.resetStats();
     btb_.resetStats();
 }
@@ -222,6 +229,12 @@ SmtCore::processCompletions()
     }
 
     // Drain any INV cascade started by the wakeups above.
+    drainFolds();
+}
+
+void
+SmtCore::drainFolds()
+{
     while (!foldQueue_.empty()) {
         const InstHandle h = foldQueue_.back();
         foldQueue_.pop_back();
@@ -254,12 +267,7 @@ SmtCore::completeInst(DynInst &inst)
         resolveControl(inst);
 
     // Drain the INV cascade possibly started by the wakeups.
-    while (!foldQueue_.empty()) {
-        const InstHandle h = foldQueue_.back();
-        foldQueue_.pop_back();
-        if (DynInst *folded = pool_.get(h))
-            foldInst(*folded);
-    }
+    drainFolds();
 }
 
 void
@@ -287,8 +295,47 @@ SmtCore::resolveControl(DynInst &inst)
 void
 SmtCore::wakeConsumers(bool is_fp, MapEntry tag, bool inv)
 {
+    if (config_.broadcastScheduler) {
+        wakeConsumersBroadcast(is_fp, tag, inv);
+        return;
+    }
+
+    // Event-driven: the register carries the exact list of waiting
+    // (instruction, source) nodes; consume it wholesale. Nodes of
+    // instructions folded since they linked are skipped — they retire
+    // later and unlink any remaining nodes then.
+    RegWaiter w = fileOf(is_fp).takeWaiters(static_cast<PhysReg>(tag));
+    while (w.inst) {
+        ++sched_.regWakeVisits;
+        DynInst *c = w.inst;
+        const unsigned src = w.src;
+        w = {c->wakeNext[src], c->wakeNextSrc[src]};
+        c->wakeNext[src] = c->wakePrev[src] = nullptr;
+        c->onWaiterList[src] = false;
+        refreshWaiterMask(*c);
+        RAT_ASSERT(c->srcIsFp[src] == is_fp && c->srcTag[src] == tag,
+                   "waiter node on the wrong register list");
+        if (c->status != InstStatus::InQueue)
+            continue; // folded since it linked
+        RAT_ASSERT(c->srcState[src] == SrcState::Waiting,
+                   "linked source no longer waiting");
+        c->srcState[src] = inv ? SrcState::Invalid : SrcState::Ready;
+        if (inv)
+            foldQueue_.push_back(c->handle());
+        else
+            pushReady(*c);
+    }
+}
+
+void
+SmtCore::wakeConsumersBroadcast(bool is_fp, MapEntry tag, bool inv)
+{
+    // The seed implementation, verbatim: scan every entry of every
+    // issue queue through a generation-checked handle on each register
+    // writeback.
     for (auto &iq : iqs_) {
-        for (const InstHandle h : iq.entries()) {
+        for (const InstHandle h : iq.legacyHandles()) {
+            ++sched_.regWakeVisits;
             DynInst *c = pool_.get(h);
             if (!c || c->status != InstStatus::InQueue)
                 continue;
@@ -306,10 +353,61 @@ SmtCore::wakeConsumers(bool is_fp, MapEntry tag, bool inv)
 }
 
 void
-SmtCore::wakeStoreDependents(const DynInst &store, bool inv)
+SmtCore::wakeStoreDependents(DynInst &store, bool inv)
+{
+    if (config_.broadcastScheduler) {
+        wakeStoreDependentsBroadcast(store, inv);
+        return;
+    }
+
+    DynInst *c = store.depHead;
+    store.depHead = nullptr;
+    store.schedLinkMask &= static_cast<std::uint8_t>(~DynInst::kDepHead);
+    while (c) {
+        ++sched_.storeWakeVisits;
+        DynInst *next = c->depNext;
+        c->depNext = c->depPrev = nullptr;
+        c->depStore = nullptr;
+        c->onDepList = false;
+        c->schedLinkMask &= static_cast<std::uint8_t>(~DynInst::kDepLink);
+        // Loads folded since they linked keep their stale dependence
+        // tag, exactly like the broadcast scan (which no longer saw
+        // them once they left the memory IQ).
+        if (c->status == InstStatus::InQueue &&
+            c->depStoreUid == store.uid) {
+            c->depStoreUid = 0;
+            if (inv)
+                foldQueue_.push_back(c->handle());
+            else
+                pushReady(*c);
+        }
+        c = next;
+    }
+}
+
+DynInst *
+SmtCore::legacyStoreForwardMatch(const DynInst &load, Addr line)
+{
+    // Seed walk: the whole per-thread memory-op deque, handle-checked.
+    DynInst *match = nullptr;
+    for (const InstHandle h : lsq_.legacyThreadList(load.tid)) {
+        DynInst *other = pool_.get(h);
+        if (!other || other->uid >= load.uid)
+            break; // program-ordered: done once we reach self
+        if (trace::isStoreOp(other->op.op) &&
+            mem_.l1d().lineAlign(other->op.effAddr) == line) {
+            match = other;
+        }
+    }
+    return match;
+}
+
+void
+SmtCore::wakeStoreDependentsBroadcast(const DynInst &store, bool inv)
 {
     IssueQueue &mem_iq = queueOf(IqClass::Mem);
-    for (const InstHandle h : mem_iq.entries()) {
+    for (const InstHandle h : mem_iq.legacyHandles()) {
+        ++sched_.storeWakeVisits;
         DynInst *c = pool_.get(h);
         if (!c || c->depStoreUid != store.uid)
             continue;
@@ -317,6 +415,124 @@ SmtCore::wakeStoreDependents(const DynInst &store, bool inv)
         if (inv)
             foldQueue_.push_back(h);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven scheduler plumbing (DESIGN.md, "Event-driven wakeup")
+// ---------------------------------------------------------------------------
+
+void
+SmtCore::pushReady(DynInst &inst)
+{
+    if (inst.status == InstStatus::InQueue && inst.allSrcsReady())
+        readyQ_.push({inst.uid, inst.handle()});
+}
+
+void
+SmtCore::linkWaiter(DynInst &inst, unsigned src)
+{
+    PhysRegFile &file = fileOf(inst.srcIsFp[src]);
+    const auto r = static_cast<PhysReg>(inst.srcTag[src]);
+    const RegWaiter head = file.waiterHead(r);
+    inst.wakeNext[src] = head.inst;
+    inst.wakeNextSrc[src] = head.src;
+    inst.wakePrev[src] = nullptr;
+    inst.wakePrevSrc[src] = 0;
+    if (head.inst) {
+        head.inst->wakePrev[head.src] = &inst;
+        head.inst->wakePrevSrc[head.src] = static_cast<std::uint8_t>(src);
+    }
+    file.setWaiterHead(r, {&inst, static_cast<std::uint8_t>(src)});
+    inst.onWaiterList[src] = true;
+    inst.schedLinkMask |= DynInst::kWaiterLinks;
+}
+
+void
+SmtCore::refreshWaiterMask(DynInst &inst)
+{
+    for (unsigned i = 0; i < inst.numSrcs; ++i) {
+        if (inst.onWaiterList[i])
+            return;
+    }
+    inst.schedLinkMask &=
+        static_cast<std::uint8_t>(~DynInst::kWaiterLinks);
+}
+
+void
+SmtCore::unlinkWaiter(DynInst &inst, unsigned src)
+{
+    if (!inst.onWaiterList[src])
+        return;
+    DynInst *next = inst.wakeNext[src];
+    const std::uint8_t next_src = inst.wakeNextSrc[src];
+    if (inst.wakePrev[src]) {
+        inst.wakePrev[src]->wakeNext[inst.wakePrevSrc[src]] = next;
+        inst.wakePrev[src]->wakeNextSrc[inst.wakePrevSrc[src]] = next_src;
+    } else {
+        fileOf(inst.srcIsFp[src])
+            .setWaiterHead(static_cast<PhysReg>(inst.srcTag[src]),
+                           {next, next_src});
+    }
+    if (next) {
+        next->wakePrev[next_src] = inst.wakePrev[src];
+        next->wakePrevSrc[next_src] = inst.wakePrevSrc[src];
+    }
+    inst.wakeNext[src] = inst.wakePrev[src] = nullptr;
+    inst.onWaiterList[src] = false;
+    refreshWaiterMask(inst);
+}
+
+void
+SmtCore::linkStoreDependent(DynInst &store, DynInst &load)
+{
+    RAT_ASSERT(!load.onDepList, "load already on a dependent chain");
+    load.depNext = store.depHead;
+    load.depPrev = nullptr;
+    if (store.depHead)
+        store.depHead->depPrev = &load;
+    store.depHead = &load;
+    load.depStore = &store;
+    load.onDepList = true;
+    load.schedLinkMask |= DynInst::kDepLink;
+    store.schedLinkMask |= DynInst::kDepHead;
+}
+
+void
+SmtCore::unlinkStoreDependent(DynInst &load)
+{
+    if (!load.onDepList)
+        return;
+    if (load.depPrev) {
+        load.depPrev->depNext = load.depNext;
+    } else {
+        RAT_ASSERT(load.depStore && load.depStore->depHead == &load,
+                   "dependent chain head mismatch");
+        load.depStore->depHead = load.depNext;
+        if (!load.depNext) {
+            load.depStore->schedLinkMask &=
+                static_cast<std::uint8_t>(~DynInst::kDepHead);
+        }
+    }
+    if (load.depNext)
+        load.depNext->depPrev = load.depPrev;
+    load.depNext = load.depPrev = nullptr;
+    load.depStore = nullptr;
+    load.onDepList = false;
+    load.schedLinkMask &= static_cast<std::uint8_t>(~DynInst::kDepLink);
+}
+
+void
+SmtCore::unlinkSched(DynInst &inst)
+{
+    if (inst.schedLinkMask == 0)
+        return; // cleanly completed (the common case): nothing linked
+    for (unsigned i = 0; i < inst.numSrcs; ++i)
+        unlinkWaiter(inst, i);
+    unlinkStoreDependent(inst);
+    RAT_ASSERT(inst.depHead == nullptr,
+               "releasing a store with live dependents");
+    RAT_ASSERT(inst.schedLinkMask == 0,
+               "scheduler link mask out of sync");
 }
 
 // ---------------------------------------------------------------------------
@@ -348,7 +564,7 @@ SmtCore::foldInst(DynInst &inst)
     ThreadState &t = threads_[inst.tid];
 
     if (inst.status == InstStatus::InQueue) {
-        queueOf(iqClassOf(inst.op.op)).remove(inst.handle());
+        queueOf(iqClassOf(inst.op.op)).remove(inst);
         --t.iqCount[static_cast<unsigned>(iqClassOf(inst.op.op))];
         RAT_ASSERT(t.icount > 0, "icount underflow on fold");
         --t.icount;
@@ -417,24 +633,35 @@ SmtCore::enterRunahead(ThreadId tid, DynInst &blocking_load)
     // L2-missing load of this thread folds now; its fill continues in
     // the hierarchy as a prefetch. Without this, runahead progress would
     // serialize behind the very misses it is meant to overlap.
-    const std::vector<InstHandle> mem_ops(lsq_.threadList(tid).begin(),
-                                          lsq_.threadList(tid).end());
-    for (const InstHandle h : mem_ops) {
-        DynInst *inst = pool_.get(h);
-        if (inst && trace::isLoadOp(inst->op.op) &&
-            inst->status == InstStatus::Executing && inst->memIssued &&
-            inst->longLatency) {
-            foldInst(*inst);
+    // Folding never changes LSQ membership, so the intrusive list can
+    // be walked in place; the legacy reference keeps the seed's
+    // defensive heap snapshot of the whole thread list.
+    if (!config_.broadcastScheduler) {
+        for (DynInst *inst = lsq_.head(tid); inst != nullptr;) {
+            DynInst *next = inst->lsqNext;
+            if (trace::isLoadOp(inst->op.op) &&
+                inst->status == InstStatus::Executing && inst->memIssued &&
+                inst->longLatency) {
+                foldInst(*inst);
+            }
+            inst = next;
+        }
+    } else {
+        const std::vector<InstHandle> mem_ops(
+            lsq_.legacyThreadList(tid).begin(),
+            lsq_.legacyThreadList(tid).end());
+        for (const InstHandle h : mem_ops) {
+            DynInst *inst = pool_.get(h);
+            if (inst && trace::isLoadOp(inst->op.op) &&
+                inst->status == InstStatus::Executing && inst->memIssued &&
+                inst->longLatency) {
+                foldInst(*inst);
+            }
         }
     }
 
     // Drain the INV cascade now so dependants fold promptly.
-    while (!foldQueue_.empty()) {
-        const InstHandle h = foldQueue_.back();
-        foldQueue_.pop_back();
-        if (DynInst *inst = pool_.get(h))
-            foldInst(*inst);
-    }
+    drainFolds();
 }
 
 void
@@ -456,15 +683,13 @@ SmtCore::exitRunahead(ThreadId tid)
     // the ROB from the tail. The checkpointed architectural state covers
     // every register, so maps are bulk-restored rather than walked.
     while (!t.fetchQueue.empty()) {
-        DynInst *inst = pool_.get(t.fetchQueue.back());
+        DynInst *inst = t.fetchQueue.tail();
         t.fetchQueue.pop_back();
-        RAT_ASSERT(inst != nullptr, "stale fetch-queue entry");
         scrubInst(*inst, /*restore_map=*/false);
     }
     while (!rob_.empty(tid)) {
-        DynInst *inst = pool_.get(rob_.tail(tid));
+        DynInst *inst = rob_.tail(tid);
         rob_.popTail(tid);
-        RAT_ASSERT(inst != nullptr, "stale ROB entry");
         scrubInst(*inst, /*restore_map=*/false);
     }
 
@@ -498,14 +723,13 @@ SmtCore::dumpThreadHead(ThreadId tid) const
     if (rob_.empty(tid)) {
         std::fprintf(stderr,
                      "[t%u] ROB empty; nextSeq=%llu blockedUntil=%llu "
-                     "waitingBranch=%d fetchQ=%zu\n",
+                     "waitingBranch=%d fetchQ=%u\n",
                      tid, static_cast<unsigned long long>(t.nextSeq),
                      static_cast<unsigned long long>(t.fetchBlockedUntil),
                      t.waitingBranch, t.fetchQueue.size());
         return;
     }
-    const DynInst *h =
-        const_cast<InstPool &>(pool_).get(rob_.head(tid));
+    const DynInst *h = rob_.head(tid);
     std::fprintf(
         stderr,
         "[t%u] head seq=%llu op=%u status=%u inv=%d memIssued=%d "
@@ -539,7 +763,7 @@ SmtCore::scrubInst(DynInst &inst, bool restore_map)
         --t.icount;
         break;
       case InstStatus::InQueue:
-        queueOf(iqClassOf(inst.op.op)).remove(inst.handle());
+        queueOf(iqClassOf(inst.op.op)).remove(inst);
         --t.iqCount[static_cast<unsigned>(iqClassOf(inst.op.op))];
         RAT_ASSERT(t.icount > 0, "icount underflow on scrub");
         --t.icount;
@@ -590,6 +814,7 @@ SmtCore::scrubInst(DynInst &inst, bool restore_map)
 
     ++stats_[inst.tid].squashedInsts;
     inst.status = InstStatus::Retired;
+    unlinkSched(inst);
     pool_.release(&inst);
 }
 
@@ -599,16 +824,14 @@ SmtCore::squashYoungerThan(ThreadId tid, InstSeq seq)
     ThreadState &t = threads_[tid];
 
     while (!t.fetchQueue.empty()) {
-        DynInst *inst = pool_.get(t.fetchQueue.back());
-        RAT_ASSERT(inst != nullptr, "stale fetch-queue entry");
+        DynInst *inst = t.fetchQueue.tail();
         if (inst->op.seq <= seq)
             break;
         t.fetchQueue.pop_back();
         scrubInst(*inst, /*restore_map=*/true);
     }
     while (!rob_.empty(tid)) {
-        DynInst *inst = pool_.get(rob_.tail(tid));
-        RAT_ASSERT(inst != nullptr, "stale ROB entry");
+        DynInst *inst = rob_.tail(tid);
         if (inst->op.seq <= seq)
             break;
         rob_.popTail(tid);
@@ -628,10 +851,9 @@ bool
 SmtCore::retireHead(ThreadId tid)
 {
     ThreadState &t = threads_[tid];
-    if (rob_.empty(tid))
+    DynInst *head = rob_.head(tid);
+    if (!head)
         return false;
-    DynInst *head = pool_.get(rob_.head(tid));
-    RAT_ASSERT(head != nullptr, "stale ROB head");
 
     if (t.inRunahead) {
         if (head->status != InstStatus::Complete)
@@ -648,6 +870,7 @@ SmtCore::retireHead(ThreadId tid)
         rob_.popHead(tid);
         ++stats_[tid].pseudoRetired;
         head->status = InstStatus::Retired;
+        unlinkSched(*head); // folded heads may still hold waiter nodes
         pool_.release(head);
         return true;
     }
@@ -665,6 +888,7 @@ SmtCore::retireHead(ThreadId tid)
         rob_.popHead(tid);
         ++stats_[tid].committedInsts;
         head->status = InstStatus::Retired;
+        unlinkSched(*head); // no-op for committed insts; keeps invariant
         pool_.release(head);
         return true;
     }
@@ -674,7 +898,9 @@ SmtCore::retireHead(ThreadId tid)
     if (runaheadEnabled(config_.policy) &&
         trace::isLoadOp(head->op.op) && head->memIssued &&
         head->longLatency &&
-        !t.raSuppressedLoads.count(head->op.seq)) {
+        (t.raSuppressedLoads.empty() || // non-empty only in the Fig. 4
+                                        // no-prefetch ablation
+         !t.raSuppressedLoads.count(head->op.seq))) {
         enterRunahead(tid, *head);
         return true; // consumed a commit slot taking the checkpoint
     }
@@ -686,12 +912,15 @@ SmtCore::commitStage()
 {
     unsigned budget = config_.commitWidth;
     const unsigned n = config_.numThreads;
+    unsigned slot = commitRR_;
     for (unsigned i = 0; i < n && budget > 0; ++i) {
-        const auto tid = static_cast<ThreadId>((commitRR_ + i) % n);
+        const auto tid = static_cast<ThreadId>(slot);
+        if (++slot >= n)
+            slot = 0;
         while (budget > 0 && retireHead(tid))
             --budget;
     }
-    commitRR_ = (commitRR_ + 1) % n;
+    commitRR_ = commitRR_ + 1 >= n ? 0 : commitRR_ + 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -706,7 +935,7 @@ SmtCore::tryIssueInst(DynInst &inst)
 
     auto start_execution = [&](Cycle complete_at) {
         ++stats_[inst.tid].executedInsts;
-        queueOf(iqClassOf(op)).remove(inst.handle());
+        queueOf(iqClassOf(op)).remove(inst);
         --t.iqCount[static_cast<unsigned>(iqClassOf(op))];
         RAT_ASSERT(t.icount > 0, "icount underflow on issue");
         --t.icount;
@@ -718,29 +947,31 @@ SmtCore::tryIssueInst(DynInst &inst)
     if (trace::isLoadOp(op)) {
         const Addr line = mem_.l1d().lineAlign(inst.op.effAddr);
 
-        // In-flight store-to-load communication (same thread).
+        // In-flight store-to-load communication (same thread): walk
+        // only the thread's in-flight stores, oldest to youngest,
+        // stopping at program order (self). The legacy reference walks
+        // the seed's full per-thread memory-op deque instead.
         DynInst *match = nullptr;
-        for (const InstHandle h : lsq_.threadList(inst.tid)) {
-            DynInst *other = pool_.get(h);
-            if (!other || other->uid >= inst.uid)
-                break; // program-ordered list: done once we reach self
-            if (trace::isStoreOp(other->op.op) &&
-                mem_.l1d().lineAlign(other->op.effAddr) == line) {
-                match = other; // keep youngest older match
+        if (!config_.broadcastScheduler) {
+            for (DynInst *other = lsq_.storeHead(inst.tid);
+                 other != nullptr && other->uid < inst.uid;
+                 other = other->lsqStoreNext) {
+                if (mem_.l1d().lineAlign(other->op.effAddr) == line)
+                    match = other; // keep youngest older match
             }
+        } else {
+            match = legacyStoreForwardMatch(inst, line);
         }
         if (match) {
             if (match->inv) {
                 foldInst(inst); // INV store data propagates to the load
                 return false;
             }
-            if (match->status != InstStatus::Complete &&
-                match->status != InstStatus::Executing) {
-                inst.depStoreUid = match->uid; // wait for the store
-                return false;
-            }
-            if (match->status == InstStatus::Executing) {
+            if (match->status != InstStatus::Complete) {
+                // Pending or executing: wait for the store's data.
                 inst.depStoreUid = match->uid;
+                if (!config_.broadcastScheduler)
+                    linkStoreDependent(*match, inst);
                 return false;
             }
             // Forward from the completed store.
@@ -834,9 +1065,46 @@ SmtCore::tryIssueInst(DynInst &inst)
 void
 SmtCore::issueStage()
 {
+    if (config_.broadcastScheduler) {
+        issueStageBroadcast();
+        return;
+    }
+
+    // Event-driven: pop oldest-first from the incrementally maintained
+    // ready queue. Entries are validated lazily — instructions folded
+    // or squashed since insertion are dropped here; instructions that
+    // stay ready but lose arbitration (port/FU conflicts) are re-queued
+    // for the next cycle.
+    unsigned budget = config_.issueWidth;
+    readyPutback_.clear();
+    while (budget > 0 && !readyQ_.empty()) {
+        const ReadyEntry e = readyQ_.top();
+        readyQ_.pop();
+        ++sched_.readySelectVisits;
+        DynInst *inst = pool_.get(e.inst);
+        if (!inst || inst->uid != e.uid)
+            continue; // squashed (and possibly recycled) since insertion
+        if (inst->status != InstStatus::InQueue || !inst->allSrcsReady())
+            continue; // folded since insertion
+        if (tryIssueInst(*inst))
+            --budget;
+        if (inst->status == InstStatus::InQueue && inst->allSrcsReady())
+            readyPutback_.push_back(e); // lost arbitration: still ready
+    }
+    for (const ReadyEntry &e : readyPutback_)
+        readyQ_.push(e);
+
+    // Drain INV cascades started by at-issue folding.
+    drainFolds();
+}
+
+void
+SmtCore::issueStageBroadcast()
+{
     readyScratch_.clear();
     for (const auto &iq : iqs_) {
-        for (const InstHandle h : iq.entries()) {
+        for (const InstHandle h : iq.legacyHandles()) {
+            ++sched_.readySelectVisits;
             const DynInst *inst = pool_.get(h);
             if (inst && inst->status == InstStatus::InQueue &&
                 inst->allSrcsReady()) {
@@ -865,12 +1133,7 @@ SmtCore::issueStage()
     }
 
     // Drain INV cascades started by at-issue folding.
-    while (!foldQueue_.empty()) {
-        const InstHandle h = foldQueue_.back();
-        foldQueue_.pop_back();
-        if (DynInst *inst = pool_.get(h))
-            foldInst(*inst);
-    }
+    drainFolds();
 }
 
 // ---------------------------------------------------------------------------
@@ -881,10 +1144,9 @@ bool
 SmtCore::renameOne(ThreadId tid)
 {
     ThreadState &t = threads_[tid];
-    if (t.fetchQueue.empty())
+    DynInst *inst = t.fetchQueue.head();
+    if (!inst)
         return false;
-    DynInst *inst = pool_.get(t.fetchQueue.front());
-    RAT_ASSERT(inst != nullptr, "stale fetch-queue head");
     if (inst->renameReadyAt > cycle_)
         return false;
     if (rob_.full())
@@ -1001,9 +1263,20 @@ SmtCore::renameOne(ThreadId tid)
     rob_.push(*inst);
     if (trace::isMemOp(op))
         lsq_.insert(*inst);
-    queueOf(cls).insert(inst->handle());
+    queueOf(cls).insert(*inst);
     ++t.iqCount[static_cast<unsigned>(cls)];
     inst->status = InstStatus::InQueue;
+
+    // Event-driven dispatch: register each still-waiting source on its
+    // producer's waiter list; instructions arriving fully ready go
+    // straight onto the ready queue.
+    if (!config_.broadcastScheduler) {
+        for (unsigned i = 0; i < inst->numSrcs; ++i) {
+            if (inst->srcState[i] == SrcState::Waiting)
+                linkWaiter(*inst, i);
+        }
+        pushReady(*inst);
+    }
     return true;
 }
 
@@ -1015,10 +1288,11 @@ SmtCore::renameStage()
     bool stalled[kMaxThreads] = {};
     unsigned stalled_count = 0;
 
-    unsigned rr = renameRR_;
+    unsigned rr = renameRR_ % n;
     while (budget > 0 && stalled_count < n) {
-        const auto tid = static_cast<ThreadId>(rr % n);
-        rr = (rr + 1) % n;
+        const auto tid = static_cast<ThreadId>(rr);
+        if (++rr >= n)
+            rr = 0;
         if (stalled[tid])
             continue;
         if (renameOne(tid)) {
@@ -1028,12 +1302,26 @@ SmtCore::renameStage()
             ++stalled_count;
         }
     }
-    renameRR_ = (renameRR_ + 1) % n;
+    renameRR_ = renameRR_ + 1 >= n ? 0 : renameRR_ + 1;
 }
 
 // ---------------------------------------------------------------------------
 // Fetch
 // ---------------------------------------------------------------------------
+
+trace::MicroOp
+SmtCore::traceAt(ThreadState &t, InstSeq seq)
+{
+    if (config_.broadcastScheduler)
+        return t.gen->at(seq); // legacy: regenerate, as the seed did
+    ThreadState::TraceMemoEntry &e =
+        t.traceMemo[seq & (kTraceMemoSize - 1)];
+    if (e.seq != seq) {
+        e.seq = seq;
+        e.op = t.gen->at(seq);
+    }
+    return e.op;
+}
 
 void
 SmtCore::fetchThread(ThreadId tid, unsigned &budget)
@@ -1041,7 +1329,7 @@ SmtCore::fetchThread(ThreadId tid, unsigned &budget)
     ThreadState &t = threads_[tid];
     while (budget > 0 &&
            t.fetchQueue.size() < config_.fetchQueueEntries) {
-        const trace::MicroOp op = t.gen->at(t.nextSeq);
+        const trace::MicroOp op = traceAt(t, t.nextSeq);
 
         // Instruction-cache access on line crossings, with a
         // stream-buffer-style sequential prefetch of the next lines.
@@ -1107,7 +1395,7 @@ SmtCore::fetchThread(ThreadId tid, unsigned &budget)
             }
         }
 
-        t.fetchQueue.push_back(inst->handle());
+        t.fetchQueue.push_back(*inst);
         ++t.icount;
         ++stats_[tid].fetchedInsts;
         ++t.nextSeq;

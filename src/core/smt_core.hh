@@ -9,9 +9,13 @@
  *   3. commit       — per-thread in-order retire / pseudo-retire;
  *                     runahead *entry* happens here (L2-miss load at the
  *                     thread's ROB head, Section 3.1)
- *   4. issue        — oldest-first select over the three issue queues
+ *   4. issue        — oldest-first select from the event-driven ready
+ *                     queue (or a full-IQ rescan in the legacy
+ *                     broadcast reference mode; DESIGN.md,
+ *                     "Event-driven wakeup")
  *   5. rename       — round-robin over threads, shared width; runahead
- *                     INV folding happens here
+ *                     INV folding happens here; waiting sources link
+ *                     onto their producer registers' waiter lists
  *   6. fetch        — policy-ordered ICOUNT.2.8 style fetch
  *   7. sampling     — statistics and policy end-of-cycle work
  *
@@ -148,6 +152,24 @@ class SmtCore
     }
 
     /**
+     * Scheduler hot-path work counters (reset by resetStats). Each
+     * "visit" is one candidate examined: in the event-driven scheduler
+     * that is one actual dependence edge or ready instruction, in the
+     * broadcast reference mode one scanned issue-queue entry. The
+     * scheduler-equivalence tests pin the O(actual dependents) claim of
+     * DESIGN.md "Event-driven wakeup" on these.
+     */
+    struct SchedCounters {
+        /** Candidates examined by wakeConsumers. */
+        std::uint64_t regWakeVisits = 0;
+        /** Candidates examined by wakeStoreDependents. */
+        std::uint64_t storeWakeVisits = 0;
+        /** Issue candidates examined by issueStage. */
+        std::uint64_t readySelectVisits = 0;
+    };
+    const SchedCounters &schedCounters() const { return sched_; }
+
+    /**
      * Print a one-line diagnostic description of a thread's ROB head to
      * stderr (debugging aid; stable API for tooling and tests).
      */
@@ -168,7 +190,7 @@ class SmtCore
         InstSeq nextSeq = 0;
 
         // Front end.
-        std::deque<InstHandle> fetchQueue;
+        InstList fetchQueue;
         Cycle fetchBlockedUntil = 0;
         bool waitingBranch = false;
         InstHandle blockingBranch{};
@@ -188,6 +210,21 @@ class SmtCore
         // Long-latency tracking.
         unsigned pendingL2Misses = 0;
         Cycle lastFpIssue = 0;
+
+        /**
+         * Trace memoization (event-driven mode only): runahead exit and
+         * branch redirects rewind nextSeq and refetch the same trace
+         * window — under RaT, well over half of all fetches are
+         * refetches. TraceGenerator::at is purely functional in
+         * (seed, seq), so a direct-mapped memo turns those refetches
+         * into array hits. The legacy scheduler mode bypasses it and
+         * regenerates every micro-op, like the seed implementation.
+         */
+        struct TraceMemoEntry {
+            InstSeq seq = ~InstSeq{0};
+            trace::MicroOp op{};
+        };
+        std::vector<TraceMemoEntry> traceMemo;
 
         // Runahead state (Section 3).
         bool inRunahead = false;
@@ -211,6 +248,24 @@ class SmtCore
         std::priority_queue<InstEvent, std::vector<InstEvent>,
                             std::greater<InstEvent>>;
 
+    /**
+     * One entry of the incrementally maintained ready queue: pushed the
+     * moment an instruction's last source turns Ready, popped
+     * oldest-first (by uid) at issue. Entries are lazily validated at
+     * pop time — an instruction folded or squashed after insertion
+     * leaves a stale entry behind, detected by the pool generation
+     * check plus the uid match.
+     */
+    struct ReadyEntry {
+        std::uint64_t uid;
+        InstHandle inst;
+        bool operator>(const ReadyEntry &o) const { return uid > o.uid; }
+    };
+
+    using ReadyQueue =
+        std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                            std::greater<ReadyEntry>>;
+
     // --- pipeline stages --------------------------------------------------
     void processCompletions();
     void checkRunaheadTransitions();
@@ -221,6 +276,11 @@ class SmtCore
     void sampleCycle();
 
     // --- helpers ----------------------------------------------------------
+    /** Trace-memo capacity per thread (power of two, covers the fetch
+     * window of one runahead episode). */
+    static constexpr std::size_t kTraceMemoSize = 1024;
+    /** Micro-op at @p seq of @p t's trace, memoized in event mode. */
+    trace::MicroOp traceAt(ThreadState &t, InstSeq seq);
     void fetchThread(ThreadId tid, unsigned &budget);
     bool renameOne(ThreadId tid);
     bool tryIssueInst(DynInst &inst);
@@ -234,7 +294,35 @@ class SmtCore
     /** Wake issue-queue consumers of a completed/INV register. */
     void wakeConsumers(bool is_fp, MapEntry tag, bool inv);
     /** Wake loads waiting on a completed/INV store. */
-    void wakeStoreDependents(const DynInst &store, bool inv);
+    void wakeStoreDependents(DynInst &store, bool inv);
+    /** Drain the INV cascade worklist. */
+    void drainFolds();
+
+    // --- event-driven scheduler plumbing (DESIGN.md) ----------------------
+
+    /** Link a Waiting source onto its producer register's waiter list. */
+    void linkWaiter(DynInst &inst, unsigned src);
+    /** Unlink one waiter node (squash/release path), O(1). */
+    void unlinkWaiter(DynInst &inst, unsigned src);
+    /** Drop kWaiterLinks from the mask once no source is linked. */
+    void refreshWaiterMask(DynInst &inst);
+    /** Link a blocked load onto @p store's dependent chain. */
+    void linkStoreDependent(DynInst &store, DynInst &load);
+    /** Unlink a load from its store's dependent chain, O(1). */
+    void unlinkStoreDependent(DynInst &load);
+    /** Detach every scheduler link; required before pool release. */
+    void unlinkSched(DynInst &inst);
+    /** Enqueue @p inst for issue if it is in-queue and fully ready. */
+    void pushReady(DynInst &inst);
+
+    // Broadcast reference implementations (config_.broadcastScheduler):
+    // the original full-scan scheduler, kept for the before/after
+    // perf_simspeed bench and the equivalence tests.
+    void wakeConsumersBroadcast(bool is_fp, MapEntry tag, bool inv);
+    void wakeStoreDependentsBroadcast(const DynInst &store, bool inv);
+    void issueStageBroadcast();
+    /** Seed store-forward scan over the legacy LSQ deque. */
+    DynInst *legacyStoreForwardMatch(const DynInst &load, Addr line);
 
     void enterRunahead(ThreadId tid, DynInst &blocking_load);
     void exitRunahead(ThreadId tid);
@@ -287,11 +375,15 @@ class SmtCore
     EventQueue completions_;
     EventQueue l2Detections_;
 
+    ReadyQueue readyQ_; ///< age-ordered ready instructions (event mode)
+    SchedCounters sched_;
+
     unsigned renameRR_ = 0;
     unsigned commitRR_ = 0;
 
     std::vector<ThreadId> fetchOrder_; // scratch
-    std::vector<InstHandle> readyScratch_;
+    std::vector<InstHandle> readyScratch_; // broadcast-mode scratch
+    std::vector<ReadyEntry> readyPutback_; // un-issued ready re-queue
     std::vector<InstHandle> foldQueue_; // INV cascade worklist
 };
 

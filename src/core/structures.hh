@@ -11,6 +11,7 @@
 #ifndef RAT_CORE_STRUCTURES_HH
 #define RAT_CORE_STRUCTURES_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <deque>
@@ -40,16 +41,27 @@ iqClassOf(trace::OpClass op)
 }
 
 /**
- * One issue queue: unordered slots holding handles; selection and wakeup
- * scan the (small, <= 64-entry) array.
+ * One issue queue: unordered slots holding live instructions. Members
+ * track their own slot index (DynInst::iqPos), so removal is O(1)
+ * swap-with-back; the event-driven scheduler never scans the queue.
+ *
+ * When constructed in legacy mode the queue additionally mirrors the
+ * seed implementation's handle vector (insert = push_back, remove =
+ * linear scan + swap-with-back) so the broadcast reference scheduler
+ * reproduces the pre-refactor wakeup scans — cost profile included
+ * (generation-checked handle dereference per scanned entry). The two
+ * vectors see the identical operation sequence, so they stay
+ * element-aligned and scan order is the seed's.
  */
 class IssueQueue
 {
   public:
-    IssueQueue(std::string name, unsigned capacity)
-        : name_(std::move(name)), capacity_(capacity)
+    IssueQueue(std::string name, unsigned capacity, bool legacy = false)
+        : name_(std::move(name)), capacity_(capacity), legacy_(legacy)
     {
         entries_.reserve(capacity);
+        if (legacy_)
+            handles_.reserve(capacity);
     }
 
     bool full() const { return entries_.size() >= capacity_; }
@@ -59,43 +71,145 @@ class IssueQueue
 
     /** Insert a renamed instruction. Caller must check full(). */
     void
-    insert(InstHandle h)
+    insert(DynInst &inst)
     {
         RAT_ASSERT(entries_.size() < capacity_, "%s overflow",
                    name_.c_str());
-        entries_.push_back(h);
+        inst.iqPos = static_cast<std::uint32_t>(entries_.size());
+        entries_.push_back(&inst);
+        if (legacy_)
+            handles_.push_back(inst.handle());
     }
 
-    /** Remove by handle (swap-with-back). */
+    /** Remove a member in O(1) (swap-with-back via iqPos). */
     void
-    remove(InstHandle h)
+    remove(DynInst &inst)
     {
-        for (std::size_t i = 0; i < entries_.size(); ++i) {
-            if (entries_[i] == h) {
-                entries_[i] = entries_.back();
-                entries_.pop_back();
-                return;
+        RAT_ASSERT(inst.iqPos < entries_.size() &&
+                       entries_[inst.iqPos] == &inst,
+                   "%s: removing a non-member", name_.c_str());
+        DynInst *back = entries_.back();
+        entries_[inst.iqPos] = back;
+        back->iqPos = inst.iqPos;
+        entries_.pop_back();
+        if (legacy_) {
+            // Seed removal: scan for the handle, swap with back.
+            const InstHandle h = inst.handle();
+            for (std::size_t i = 0; i < handles_.size(); ++i) {
+                if (handles_[i] == h) {
+                    handles_[i] = handles_.back();
+                    handles_.pop_back();
+                    break;
+                }
             }
         }
     }
 
-    /** All current entries (for scans by the core). */
-    const std::vector<InstHandle> &entries() const { return entries_; }
+    /** All current entries (introspection and structure tests). */
+    const std::vector<DynInst *> &entries() const { return entries_; }
+
+    /** Seed-layout handles (legacy broadcast scans only). */
+    const std::vector<InstHandle> &
+    legacyHandles() const
+    {
+        RAT_ASSERT(legacy_, "%s: legacy handle mirror disabled",
+                   name_.c_str());
+        return handles_;
+    }
 
   private:
     std::string name_;
     unsigned capacity_;
-    std::vector<InstHandle> entries_;
+    bool legacy_;
+    std::vector<DynInst *> entries_;
+    std::vector<InstHandle> handles_;
+};
+
+/**
+ * Intrusive program-ordered instruction list through
+ * DynInst::seqPrev/seqNext. Used for the per-thread fetch queues and
+ * the per-thread ROB lists; an instruction moves from the fetch queue
+ * to the ROB at rename and is never on both. Members are always live:
+ * every owner pops an instruction before releasing it to the pool.
+ */
+class InstList
+{
+  public:
+    DynInst *head() const { return head_; }
+    DynInst *tail() const { return tail_; }
+    bool empty() const { return head_ == nullptr; }
+    unsigned size() const { return count_; }
+
+    void
+    push_back(DynInst &inst)
+    {
+        inst.seqPrev = tail_;
+        inst.seqNext = nullptr;
+        if (tail_)
+            tail_->seqNext = &inst;
+        else
+            head_ = &inst;
+        tail_ = &inst;
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        RAT_ASSERT(head_ != nullptr, "pop_front on empty InstList");
+        DynInst *inst = head_;
+        head_ = inst->seqNext;
+        if (head_)
+            head_->seqPrev = nullptr;
+        else
+            tail_ = nullptr;
+        inst->seqNext = inst->seqPrev = nullptr;
+        --count_;
+    }
+
+    void
+    pop_back()
+    {
+        RAT_ASSERT(tail_ != nullptr, "pop_back on empty InstList");
+        DynInst *inst = tail_;
+        tail_ = inst->seqPrev;
+        if (tail_)
+            tail_->seqNext = nullptr;
+        else
+            head_ = nullptr;
+        inst->seqNext = inst->seqPrev = nullptr;
+        --count_;
+    }
+
+  private:
+    DynInst *head_ = nullptr;
+    DynInst *tail_ = nullptr;
+    unsigned count_ = 0;
 };
 
 /**
  * Load/store queue: shared capacity, per-thread program-ordered lists
  * used for store-to-load forwarding and INV propagation through memory.
+ *
+ * The per-thread lists are intrusive doubly-linked chains through
+ * DynInst::lsqPrev/lsqNext, so retire and squash removal are O(1)
+ * regardless of position (commits remove from the front, branch and
+ * runahead squashes from the back, but nothing here depends on that).
+ * Members are always live instructions: every path removes a memory op
+ * from the LSQ before releasing it to the pool.
+ *
+ * In legacy mode the per-thread handle deques of the seed
+ * implementation are mirrored as well (O(n) middle-of-deque erase on
+ * removal), so the broadcast reference scheduler walks and pays for
+ * exactly the structure the refactor replaced.
  */
 class Lsq
 {
   public:
-    explicit Lsq(unsigned capacity) : capacity_(capacity) {}
+    explicit Lsq(unsigned capacity, bool legacy = false)
+        : capacity_(capacity), legacy_(legacy)
+    {
+    }
 
     bool full() const { return used_ >= capacity_; }
     unsigned used() const { return used_; }
@@ -103,51 +217,135 @@ class Lsq
 
     /** Append a memory op in program order. Caller must check full(). */
     void
-    insert(const DynInst &inst)
+    insert(DynInst &inst)
     {
         RAT_ASSERT(used_ < capacity_, "LSQ overflow");
-        lists_[inst.tid].push_back(inst.handle());
+        RAT_ASSERT(!inst.inLsq, "double LSQ insert");
+        Thread &t = lists_[inst.tid];
+        inst.lsqPrev = t.tail;
+        inst.lsqNext = nullptr;
+        if (t.tail)
+            t.tail->lsqNext = &inst;
+        else
+            t.head = &inst;
+        t.tail = &inst;
+        if (trace::isStoreOp(inst.op.op)) {
+            inst.lsqStorePrev = t.storeTail;
+            inst.lsqStoreNext = nullptr;
+            if (t.storeTail)
+                t.storeTail->lsqStoreNext = &inst;
+            else
+                t.storeHead = &inst;
+            t.storeTail = &inst;
+            ++t.storeCount;
+        }
+        inst.inLsq = true;
+        ++t.count;
         ++used_;
+        if (legacy_)
+            legacyLists_[inst.tid].push_back(inst.handle());
     }
 
-    /** Remove a retiring or squashed memory op. */
+    /**
+     * Remove a retiring or squashed memory op in O(1). No-op when the
+     * op never entered the LSQ (folded at rename).
+     */
     void
-    remove(const DynInst &inst)
+    remove(DynInst &inst)
     {
-        auto &list = lists_[inst.tid];
-        for (std::size_t i = 0; i < list.size(); ++i) {
-            if (list[i] == inst.handle()) {
-                list.erase(list.begin() +
-                           static_cast<std::ptrdiff_t>(i));
-                --used_;
-                return;
+        if (!inst.inLsq)
+            return;
+        Thread &t = lists_[inst.tid];
+        if (inst.lsqPrev)
+            inst.lsqPrev->lsqNext = inst.lsqNext;
+        else
+            t.head = inst.lsqNext;
+        if (inst.lsqNext)
+            inst.lsqNext->lsqPrev = inst.lsqPrev;
+        else
+            t.tail = inst.lsqPrev;
+        inst.lsqPrev = inst.lsqNext = nullptr;
+        if (trace::isStoreOp(inst.op.op)) {
+            if (inst.lsqStorePrev)
+                inst.lsqStorePrev->lsqStoreNext = inst.lsqStoreNext;
+            else
+                t.storeHead = inst.lsqStoreNext;
+            if (inst.lsqStoreNext)
+                inst.lsqStoreNext->lsqStorePrev = inst.lsqStorePrev;
+            else
+                t.storeTail = inst.lsqStorePrev;
+            inst.lsqStorePrev = inst.lsqStoreNext = nullptr;
+            RAT_ASSERT(t.storeCount > 0, "LSQ store count underflow");
+            --t.storeCount;
+        }
+        inst.inLsq = false;
+        --t.count;
+        --used_;
+        if (legacy_) {
+            // Seed removal: O(n) scan + middle-of-deque erase.
+            auto &list = legacyLists_[inst.tid];
+            for (std::size_t i = 0; i < list.size(); ++i) {
+                if (list[i] == inst.handle()) {
+                    list.erase(list.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                    break;
+                }
             }
         }
     }
 
-    /** Program-ordered handles of one thread's in-flight memory ops. */
-    const std::deque<InstHandle> &threadList(ThreadId tid) const
-    {
-        return lists_[tid];
-    }
+    /**
+     * Oldest in-flight memory op of a thread; walk in program order via
+     * DynInst::lsqNext. nullptr when empty.
+     */
+    DynInst *head(ThreadId tid) const { return lists_[tid].head; }
+
+    /**
+     * Oldest in-flight *store* of a thread (walk via lsqStoreNext):
+     * store-to-load forwarding scans only actual stores.
+     */
+    DynInst *storeHead(ThreadId tid) const { return lists_[tid].storeHead; }
 
     /** Per-thread occupancy (for resource policies). */
-    unsigned
-    threadCount(ThreadId tid) const
+    unsigned threadCount(ThreadId tid) const { return lists_[tid].count; }
+
+    /** Per-thread in-flight stores. */
+    unsigned storeCount(ThreadId tid) const
     {
-        return static_cast<unsigned>(lists_[tid].size());
+        return lists_[tid].storeCount;
+    }
+
+    /** Seed-layout per-thread handles (legacy reference mode only). */
+    const std::deque<InstHandle> &
+    legacyThreadList(ThreadId tid) const
+    {
+        RAT_ASSERT(legacy_, "legacy LSQ mirror disabled");
+        return legacyLists_[tid];
     }
 
   private:
+    struct Thread {
+        DynInst *head = nullptr;
+        DynInst *tail = nullptr;
+        DynInst *storeHead = nullptr;
+        DynInst *storeTail = nullptr;
+        unsigned count = 0;
+        unsigned storeCount = 0;
+    };
+
     unsigned capacity_;
+    bool legacy_;
     unsigned used_ = 0;
-    std::array<std::deque<InstHandle>, kMaxThreads> lists_{};
+    std::array<Thread, kMaxThreads> lists_{};
+    std::array<std::deque<InstHandle>, kMaxThreads> legacyLists_{};
 };
 
 /**
  * Reorder buffer: shared entry pool with per-thread in-order lists.
  * Allocation competes across threads (the contention the paper studies);
- * each thread retires its own stream in order.
+ * each thread retires its own stream in order. The lists are intrusive
+ * (InstList over DynInst::seqPrev/seqNext), so the commit hot path
+ * reaches the head instruction without a handle indirection.
  */
 class Rob
 {
@@ -160,16 +358,15 @@ class Rob
     unsigned capacity() const { return capacity_; }
 
     void
-    push(const DynInst &inst)
+    push(DynInst &inst)
     {
         RAT_ASSERT(used_ < capacity_, "ROB overflow");
-        lists_[inst.tid].push_back(inst.handle());
+        lists_[inst.tid].push_back(inst);
         ++used_;
     }
 
-    /** Oldest instruction of a thread; nullopt-like empty handle check
-     * via empty(). */
-    InstHandle head(ThreadId tid) const { return lists_[tid].front(); }
+    /** Oldest instruction of a thread; nullptr when empty. */
+    DynInst *head(ThreadId tid) const { return lists_[tid].head(); }
 
     bool empty(ThreadId tid) const { return lists_[tid].empty(); }
 
@@ -181,8 +378,8 @@ class Rob
         --used_;
     }
 
-    /** Youngest instruction of a thread. */
-    InstHandle tail(ThreadId tid) const { return lists_[tid].back(); }
+    /** Youngest instruction of a thread; nullptr when empty. */
+    DynInst *tail(ThreadId tid) const { return lists_[tid].tail(); }
 
     void
     popTail(ThreadId tid)
@@ -192,16 +389,12 @@ class Rob
         --used_;
     }
 
-    unsigned
-    threadCount(ThreadId tid) const
-    {
-        return static_cast<unsigned>(lists_[tid].size());
-    }
+    unsigned threadCount(ThreadId tid) const { return lists_[tid].size(); }
 
   private:
     unsigned capacity_;
     unsigned used_ = 0;
-    std::array<std::deque<InstHandle>, kMaxThreads> lists_{};
+    std::array<InstList, kMaxThreads> lists_{};
 };
 
 /**
@@ -256,29 +449,49 @@ class FuncUnitPool
  * insignificant in Section 3.3): tracks, per thread, the INV status of
  * lines written by pseudo-retired runahead stores so that later runahead
  * loads can inherit it. Bounded, FIFO-evicted, cleared at runahead exit.
+ *
+ * Implementation: per thread, a FIFO ring of entries plus an
+ * open-addressed (linear-probe) line -> ring-slot map, so write and
+ * lookup are O(1) instead of a deque scan. Semantics are identical to
+ * the original FIFO deque: a rewrite updates an entry in place without
+ * refreshing its eviction order.
  */
 class RunaheadCache
 {
   public:
     explicit RunaheadCache(unsigned lines_per_thread)
-        : capacity_(lines_per_thread)
+        : capacity_(lines_per_thread ? lines_per_thread : 1)
     {
+        // Power-of-two table at most half full keeps probe chains short.
+        tableSize_ = 8;
+        while (tableSize_ < 2 * capacity_)
+            tableSize_ *= 2;
+        for (Thread &t : threads_) {
+            t.ring.resize(capacity_);
+            t.table.assign(tableSize_, kEmptySlot);
+        }
     }
 
     /** Record the status of a line written by a pseudo-retired store. */
     void
     write(ThreadId tid, Addr line, bool data_valid)
     {
-        auto &entries = entries_[tid];
-        for (auto &e : entries) {
-            if (e.line == line) {
-                e.valid = data_valid;
-                return;
-            }
+        Thread &t = threads_[tid];
+        const std::uint32_t slot = findSlot(t, line);
+        if (t.table[slot] != kEmptySlot) {
+            t.ring[t.table[slot]].valid = data_valid; // rewrite in place
+            return;
         }
-        if (entries.size() >= capacity_)
-            entries.pop_front();
-        entries.push_back({line, data_valid});
+        if (t.count == capacity_) {
+            eraseKey(t, t.ring[t.head].line); // FIFO-evict the oldest
+            t.head = next(t.head);
+            --t.count;
+        }
+        const std::uint32_t pos = wrap(t.head + t.count);
+        t.ring[pos] = {line, data_valid};
+        // The eviction above may have shifted table entries; re-probe.
+        t.table[findSlot(t, line)] = pos;
+        ++t.count;
     }
 
     /**
@@ -288,26 +501,95 @@ class RunaheadCache
     bool
     lookup(ThreadId tid, Addr line, bool &data_valid) const
     {
-        for (const auto &e : entries_[tid]) {
-            if (e.line == line) {
-                data_valid = e.valid;
-                return true;
-            }
-        }
-        return false;
+        const Thread &t = threads_[tid];
+        const std::uint32_t slot = findSlot(t, line);
+        if (t.table[slot] == kEmptySlot)
+            return false;
+        data_valid = t.ring[t.table[slot]].valid;
+        return true;
     }
 
     /** Drop a thread's entries (runahead exit). */
-    void clear(ThreadId tid) { entries_[tid].clear(); }
+    void
+    clear(ThreadId tid)
+    {
+        Thread &t = threads_[tid];
+        if (t.count == 0)
+            return;
+        std::fill(t.table.begin(), t.table.end(), kEmptySlot);
+        t.head = 0;
+        t.count = 0;
+    }
 
   private:
     struct Entry {
-        Addr line;
-        bool valid;
+        Addr line = 0;
+        bool valid = false;
     };
 
-    unsigned capacity_;
-    std::array<std::deque<Entry>, kMaxThreads> entries_{};
+    struct Thread {
+        std::vector<Entry> ring;          ///< FIFO payload storage
+        std::vector<std::uint32_t> table; ///< line -> ring index
+        std::uint32_t head = 0;           ///< ring index of the oldest
+        std::uint32_t count = 0;
+    };
+
+    static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+    std::uint32_t next(std::uint32_t pos) const { return wrap(pos + 1); }
+    std::uint32_t
+    wrap(std::uint32_t pos) const
+    {
+        return pos >= capacity_ ? pos - capacity_ : pos;
+    }
+
+    std::uint32_t
+    home(Addr line) const
+    {
+        std::uint64_t h = line * 0x9E3779B97F4A7C15ull;
+        h ^= h >> 32;
+        return static_cast<std::uint32_t>(h & (tableSize_ - 1));
+    }
+
+    /** Probe slot of @p line: its entry, or the empty slot to fill. */
+    std::uint32_t
+    findSlot(const Thread &t, Addr line) const
+    {
+        std::uint32_t i = home(line);
+        while (t.table[i] != kEmptySlot && t.ring[t.table[i]].line != line)
+            i = (i + 1) & (tableSize_ - 1);
+        return i;
+    }
+
+    /** Open-addressing erase with backward shift (Knuth 6.4 R). */
+    void
+    eraseKey(Thread &t, Addr line)
+    {
+        std::uint32_t i = findSlot(t, line);
+        RAT_ASSERT(t.table[i] != kEmptySlot, "evicting absent line");
+        std::uint32_t j = i;
+        while (true) {
+            t.table[i] = kEmptySlot;
+            while (true) {
+                j = (j + 1) & (tableSize_ - 1);
+                if (t.table[j] == kEmptySlot)
+                    return;
+                const std::uint32_t k = home(t.ring[t.table[j]].line);
+                // If the home slot k lies cyclically in (i, j], the
+                // entry is already reachable from its home; keep it.
+                const bool reachable =
+                    i <= j ? (i < k && k <= j) : (i < k || k <= j);
+                if (!reachable)
+                    break;
+            }
+            t.table[i] = t.table[j];
+            i = j;
+        }
+    }
+
+    std::uint32_t capacity_;
+    std::uint32_t tableSize_ = 0;
+    std::array<Thread, kMaxThreads> threads_{};
 };
 
 } // namespace rat::core

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "policy/factory.hh"
@@ -70,16 +72,31 @@ Simulator::Simulator(SimConfig config, std::vector<std::string> programs)
 Simulator::~Simulator() = default;
 
 SimResult
-Simulator::run()
+Simulator::run(PhaseTiming *timing)
 {
+    using Clock = std::chrono::steady_clock;
+    const auto seconds_since = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+
+    auto t0 = Clock::now();
     core_->prewarm(config_.prewarmInsts);
+    if (timing)
+        timing->prewarmSeconds = seconds_since(t0);
+
+    t0 = Clock::now();
     core_->run(config_.warmupCycles);
+    if (timing)
+        timing->warmupSeconds = seconds_since(t0);
     core_->resetStats();
     mem_->resetStats();
 
+    t0 = Clock::now();
     const Cycle start = core_->cycle();
     core_->run(config_.measureCycles);
     const Cycle elapsed = core_->cycle() - start;
+    if (timing)
+        timing->measureSeconds = seconds_since(t0);
 
     SimResult result;
     result.cycles = elapsed;

@@ -69,6 +69,17 @@ struct SimResult {
 };
 
 /**
+ * Wall-clock seconds spent in each phase of one Simulator::run (filled
+ * on request; the perf_simspeed bench separates the cycle-accurate
+ * phases from the functional prewarm walk).
+ */
+struct PhaseTiming {
+    double prewarmSeconds = 0.0;
+    double warmupSeconds = 0.0;
+    double measureSeconds = 0.0;
+};
+
+/**
  * One simulation instance: owns every component. Instances are fully
  * independent, so parameter sweeps may run many in parallel threads.
  */
@@ -86,8 +97,11 @@ class Simulator
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
-    /** Run warm-up + measured window and return the results. */
-    SimResult run();
+    /**
+     * Run warm-up + measured window and return the results. When
+     * @p timing is non-null, per-phase wall-clock seconds are recorded.
+     */
+    SimResult run(PhaseTiming *timing = nullptr);
 
     /** The core (tests and detailed inspection). */
     core::SmtCore &smtCore() { return *core_; }

@@ -10,23 +10,36 @@ namespace {
 TEST(IssueQueue, InsertRemove)
 {
     IssueQueue iq("testIQ", 2);
-    InstHandle a{1, 1}, b{2, 1};
+    DynInst a, b;
     iq.insert(a);
     iq.insert(b);
     EXPECT_TRUE(iq.full());
     iq.remove(a);
     EXPECT_EQ(iq.size(), 1u);
-    EXPECT_EQ(iq.entries()[0], b);
+    EXPECT_EQ(iq.entries()[0], &b);
     iq.remove(b);
     EXPECT_EQ(iq.size(), 0u);
 }
 
-TEST(IssueQueue, RemoveMissingIsNoop)
+TEST(IssueQueue, MiddleRemovalKeepsPositionsConsistent)
 {
-    IssueQueue iq("testIQ", 2);
-    iq.insert({1, 1});
-    iq.remove({9, 9});
-    EXPECT_EQ(iq.size(), 1u);
+    // O(1) swap-with-back removal must keep every member's iqPos index
+    // pointing at its own slot.
+    IssueQueue iq("testIQ", 4);
+    DynInst a, b, c, d;
+    iq.insert(a);
+    iq.insert(b);
+    iq.insert(c);
+    iq.insert(d);
+    iq.remove(b); // d swaps into b's slot
+    EXPECT_EQ(iq.size(), 3u);
+    for (std::uint32_t i = 0; i < iq.entries().size(); ++i)
+        EXPECT_EQ(iq.entries()[i]->iqPos, i);
+    iq.remove(d);
+    iq.remove(a);
+    ASSERT_EQ(iq.size(), 1u);
+    EXPECT_EQ(iq.entries()[0], &c);
+    EXPECT_EQ(c.iqPos, 0u);
 }
 
 TEST(IqClassMapping, OpsRouteToExpectedQueues)
@@ -44,18 +57,14 @@ TEST(Rob, SharedPoolPerThreadLists)
 {
     Rob rob(4);
     DynInst a, b;
-    a.slot = 1;
-    a.gen = 1;
     a.tid = 0;
-    b.slot = 2;
-    b.gen = 1;
     b.tid = 1;
     rob.push(a);
     rob.push(b);
     EXPECT_EQ(rob.used(), 2u);
     EXPECT_EQ(rob.threadCount(0), 1u);
     EXPECT_EQ(rob.threadCount(1), 1u);
-    EXPECT_EQ(rob.head(0), a.handle());
+    EXPECT_EQ(rob.head(0), &a);
     rob.popHead(0);
     EXPECT_EQ(rob.used(), 1u);
     EXPECT_TRUE(rob.empty(0));
@@ -66,37 +75,111 @@ TEST(Rob, TailOperations)
 {
     Rob rob(4);
     DynInst a, b;
-    a.slot = 1;
-    a.gen = 1;
     a.tid = 0;
-    b.slot = 2;
-    b.gen = 1;
     b.tid = 0;
     rob.push(a);
     rob.push(b);
-    EXPECT_EQ(rob.tail(0), b.handle());
+    EXPECT_EQ(rob.tail(0), &b);
     rob.popTail(0);
-    EXPECT_EQ(rob.tail(0), a.handle());
+    EXPECT_EQ(rob.tail(0), &a);
+    EXPECT_EQ(rob.head(0), &a);
+}
+
+TEST(InstListOps, PushPopMaintainsLinks)
+{
+    InstList list;
+    DynInst a, b, c;
+    list.push_back(a);
+    list.push_back(b);
+    list.push_back(c);
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(list.head(), &a);
+    EXPECT_EQ(list.tail(), &c);
+    list.pop_front();
+    EXPECT_EQ(list.head(), &b);
+    EXPECT_EQ(b.seqPrev, nullptr);
+    list.pop_back();
+    EXPECT_EQ(list.head(), &b);
+    EXPECT_EQ(list.tail(), &b);
+    list.pop_back();
+    EXPECT_TRUE(list.empty());
 }
 
 TEST(Lsq, ProgramOrderPerThread)
 {
     Lsq lsq(4);
     DynInst a, b;
-    a.slot = 1;
-    a.gen = 1;
     a.tid = 0;
-    b.slot = 2;
-    b.gen = 1;
     b.tid = 0;
     lsq.insert(a);
     lsq.insert(b);
     EXPECT_EQ(lsq.used(), 2u);
-    EXPECT_EQ(lsq.threadList(0).front(), a.handle());
-    EXPECT_EQ(lsq.threadList(0).back(), b.handle());
+    EXPECT_EQ(lsq.head(0), &a);
+    EXPECT_EQ(a.lsqNext, &b);
+    EXPECT_EQ(b.lsqNext, nullptr);
     lsq.remove(a);
-    EXPECT_EQ(lsq.threadList(0).front(), b.handle());
+    EXPECT_EQ(lsq.head(0), &b);
     EXPECT_EQ(lsq.threadCount(0), 1u);
+    EXPECT_FALSE(a.inLsq);
+}
+
+TEST(Lsq, MiddleRemovalIsConstantTimeUnlink)
+{
+    Lsq lsq(8);
+    DynInst a, b, c;
+    a.tid = 1;
+    b.tid = 1;
+    c.tid = 1;
+    lsq.insert(a);
+    lsq.insert(b);
+    lsq.insert(c);
+    lsq.remove(b); // middle unlink
+    EXPECT_EQ(lsq.head(1), &a);
+    EXPECT_EQ(a.lsqNext, &c);
+    EXPECT_EQ(c.lsqPrev, &a);
+    EXPECT_EQ(lsq.threadCount(1), 2u);
+    EXPECT_EQ(lsq.used(), 2u);
+    // Removing an op that never entered (folded at rename) is a no-op.
+    lsq.remove(b);
+    EXPECT_EQ(lsq.used(), 2u);
+}
+
+TEST(Lsq, StoreChainTracksOnlyStores)
+{
+    Lsq lsq(8);
+    DynInst ld1, st1, ld2, st2;
+    ld1.tid = st1.tid = ld2.tid = st2.tid = 0;
+    ld1.op.op = trace::OpClass::Load;
+    st1.op.op = trace::OpClass::Store;
+    ld2.op.op = trace::OpClass::FpLoad;
+    st2.op.op = trace::OpClass::FpStore;
+    lsq.insert(ld1);
+    lsq.insert(st1);
+    lsq.insert(ld2);
+    lsq.insert(st2);
+    EXPECT_EQ(lsq.storeCount(0), 2u);
+    EXPECT_EQ(lsq.storeHead(0), &st1);
+    EXPECT_EQ(st1.lsqStoreNext, &st2);
+    lsq.remove(st1);
+    EXPECT_EQ(lsq.storeHead(0), &st2);
+    EXPECT_EQ(st2.lsqStorePrev, nullptr);
+    EXPECT_EQ(lsq.storeCount(0), 1u);
+    EXPECT_EQ(lsq.threadCount(0), 3u);
+}
+
+TEST(Lsq, LegacyMirrorTracksSeedDeque)
+{
+    Lsq lsq(8, /*legacy=*/true);
+    DynInst a, b;
+    a.tid = 0;
+    b.tid = 0;
+    lsq.insert(a);
+    lsq.insert(b);
+    ASSERT_EQ(lsq.legacyThreadList(0).size(), 2u);
+    EXPECT_EQ(lsq.legacyThreadList(0).front(), a.handle());
+    lsq.remove(a);
+    ASSERT_EQ(lsq.legacyThreadList(0).size(), 1u);
+    EXPECT_EQ(lsq.legacyThreadList(0).front(), b.handle());
 }
 
 TEST(FuncUnitPool, LimitsConcurrentIssue)
@@ -152,6 +235,80 @@ TEST(RunaheadCache, BoundedFifoEviction)
     bool valid = false;
     EXPECT_FALSE(rc.lookup(0, 0x100, valid));
     EXPECT_TRUE(rc.lookup(0, 0x300, valid));
+}
+
+TEST(RunaheadCache, RewriteDoesNotRefreshFifoOrder)
+{
+    // An in-place status update must not move the entry to the back of
+    // the FIFO (matching the original deque semantics).
+    RunaheadCache rc(2);
+    rc.write(0, 0x100, true);
+    rc.write(0, 0x200, true);
+    rc.write(0, 0x100, false); // rewrite: still the oldest
+    rc.write(0, 0x300, true);  // evicts 0x100, not 0x200
+    bool valid = false;
+    EXPECT_FALSE(rc.lookup(0, 0x100, valid));
+    EXPECT_TRUE(rc.lookup(0, 0x200, valid));
+    EXPECT_TRUE(rc.lookup(0, 0x300, valid));
+}
+
+TEST(RunaheadCache, MatchesFifoReferenceModel)
+{
+    // Randomized equivalence against the straightforward deque model
+    // the open-addressed implementation replaced.
+    struct RefEntry {
+        Addr line;
+        bool valid;
+    };
+    std::deque<RefEntry> ref;
+    const unsigned capacity = 8;
+    RunaheadCache rc(capacity);
+
+    std::uint64_t rng = 0x243F6A8885A308D3ull;
+    auto next_rand = [&rng]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+
+    for (int op = 0; op < 2000; ++op) {
+        const Addr line = (next_rand() % 24) * 64; // collisions likely
+        const std::uint64_t r = next_rand();
+        if (r % 8 == 0 && op % 500 == 499) {
+            rc.clear(0);
+            ref.clear();
+            continue;
+        }
+        if (r % 2 == 0) {
+            const bool valid = (r & 4) != 0;
+            rc.write(0, line, valid);
+            bool found = false;
+            for (auto &e : ref) {
+                if (e.line == line) {
+                    e.valid = valid;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                if (ref.size() >= capacity)
+                    ref.pop_front();
+                ref.push_back({line, valid});
+            }
+        } else {
+            bool got_valid = false;
+            const bool hit = rc.lookup(0, line, got_valid);
+            const RefEntry *want = nullptr;
+            for (const auto &e : ref) {
+                if (e.line == line)
+                    want = &e;
+            }
+            ASSERT_EQ(hit, want != nullptr) << "op " << op;
+            if (want)
+                ASSERT_EQ(got_valid, want->valid) << "op " << op;
+        }
+    }
 }
 
 } // namespace

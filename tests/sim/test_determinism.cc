@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Whole-result determinism pins for every scheduling policy.
+ *
+ * Each policy runs the same MIX2 workload (art,gzip — one memory-bound
+ * and one ILP-bound thread, so runahead, flush and resource-control
+ * paths all trigger) twice, and the *full* serialized SimResult JSON
+ * must be byte-identical between the runs and byte-identical to the
+ * golden files committed under tests/data/golden_mix2/. The goldens
+ * were captured from the pre-event-driven broadcast scheduler, so this
+ * test is the proof that the event-driven wakeup refactor (see
+ * DESIGN.md "Event-driven wakeup") changed the simulator's speed and
+ * nothing else.
+ *
+ * Re-capture (only for an *intentional* semantic change; explain it in
+ * the same commit):
+ *   RATSIM_CAPTURE_GOLDEN_DIR=tests/data/golden_mix2 \
+ *     ./build/tests/ratsim_tests --gtest_filter='Determinism.*'
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "policy/factory.hh"
+#include "report/serialize.hh"
+#include "sim/experiment.hh"
+#include "sim/workloads.hh"
+
+namespace rat::sim {
+namespace {
+
+/** All nine techniques, in PolicyKind order. */
+const std::vector<core::PolicyKind> kAllPolicies = {
+    core::PolicyKind::RoundRobin, core::PolicyKind::Icount,
+    core::PolicyKind::Stall,      core::PolicyKind::Flush,
+    core::PolicyKind::Dcra,       core::PolicyKind::HillClimbing,
+    core::PolicyKind::Rat,        core::PolicyKind::RatDcra,
+    core::PolicyKind::MlpAware,
+};
+
+/** Short windows keep 9 policies x 2 runs affordable in CI. */
+SimConfig
+determinismConfig()
+{
+    SimConfig cfg;
+    cfg.prewarmInsts = 100000;
+    cfg.warmupCycles = 5000;
+    cfg.measureCycles = 10000;
+    return cfg;
+}
+
+std::string
+runMix2Json(core::PolicyKind kind)
+{
+    ExperimentRunner runner(determinismConfig());
+    const Workload w = Workload::fromPrograms({"art", "gzip"});
+    TechniqueSpec tech;
+    tech.label = policy::policyKindName(kind);
+    tech.policy = kind;
+    const SimResult r = runner.runWorkload(w, tech);
+    return report::toJson(r).dump(2) + "\n";
+}
+
+std::string
+goldenPath(core::PolicyKind kind, const char *dir)
+{
+    std::string name = policy::policyKindName(kind);
+    for (char &c : name) {
+        if (c == '+')
+            c = '_';
+    }
+    return std::string(dir) + "/" + name + ".json";
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(Determinism, EveryPolicyMix2ByteIdenticalToGolden)
+{
+    const char *capture = std::getenv("RATSIM_CAPTURE_GOLDEN_DIR");
+    for (const core::PolicyKind kind : kAllPolicies) {
+        SCOPED_TRACE(policy::policyKindName(kind));
+        const std::string first = runMix2Json(kind);
+
+        if (capture) {
+            const std::string path = goldenPath(kind, capture);
+            std::ofstream out(path, std::ios::binary);
+            ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+            out << first;
+            continue;
+        }
+
+        // Run-to-run determinism: a fresh simulator must reproduce the
+        // full result byte-for-byte.
+        const std::string second = runMix2Json(kind);
+        EXPECT_EQ(first, second);
+
+        // Pre-refactor golden: the committed broadcast-scheduler
+        // capture must match exactly.
+        const std::string path =
+            goldenPath(kind, RATSIM_TEST_DATA_DIR "/golden_mix2");
+        const std::string golden = slurp(path);
+        ASSERT_FALSE(golden.empty()) << "missing golden " << path;
+        EXPECT_EQ(first, golden) << "drift against " << path;
+    }
+}
+
+} // namespace
+} // namespace rat::sim
