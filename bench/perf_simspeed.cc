@@ -1,27 +1,32 @@
 /**
- * perf_simspeed: wall-clock simulator throughput of the event-driven
- * scheduler against the broadcast reference it replaced (DESIGN.md,
- * "Event-driven wakeup").
+ * perf_simspeed: wall-clock simulator throughput of the host-side
+ * execution modes — the event-driven scheduler vs the broadcast
+ * reference (PR 3, DESIGN.md "Event-driven wakeup") and quiescence-aware
+ * cycle skipping vs per-cycle ticking (DESIGN.md "Cycle skipping &
+ * quiescence invariants").
  *
  * Every paper figure is a sweep over techniques x workloads x resource
  * sizes, so simulated-MIPS is the budget that bounds how many scenarios
- * a campaign can explore. This bench runs the paper's 4-thread MIX
- * workloads under RaT twice per workload — once with the pre-refactor
- * broadcast scans (`CoreConfig::broadcastScheduler`), once with the
- * event-driven waiter lists — verifies the results are bit-identical,
- * and reports simulated MIPS (measured-window committed instructions
- * per wall second of that window) and simulated Kcycles/sec over the
- * same window (prewarm and warmup are identical in both modes and
- * reported separately in the totals).
+ * a campaign can explore. Two sweeps:
  *
- * Output: the usual table on stdout plus BENCH_simspeed.json through
- * BenchReport (before/after series and the headline speedup).
+ *  1. RaT on the 4-thread MIX workloads across the full 2x2 mode grid
+ *     (scheduler mode x skip mode). All four cells must produce
+ *     byte-identical serialized results — the bench aborts (and the
+ *     bench smoke ctest fails) on any divergence.
+ *  2. The MEM-dominated 2-thread group (Table 2 MEM2) under the
+ *     baseline long-latency policies (ICOUNT, STALL, DCRA), skip vs
+ *     ticked. These are the workloads whose dead cycles skipping
+ *     elides; per-phase skipped-cycle counts are reported alongside
+ *     the speedup.
+ *
+ * Output: the usual tables on stdout plus BENCH_simspeed.json through
+ * BenchReport (per-cell series and the headline speedups).
  *
  * Extra env knobs (on top of bench_util.hh):
  *   RATSIM_SPEED_WORKLOADS  cap on MIX4 workloads timed (default: all 8)
+ *   RATSIM_SKIP_WORKLOADS   cap on MEM2 workloads timed (default: all 10)
  */
 
-#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,18 +42,21 @@ using namespace rat;
 struct ModeSample {
     double seconds = 0.0;     ///< measured-window wall seconds
     double mips = 0.0;        ///< committed Minsts / measured second
-    double kcps = 0.0;        ///< simulated Kcycles / measured second
     double prewarmSec = 0.0;  ///< untimed phases (prewarm + warmup)
     std::string resultJson;   ///< full serialized SimResult
     std::uint64_t committed = 0;
+    std::uint64_t warmupSkipped = 0;  ///< warmup cycles fast-forwarded
+    std::uint64_t measureSkipped = 0; ///< measured cycles fast-forwarded
 };
 
 ModeSample
-timeOne(const sim::SimConfig &base, const sim::Workload &w, bool broadcast)
+timeOne(const sim::SimConfig &base, const sim::Workload &w,
+        core::PolicyKind policy, bool broadcast, bool skip)
 {
     sim::SimConfig cfg = base;
-    cfg.core.policy = core::PolicyKind::Rat;
+    cfg.core.policy = policy;
     cfg.core.broadcastScheduler = broadcast;
+    cfg.core.cycleSkipping = skip;
 
     sim::Simulator simulator(cfg, w.programs);
     sim::PhaseTiming t;
@@ -61,12 +69,19 @@ timeOne(const sim::SimConfig &base, const sim::Workload &w, bool broadcast)
     s.seconds = t.measureSeconds;
     s.prewarmSec = t.prewarmSeconds + t.warmupSeconds;
     s.committed = r.committedTotal();
-    if (s.seconds > 0.0) {
+    s.warmupSkipped = t.warmupSkippedCycles;
+    s.measureSkipped = t.measureSkippedCycles;
+    if (s.seconds > 0.0)
         s.mips = static_cast<double>(s.committed) / 1e6 / s.seconds;
-        s.kcps = static_cast<double>(r.cycles) / 1e3 / s.seconds;
-    }
     s.resultJson = report::toJson(r).dump();
     return s;
+}
+
+std::size_t
+cappedCount(const char *env, std::size_t all)
+{
+    const std::uint64_t cap = bench::envU64(env, all);
+    return std::min<std::size_t>(all, static_cast<std::size_t>(cap));
 }
 
 } // namespace
@@ -77,73 +92,168 @@ main()
     using namespace rat;
 
     bench::banner(
-        "perf_simspeed: event-driven vs broadcast scheduler throughput",
-        "event-driven wakeup well above 1.5x simulated MIPS (in-tree "
-        "reference; a lower bound on the PR-2 seed gap, see DESIGN.md), "
-        "bit-identical results");
+        "perf_simspeed: scheduler x cycle-skip execution-mode grid",
+        "all four mode cells bit-identical; cycle skipping well above "
+        "1.5x simulated MIPS on MEM-dominated mixes under the baseline "
+        "policies, on top of the event-driven scheduler's gain");
 
     const sim::SimConfig base = bench::benchConfig();
+    bench::BenchReport bench_report("simspeed");
+
+    // ---- sweep 1: RaT on MIX4, full 2x2 (scheduler x skip) grid ----------
     const auto &mix4 = sim::workloadsOf(sim::WorkloadGroup::MIX4);
-    const std::uint64_t cap =
-        bench::envU64("RATSIM_SPEED_WORKLOADS", mix4.size());
-    const std::size_t count =
-        std::min<std::size_t>(mix4.size(), static_cast<std::size_t>(cap));
-    if (count < mix4.size()) {
+    const std::size_t mix4_count =
+        cappedCount("RATSIM_SPEED_WORKLOADS", mix4.size());
+    if (mix4_count < mix4.size()) {
         std::printf("note: timing %zu of %zu MIX4 workloads "
                     "(RATSIM_SPEED_WORKLOADS)\n",
-                    count, mix4.size());
+                    mix4_count, mix4.size());
     }
 
-    const std::vector<std::string> labels = {"bcast MIPS", "event MIPS",
-                                             "speedup"};
-    const std::vector<std::string> cycle_labels = {"bcast Kc/s",
-                                                   "event Kc/s"};
-    std::map<std::string, std::vector<double>> rows;
-    std::map<std::string, std::vector<double>> cycle_rows;
-    std::vector<std::string> order;
+    const std::vector<std::string> grid_labels = {
+        "bc+tick", "bc+skip", "ev+tick", "ev+skip", "sched x", "skip x"};
+    std::map<std::string, std::vector<double>> grid_rows;
+    std::vector<std::string> grid_order;
 
-    bench::BenchReport bench_report("simspeed");
     double sum_bcast_sec = 0.0, sum_event_sec = 0.0;
-    double sum_prewarm_sec = 0.0;
+    double sum_skip_sec = 0.0, sum_prewarm_sec = 0.0;
     std::uint64_t sum_committed = 0;
 
-    for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t i = 0; i < mix4_count; ++i) {
         const sim::Workload &w = mix4[i];
-        // Broadcast (before) first, then event-driven (after).
-        const ModeSample before = timeOne(base, w, /*broadcast=*/true);
-        const ModeSample after = timeOne(base, w, /*broadcast=*/false);
+        // Cell order: the seed-most mode first, the fastest mode last.
+        const ModeSample bc_tick =
+            timeOne(base, w, core::PolicyKind::Rat, true, false);
+        const ModeSample bc_skip =
+            timeOne(base, w, core::PolicyKind::Rat, true, true);
+        const ModeSample ev_tick =
+            timeOne(base, w, core::PolicyKind::Rat, false, false);
+        const ModeSample ev_skip =
+            timeOne(base, w, core::PolicyKind::Rat, false, true);
 
-        // The refactor's contract: same simulation, only faster.
-        if (before.resultJson != after.resultJson) {
-            fatal("scheduler results diverged on workload '%s'",
-                  w.name.c_str());
+        // The mode contract: same simulation, only faster. Any
+        // divergence across the four cells aborts the bench (and the
+        // bench smoke ctest).
+        for (const ModeSample *s : {&bc_skip, &ev_tick, &ev_skip}) {
+            if (s->resultJson != bc_tick.resultJson) {
+                fatal("execution modes diverged on workload '%s'",
+                      w.name.c_str());
+            }
         }
 
-        const double speedup =
-            before.mips > 0.0 ? after.mips / before.mips : 0.0;
-        rows[w.name] = {before.mips, after.mips, speedup};
-        cycle_rows[w.name] = {before.kcps, after.kcps};
-        order.push_back(w.name);
-        sum_bcast_sec += before.seconds;
-        sum_event_sec += after.seconds;
-        sum_prewarm_sec += before.prewarmSec + after.prewarmSec;
-        sum_committed += after.committed;
+        const double sched_x =
+            bc_tick.mips > 0.0 ? ev_tick.mips / bc_tick.mips : 0.0;
+        const double skip_x =
+            ev_tick.mips > 0.0 ? ev_skip.mips / ev_tick.mips : 0.0;
+        grid_rows[w.name] = {bc_tick.mips, bc_skip.mips, ev_tick.mips,
+                             ev_skip.mips, sched_x, skip_x};
+        grid_order.push_back(w.name);
+
+        sum_bcast_sec += bc_tick.seconds;
+        sum_event_sec += ev_tick.seconds;
+        sum_skip_sec += ev_skip.seconds;
+        sum_prewarm_sec += bc_tick.prewarmSec + bc_skip.prewarmSec +
+                           ev_tick.prewarmSec + ev_skip.prewarmSec;
+        sum_committed += ev_skip.committed;
     }
 
-    bench::printGroupTable("RaT on MIX4: simulated MIPS by scheduler",
-                           labels, rows, order);
-    bench::printGroupTable("RaT on MIX4: simulated Kcycles/sec by "
-                           "scheduler",
-                           cycle_labels, cycle_rows, order);
+    bench::printGroupTable(
+        "RaT on MIX4: simulated MIPS by execution mode "
+        "(bc=broadcast, ev=event)",
+        grid_labels, grid_rows, grid_order);
     bench_report.addGroupTable(
-        "RaT on MIX4: simulated MIPS by scheduler (before=broadcast, "
-        "after=event)",
-        labels, rows, order);
-    bench_report.addGroupTable(
-        "RaT on MIX4: simulated Kcycles/sec by scheduler "
-        "(before=broadcast, after=event)",
-        cycle_labels, cycle_rows, order);
+        "RaT on MIX4: simulated MIPS by execution mode (scheduler x "
+        "cycle-skip grid; sched x = ev+tick/bc+tick, skip x = "
+        "ev+skip/ev+tick)",
+        grid_labels, grid_rows, grid_order);
 
+    // ---- sweep 2: MEM-dominated mixes, skip on vs off --------------------
+    const auto &mem2 = sim::workloadsOf(sim::WorkloadGroup::MEM2);
+    const std::size_t mem2_count =
+        cappedCount("RATSIM_SKIP_WORKLOADS", mem2.size());
+    if (mem2_count < mem2.size()) {
+        std::printf("\nnote: timing %zu of %zu MEM2 workloads "
+                    "(RATSIM_SKIP_WORKLOADS)\n",
+                    mem2_count, mem2.size());
+    }
+
+    const std::vector<core::PolicyKind> skip_policies = {
+        core::PolicyKind::Icount, core::PolicyKind::Stall,
+        core::PolicyKind::Dcra};
+
+    const std::vector<std::string> skip_labels = {
+        "tick MIPS", "skip MIPS", "speedup", "skip% warm", "skip% meas"};
+    double best_speedup = 0.0;
+    std::string best_cell;
+
+    for (const core::PolicyKind policy : skip_policies) {
+        std::map<std::string, std::vector<double>> rows;
+        std::vector<std::string> order;
+        double tick_sec = 0.0, skip_sec = 0.0;
+        std::uint64_t committed = 0;
+
+        for (std::size_t i = 0; i < mem2_count; ++i) {
+            const sim::Workload &w = mem2[i];
+            const ModeSample ticked =
+                timeOne(base, w, policy, false, false);
+            const ModeSample skipped =
+                timeOne(base, w, policy, false, true);
+            if (skipped.resultJson != ticked.resultJson) {
+                fatal("cycle skipping diverged on '%s' under %s",
+                      w.name.c_str(), core::policyName(policy));
+            }
+            const double speedup =
+                ticked.mips > 0.0 ? skipped.mips / ticked.mips : 0.0;
+            const auto skip_pct = [](std::uint64_t cycles, Cycle phase) {
+                return phase > 0 ? 100.0 * static_cast<double>(cycles) /
+                                       static_cast<double>(phase)
+                                 : 0.0;
+            };
+            rows[w.name] = {
+                ticked.mips, skipped.mips, speedup,
+                skip_pct(skipped.warmupSkipped, base.warmupCycles),
+                skip_pct(skipped.measureSkipped, base.measureCycles)};
+            order.push_back(w.name);
+            tick_sec += ticked.seconds;
+            skip_sec += skipped.seconds;
+            committed += skipped.committed;
+            if (speedup > best_speedup) {
+                best_speedup = speedup;
+                best_cell = std::string(core::policyName(policy)) + " " +
+                            w.name;
+            }
+        }
+
+        const std::string title =
+            std::string("MEM2 under ") + core::policyName(policy) +
+            ": cycle skipping vs ticking (event scheduler)";
+        bench::printGroupTable(title.c_str(), skip_labels, rows, order);
+        bench_report.addGroupTable(title.c_str(), skip_labels, rows,
+                                   order);
+
+        const double tick_mips =
+            tick_sec > 0.0
+                ? static_cast<double>(committed) / 1e6 / tick_sec
+                : 0.0;
+        const double skip_mips =
+            skip_sec > 0.0
+                ? static_cast<double>(committed) / 1e6 / skip_sec
+                : 0.0;
+        bench_report.addHeadline(
+            std::string("simulated MIPS, MEM2 sweep total, ticked (") +
+                core::policyName(policy) + ")",
+            tick_mips);
+        bench_report.addHeadline(
+            std::string("simulated MIPS, MEM2 sweep total, skipping (") +
+                core::policyName(policy) + ")",
+            skip_mips);
+        std::printf("MEM2 %s sweep: ticked %.3f MIPS -> skipping %.3f "
+                    "MIPS (%.2fx)\n\n",
+                    core::policyName(policy), tick_mips, skip_mips,
+                    tick_mips > 0.0 ? skip_mips / tick_mips : 0.0);
+    }
+
+    // ---- totals ----------------------------------------------------------
     const double total_mips_bcast =
         sum_bcast_sec > 0.0
             ? static_cast<double>(sum_committed) / 1e6 / sum_bcast_sec
@@ -152,22 +262,34 @@ main()
         sum_event_sec > 0.0
             ? static_cast<double>(sum_committed) / 1e6 / sum_event_sec
             : 0.0;
-    const double total_speedup =
-        total_mips_bcast > 0.0 ? total_mips_event / total_mips_bcast : 0.0;
+    const double total_mips_skip =
+        sum_skip_sec > 0.0
+            ? static_cast<double>(sum_committed) / 1e6 / sum_skip_sec
+            : 0.0;
 
-    std::printf("\nsweep totals (measured windows): broadcast %.2fs, "
-                "event %.2fs, untimed prewarm+warmup %.2fs\n",
-                sum_bcast_sec, sum_event_sec, sum_prewarm_sec);
-    std::printf("simulated MIPS: broadcast %.3f -> event %.3f "
-                "(speedup %.2fx)\n",
-                total_mips_bcast, total_mips_event, total_speedup);
+    std::printf("MIX4 sweep totals (measured windows): broadcast %.2fs, "
+                "event %.2fs, event+skip %.2fs, untimed prewarm+warmup "
+                "%.2fs\n",
+                sum_bcast_sec, sum_event_sec, sum_skip_sec,
+                sum_prewarm_sec);
+    std::printf("simulated MIPS on MIX4/RaT: broadcast %.3f -> event "
+                "%.3f -> event+skip %.3f\n",
+                total_mips_bcast, total_mips_event, total_mips_skip);
+    std::printf("best MEM-dominated skip speedup: %.2fx (%s)\n",
+                best_speedup, best_cell.c_str());
 
-    bench_report.addHeadline("simulated MIPS, broadcast (before)",
+    bench_report.addHeadline("simulated MIPS, MIX4/RaT broadcast+tick",
                              total_mips_bcast);
-    bench_report.addHeadline("simulated MIPS, event-driven (after)",
+    bench_report.addHeadline("simulated MIPS, MIX4/RaT event+tick",
                              total_mips_event);
-    bench_report.addHeadline("speedup (event vs broadcast)",
-                             total_speedup);
+    bench_report.addHeadline("simulated MIPS, MIX4/RaT event+skip",
+                             total_mips_skip);
+    bench_report.addHeadline("speedup (event vs broadcast, MIX4/RaT)",
+                             total_mips_bcast > 0.0
+                                 ? total_mips_event / total_mips_bcast
+                                 : 0.0);
+    bench_report.addHeadline("best MEM-dominated skip speedup",
+                             best_speedup);
     bench_report.write();
     return 0;
 }

@@ -131,6 +131,21 @@ struct CoreConfig {
      */
     bool broadcastScheduler = false;
 
+    /**
+     * Quiescence-aware cycle skipping: when a tick ends provably idle
+     * (no event processed, nothing issuable/renameable/fetchable/
+     * committable), `SmtCore::run` fast-forwards the clock to the next
+     * event instead of ticking through the dead cycles (DESIGN.md,
+     * "Cycle skipping & quiescence invariants"). Bit-identical by
+     * construction — skipped cycles are exactly the ticks that would
+     * have changed nothing, and per-cycle accumulators are integrated
+     * analytically over the span. Like `broadcastScheduler` this is a
+     * host-side implementation choice: deliberately NOT part of the
+     * serialized configuration (it cannot affect results or cache
+     * keys).
+     */
+    bool cycleSkipping = true;
+
     branch::PerceptronConfig predictor{};
 };
 

@@ -65,6 +65,44 @@ class SchedulingPolicy
         (void)inst;
     }
 
+    // --- cycle-skipping contract (DESIGN.md, "Cycle skipping") -------------
+
+    /**
+     * Earliest future cycle at which the *passage of time alone* can
+     * change this policy's behaviour — a beginCycle() epoch boundary,
+     * an activity-window expiry, a sampling interval — assuming no core
+     * event (completion, commit, fetch, squash) happens before it. The
+     * core clamps quiescent fast-forwards to this horizon so the policy
+     * observes every such boundary at exactly the cycle it would have
+     * under per-cycle ticking. Return kNoCycle when behaviour depends
+     * only on core events (ICOUNT, RR, STALL, FLUSH, MLP).
+     *
+     * Contract for overriders: between @p now and the returned cycle,
+     * given unchanged core state, beginCycle() must be a no-op and
+     * fetchOrder()/mayFetch() must keep returning the same answers.
+     */
+    virtual Cycle
+    quiescentUntil(const SmtCore &core, Cycle now) const
+    {
+        (void)core;
+        (void)now;
+        return kNoCycle;
+    }
+
+    /**
+     * @p skipped provably-idle cycles were elided by the core: advance
+     * any per-invocation counters (round-robin cursors, tiebreaks)
+     * exactly as if beginCycle() + fetchOrder() had been called once
+     * per skipped cycle, so the policy's state is bit-identical to the
+     * ticked execution when simulation resumes.
+     */
+    virtual void
+    onCyclesSkipped(const SmtCore &core, Cycle skipped)
+    {
+        (void)core;
+        (void)skipped;
+    }
+
     /** Policy display name. */
     virtual const char *name() const = 0;
 };

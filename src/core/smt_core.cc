@@ -126,8 +126,130 @@ SmtCore::poolOf(trace::OpClass op)
 void
 SmtCore::run(Cycle n)
 {
-    for (Cycle i = 0; i < n; ++i)
+    const Cycle end = cycle_ + n;
+    if (!config_.cycleSkipping) {
+        while (cycle_ < end)
+            tick();
+        return;
+    }
+
+    // Quiescence-aware fast path: after a tick that did no work, every
+    // cycle up to (but excluding) the next event is provably a no-op —
+    // skip straight to it. The run boundary clamps the skip, so a
+    // caller-visible phase boundary (e.g. the simulator's
+    // warmup→measure resetStats) is never crossed.
+    while (cycle_ < end) {
         tick();
+        if (tickActivity_ || cycle_ >= end)
+            continue;
+        const Cycle next = nextEventCycle();
+        const Cycle target = next < end ? next : end;
+        if (target > cycle_)
+            skipTo(target);
+    }
+}
+
+Cycle
+SmtCore::nextEventCycle() const
+{
+    Cycle next = kNoCycle;
+    const auto clamp = [&next](Cycle at) {
+        if (at < next)
+            next = at;
+    };
+
+    // Timed events already scheduled. Stale heap entries (folded or
+    // squashed instructions) only make this conservative: the tick at
+    // their time pops them, does nothing, and skipping resumes.
+    if (!completions_.empty())
+        clamp(completions_.top().at);
+    if (!l2Detections_.empty())
+        clamp(l2Detections_.top().at);
+
+    // Earliest outstanding line fill. Strictly a subset of the cases
+    // above would suffice (every access that can unblock the core has a
+    // completion event or a per-thread horizon), but fills also retire
+    // MSHR entries that gate rejected accesses, so clamp on them too —
+    // a too-early stop is only a wasted no-op tick, never wrong.
+    clamp(mem_.nextFillCompletion(cycle_));
+
+    const bool rob_full = rob_.full();
+    for (unsigned tid = 0; tid < config_.numThreads; ++tid) {
+        const ThreadState &t = threads_[tid];
+        // Runahead exit fires the first cycle >= raExitAt.
+        if (t.inRunahead)
+            clamp(t.raExitAt);
+        // Fetch re-enables the first cycle >= fetchBlockedUntil — but
+        // only when time is what blocks it. A thread gated by an
+        // unresolved branch, a full fetch queue or the no-fetch
+        // ablation can only be released by a core event, and the
+        // releasing tick is active, so quiescence is re-evaluated (and
+        // this clamp re-applied) before any skip could overshoot.
+        const bool fetch_event_gated =
+            t.waitingBranch ||
+            t.fetchQueue.size() >= config_.fetchQueueEntries ||
+            (config_.rat.noFetchInRunahead && t.inRunahead);
+        if (!fetch_event_gated && t.fetchBlockedUntil >= cycle_)
+            clamp(t.fetchBlockedUntil);
+        // The fetch-queue head becomes renameable at renameReadyAt.
+        // With the ROB full, rename (including the runahead fold path,
+        // which also allocates a ROB slot) stays blocked until a commit
+        // frees an entry — an event, so no time clamp is needed.
+        if (!rob_full) {
+            if (const DynInst *head = t.fetchQueue.head()) {
+                if (head->renameReadyAt >= cycle_)
+                    clamp(head->renameReadyAt);
+            }
+        }
+    }
+
+    // Policy-imposed horizon (epoch boundaries, activity windows).
+    clamp(policy_.quiescentUntil(*this, cycle_));
+    return next;
+}
+
+void
+SmtCore::skipTo(Cycle target)
+{
+    RAT_ASSERT(target > cycle_, "skipTo must move the clock forward");
+    const Cycle span = target - cycle_;
+    const unsigned n = config_.numThreads;
+
+    // Analytic integration of sampleCycle() over the span: per-thread
+    // mode and register occupancy are constant while quiescent.
+    for (unsigned tid = 0; tid < n; ++tid) {
+        const ThreadState &t = threads_[tid];
+        ThreadStats &s = stats_[tid];
+        const unsigned held = t.intRegsHeld + t.fpRegsHeld;
+        if (t.inRunahead) {
+            s.runaheadCycles += span;
+            s.runaheadRegCycles += span * held;
+        } else {
+            s.normalCycles += span;
+            s.normalRegCycles += span * held;
+        }
+    }
+
+    // Per-cycle rotation cursors advance once per tick regardless of
+    // work; replay the elided ticks' increments in closed form.
+    renameRR_ = static_cast<unsigned>((renameRR_ + span) % n);
+    commitRR_ = static_cast<unsigned>((commitRR_ + span) % n);
+
+    // The broadcast reference rescans every issue-queue entry each
+    // cycle even when none is ready; integrate its visit counter so the
+    // reference's work accounting stays bit-identical to ticking.
+    if (config_.broadcastScheduler) {
+        std::uint64_t per_cycle = 0;
+        for (const auto &iq : iqs_)
+            per_cycle += iq.size();
+        sched_.readySelectVisits += span * per_cycle;
+    }
+
+    policy_.onCyclesSkipped(*this, span);
+
+    skip_.skippedCycles += span;
+    ++skip_.skipSpans;
+    cycle_ = target;
 }
 
 void
@@ -179,6 +301,7 @@ SmtCore::prewarm(InstSeq insts)
 void
 SmtCore::tick()
 {
+    tickActivity_ = false;
     policy_.beginCycle(*this);
     processCompletions();
     checkRunaheadTransitions();
@@ -195,6 +318,7 @@ SmtCore::resetStats()
 {
     stats_ = {};
     sched_ = {};
+    skip_ = {};
     predictor_.resetStats();
     btb_.resetStats();
 }
@@ -209,6 +333,7 @@ SmtCore::processCompletions()
     while (!completions_.empty() && completions_.top().at <= cycle_) {
         const InstHandle h = completions_.top().inst;
         completions_.pop();
+        tickActivity_ = true;
         DynInst *inst = pool_.get(h);
         if (!inst || inst->status != InstStatus::Executing)
             continue; // squashed or folded since scheduling
@@ -220,6 +345,7 @@ SmtCore::processCompletions()
     while (!l2Detections_.empty() && l2Detections_.top().at <= cycle_) {
         const InstHandle h = l2Detections_.top().inst;
         l2Detections_.pop();
+        tickActivity_ = true;
         DynInst *inst = pool_.get(h);
         if (!inst || !inst->countedL2Miss)
             continue;
@@ -235,6 +361,8 @@ SmtCore::processCompletions()
 void
 SmtCore::drainFolds()
 {
+    if (!foldQueue_.empty())
+        tickActivity_ = true;
     while (!foldQueue_.empty()) {
         const InstHandle h = foldQueue_.back();
         foldQueue_.pop_back();
@@ -669,8 +797,10 @@ SmtCore::checkRunaheadTransitions()
 {
     for (unsigned tid = 0; tid < config_.numThreads; ++tid) {
         ThreadState &t = threads_[tid];
-        if (t.inRunahead && cycle_ >= t.raExitAt)
+        if (t.inRunahead && cycle_ >= t.raExitAt) {
+            tickActivity_ = true;
             exitRunahead(static_cast<ThreadId>(tid));
+        }
     }
 }
 
@@ -879,8 +1009,13 @@ SmtCore::retireHead(ThreadId tid)
         if (trace::isStoreOp(head->op.op)) {
             const auto res =
                 mem_.writeData(tid, head->op.effAddr, cycle_);
-            if (res.rejected)
-                return false; // write-buffer/MSHR pressure stalls commit
+            if (res.rejected) {
+                // Write-buffer/MSHR pressure stalls commit. The retry
+                // still walked the caches (LRU/stat updates), so this
+                // cycle did work and may not be skipped.
+                tickActivity_ = true;
+                return false;
+            }
         }
         releaseDest(*head, /*make_inv=*/false);
         if (trace::isMemOp(head->op.op))
@@ -917,8 +1052,10 @@ SmtCore::commitStage()
         const auto tid = static_cast<ThreadId>(slot);
         if (++slot >= n)
             slot = 0;
-        while (budget > 0 && retireHead(tid))
+        while (budget > 0 && retireHead(tid)) {
             --budget;
+            tickActivity_ = true;
+        }
     }
     commitRR_ = commitRR_ + 1 >= n ? 0 : commitRR_ + 1;
 }
@@ -1075,6 +1212,11 @@ SmtCore::issueStage()
     // or squashed since insertion are dropped here; instructions that
     // stay ready but lose arbitration (port/FU conflicts) are re-queued
     // for the next cycle.
+    // Any queued candidate — even a stale or arbitration-blocked one —
+    // means this cycle examined scheduler state and the next may too.
+    if (!readyQ_.empty())
+        tickActivity_ = true;
+
     unsigned budget = config_.issueWidth;
     readyPutback_.clear();
     while (budget > 0 && !readyQ_.empty()) {
@@ -1112,6 +1254,11 @@ SmtCore::issueStageBroadcast()
             }
         }
     }
+    // A non-empty ready list means work was (attempted to be) issued
+    // this cycle and the losers retry next cycle: not quiescent.
+    if (!readyScratch_.empty())
+        tickActivity_ = true;
+
     std::sort(readyScratch_.begin(), readyScratch_.end(),
               [this](InstHandle a, InstHandle b) {
                   const DynInst *ia = pool_.get(a);
@@ -1297,6 +1444,7 @@ SmtCore::renameStage()
             continue;
         if (renameOne(tid)) {
             --budget;
+            tickActivity_ = true;
         } else {
             stalled[tid] = true;
             ++stalled_count;
@@ -1425,6 +1573,9 @@ SmtCore::fetchStage()
             continue; // Fig. 4 resource-availability ablation
         if (!policy_.mayFetch(*this, tid))
             continue;
+        // Entering fetchThread always does work: it either fetches or
+        // probes the I-cache (LRU/stat updates) before blocking.
+        tickActivity_ = true;
         const unsigned before = budget;
         fetchThread(tid, budget);
         if (budget < before)

@@ -170,6 +170,21 @@ class SmtCore
     const SchedCounters &schedCounters() const { return sched_; }
 
     /**
+     * Quiescence-aware cycle-skipping counters (reset by resetStats).
+     * A "span" is one fast-forward of the clock from a provably idle
+     * tick to the next cycle at which any state can change; skipped
+     * cycles are the ticks elided that way. Zero both when
+     * CoreConfig::cycleSkipping is off or the core never goes idle.
+     */
+    struct SkipStats {
+        /** Cycles elided by fast-forwarding (never ticked). */
+        std::uint64_t skippedCycles = 0;
+        /** Fast-forward spans taken. */
+        std::uint64_t skipSpans = 0;
+    };
+    const SkipStats &skipStats() const { return skip_; }
+
+    /**
      * Print a one-line diagnostic description of a thread's ROB head to
      * stderr (debugging aid; stable API for tooling and tests).
      */
@@ -332,6 +347,27 @@ class SmtCore
     /** Remove an instruction from all structures and release it. */
     void scrubInst(DynInst &inst, bool restore_map);
 
+    // --- quiescence-aware cycle skipping (DESIGN.md) -----------------------
+
+    /**
+     * Earliest cycle at which *any* state can change, given the tick
+     * that just ended was fully quiescent: the completion and
+     * L2-detection heap heads, the earliest outstanding MSHR fill, the
+     * earliest runahead exit, fetch-unblock and rename-ready times, and
+     * the policy's time horizon. kNoCycle when nothing is pending.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Fast-forward the clock from the current (quiescent) cycle to
+     * @p target without ticking: integrate the sampleCycle()
+     * accumulators analytically over the span (occupancy is constant
+     * while quiescent, so multiply instead of loop), advance the
+     * per-cycle rotation cursors and the broadcast-mode scan counters
+     * exactly as the elided ticks would have, and notify the policy.
+     */
+    void skipTo(Cycle target);
+
     RenameMap &mapOf(ThreadId tid, bool fp)
     {
         return fp ? threads_[tid].fpMap : threads_[tid].intMap;
@@ -377,6 +413,18 @@ class SmtCore
 
     ReadyQueue readyQ_; ///< age-ordered ready instructions (event mode)
     SchedCounters sched_;
+    SkipStats skip_;
+
+    /**
+     * Did the last tick() do any work? Set by every stage on any state
+     * change a skipped cycle could not reproduce: an event popped, a
+     * fold, a retire (or a rejected store-commit memory access), a
+     * ready-queue candidate, a rename, a fetch attempt. A tick that
+     * ends with this false is fully quiescent: re-running it (or any
+     * later cycle before nextEventCycle()) would change nothing, which
+     * is what makes fast-forwarding bit-identical.
+     */
+    bool tickActivity_ = false;
 
     unsigned renameRR_ = 0;
     unsigned commitRR_ = 0;

@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
@@ -29,12 +30,11 @@ Cache::Cache(const CacheConfig &config) : config_(config)
     lines_.resize(static_cast<std::size_t>(numSets_) * config.ways);
 }
 
-Cache::Line *
-Cache::findLine(Addr addr)
+const Cache::Line *
+Cache::findLine(Addr addr) const
 {
     const Addr tag = tagOf(addr);
-    Line *set = &lines_[static_cast<std::size_t>(setIndex(addr)) *
-                        config_.ways];
+    const Line *set = setBase(addr);
     for (unsigned w = 0; w < config_.ways; ++w) {
         if (set[w].valid && set[w].tag == tag)
             return &set[w];
@@ -42,10 +42,12 @@ Cache::findLine(Addr addr)
     return nullptr;
 }
 
-const Cache::Line *
-Cache::findLine(Addr addr) const
+Cache::Line *
+Cache::findLine(Addr addr)
 {
-    return const_cast<Cache *>(this)->findLine(addr);
+    // Safe const_cast direction: *this is non-const here, so shedding
+    // the const the delegated-to overload added is well-defined.
+    return const_cast<Line *>(std::as_const(*this).findLine(addr));
 }
 
 LookupResult
@@ -82,24 +84,30 @@ Cache::access(Addr addr, Cycle now, Cycle &ready_at)
 bool
 Cache::install(Addr addr, Cycle now, Cycle ready_at, Addr &evicted)
 {
-    if (Line *line = findLine(addr)) {
-        // Re-install of a present line (e.g. refresh): update fill time
-        // only if it makes the line available earlier.
-        line->lastUse = now;
-        line->readyAt = std::min(line->readyAt, ready_at);
-        return false;
-    }
-    Line *set = &lines_[static_cast<std::size_t>(setIndex(addr)) *
-                        config_.ways];
-    Line *victim = &set[0];
+    // Single way-walk over the set: find a present line and track the
+    // replacement victim (first invalid way, else LRU) in one pass, so
+    // the set base and tag are computed once per install.
+    const Addr tag = tagOf(addr);
+    Line *set = setBase(addr);
+    Line *invalid = nullptr;
+    Line *lru = &set[0];
     for (unsigned w = 0; w < config_.ways; ++w) {
-        if (!set[w].valid) {
-            victim = &set[w];
-            break;
+        Line &l = set[w];
+        if (l.valid && l.tag == tag) {
+            // Re-install of a present line (e.g. refresh): update fill
+            // time only if it makes the line available earlier.
+            l.lastUse = now;
+            l.readyAt = std::min(l.readyAt, ready_at);
+            return false;
         }
-        if (set[w].lastUse < victim->lastUse)
-            victim = &set[w];
+        if (!l.valid) {
+            if (!invalid)
+                invalid = &l;
+        } else if (l.lastUse < lru->lastUse) {
+            lru = &l;
+        }
     }
+    Line *victim = invalid ? invalid : lru;
     const bool had_victim = victim->valid;
     if (had_victim) {
         ++evictions_;
@@ -138,16 +146,52 @@ MshrFile::MshrFile(unsigned entries) : entries_(entries)
 {
     RAT_ASSERT(entries > 0, "MSHR file needs at least one entry");
     active_.reserve(entries);
+    // Power-of-two index at most half full keeps probe chains short.
+    tableSize_ = 8;
+    while (tableSize_ < 2 * entries_)
+        tableSize_ *= 2;
+    table_.assign(tableSize_, kEmptySlot);
+}
+
+std::uint32_t
+MshrFile::findSlot(Addr line_addr) const
+{
+    std::uint64_t h = line_addr * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 32;
+    std::uint32_t i = static_cast<std::uint32_t>(h & (tableSize_ - 1));
+    while (table_[i] != kEmptySlot &&
+           active_[table_[i]].lineAddr != line_addr) {
+        i = (i + 1) & (tableSize_ - 1);
+    }
+    return i;
+}
+
+void
+MshrFile::reindex() const
+{
+    std::fill(table_.begin(), table_.end(), kEmptySlot);
+    minComplete_ = kNoCycle;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(active_.size()); ++i) {
+        minComplete_ = std::min(minComplete_, active_[i].completeAt);
+        const std::uint32_t slot = findSlot(active_[i].lineAddr);
+        if (table_[slot] == kEmptySlot)
+            table_[slot] = i; // keep the oldest record of a line
+    }
 }
 
 void
 MshrFile::expire(Cycle now) const
 {
+    // Fast path: nothing can have completed before the tracked minimum.
+    if (minComplete_ > now)
+        return;
     active_.erase(std::remove_if(active_.begin(), active_.end(),
                                  [now](const Entry &e) {
                                      return e.completeAt <= now;
                                  }),
                   active_.end());
+    reindex();
 }
 
 bool
@@ -160,11 +204,9 @@ Cycle
 MshrFile::completionOf(Addr line_addr, Cycle now) const
 {
     expire(now);
-    for (const Entry &e : active_) {
-        if (e.lineAddr == line_addr)
-            return e.completeAt;
-    }
-    return kNoCycle;
+    const std::uint32_t slot = findSlot(line_addr);
+    return table_[slot] == kEmptySlot ? kNoCycle
+                                      : active_[table_[slot]].completeAt;
 }
 
 bool
@@ -179,7 +221,14 @@ MshrFile::allocate(Addr line_addr, Cycle now, Cycle complete_at)
 {
     expire(now);
     RAT_ASSERT(active_.size() < entries_, "MSHR overflow");
+    const std::uint32_t slot = findSlot(line_addr);
+    if (table_[slot] == kEmptySlot) {
+        table_[slot] = static_cast<std::uint32_t>(active_.size());
+    }
+    // else: a live record for the line exists (evicted-while-pending
+    // re-miss); the index keeps pointing at the oldest one.
     active_.push_back({line_addr, complete_at});
+    minComplete_ = std::min(minComplete_, complete_at);
 }
 
 unsigned
@@ -187,6 +236,13 @@ MshrFile::occupancy(Cycle now) const
 {
     expire(now);
     return static_cast<unsigned>(active_.size());
+}
+
+Cycle
+MshrFile::earliestCompletion(Cycle now) const
+{
+    expire(now);
+    return active_.empty() ? kNoCycle : minComplete_;
 }
 
 } // namespace rat::mem

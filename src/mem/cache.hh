@@ -113,8 +113,20 @@ class Cache
     }
     Addr tagOf(Addr addr) const { return addr >> lineShift_; }
 
-    Line *findLine(Addr addr);
+    /** First line of the set @p addr maps to (way-walk base). */
+    const Line *setBase(Addr addr) const
+    {
+        return &lines_[static_cast<std::size_t>(setIndex(addr)) *
+                       config_.ways];
+    }
+    Line *setBase(Addr addr)
+    {
+        return &lines_[static_cast<std::size_t>(setIndex(addr)) *
+                       config_.ways];
+    }
+
     const Line *findLine(Addr addr) const;
+    Line *findLine(Addr addr);
 
     CacheConfig config_;
     unsigned numSets_;
@@ -131,9 +143,24 @@ class Cache
 /**
  * Bounded set of outstanding line fills (miss status holding registers).
  *
- * Tracks distinct line addresses with their completion cycles; accesses to
- * an already-outstanding line merge. Full MSHRs reject new misses, which
- * the core turns into issue back-pressure.
+ * Tracks outstanding line addresses with their completion cycles;
+ * accesses to an already-outstanding line merge. Full MSHRs reject new
+ * misses, which the core turns into issue back-pressure.
+ *
+ * Implementation: an insertion-ordered entry list (bounded by the
+ * capacity) with the minimum completion cycle tracked incrementally,
+ * plus an open-addressed line-address index for O(1) lookups. Expiry is
+ * lazy but O(1) in the common case — nothing can have expired while
+ * `now` is before the tracked minimum, which replaces the former
+ * remove_if scan on every query. The minimum also feeds the core's
+ * `nextEventCycle()` (earliest cycle a fill can unblock anything).
+ *
+ * Semantics are pinned by the cache/MSHR tests and must match the
+ * original list exactly, including the corner where the same line is
+ * allocated twice (an L1 line evicted while its fill is in flight, then
+ * re-missed): both records count toward occupancy and expire on their
+ * own completion cycles, and lookups return the oldest surviving
+ * record.
  */
 class MshrFile
 {
@@ -158,16 +185,32 @@ class MshrFile
     /** Outstanding fills at @p now (lazy expiry). */
     unsigned occupancy(Cycle now) const;
 
+    /**
+     * Completion cycle of the earliest outstanding fill at @p now;
+     * kNoCycle when none are outstanding.
+     */
+    Cycle earliestCompletion(Cycle now) const;
+
   private:
     void expire(Cycle now) const;
+    /** Rebuild the line index and tracked minimum from active_. */
+    void reindex() const;
+    /** Probe slot of @p line: its entry, or the empty slot to fill. */
+    std::uint32_t findSlot(Addr line_addr) const;
 
     struct Entry {
         Addr lineAddr;
         Cycle completeAt;
     };
 
+    static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+
     unsigned entries_;
-    mutable std::vector<Entry> active_;
+    std::uint32_t tableSize_; ///< power-of-two, >= 2 * entries_
+    mutable std::vector<Entry> active_; ///< live fills, insertion order
+    /** line address -> index in active_ of its oldest live record. */
+    mutable std::vector<std::uint32_t> table_;
+    mutable Cycle minComplete_ = kNoCycle;
 };
 
 } // namespace rat::mem

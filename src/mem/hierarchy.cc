@@ -164,6 +164,15 @@ MemoryHierarchy::probe(Addr addr, Cycle now) const
     return HitLevel::Memory;
 }
 
+Cycle
+MemoryHierarchy::nextFillCompletion(Cycle now) const
+{
+    const Cycle l1i = l1iMshrs_.earliestCompletion(now);
+    const Cycle l1d = l1dMshrs_.earliestCompletion(now);
+    const Cycle l2 = l2Mshrs_.earliestCompletion(now);
+    return std::min(l1i, std::min(l1d, l2));
+}
+
 void
 MemoryHierarchy::resetStats()
 {

@@ -117,6 +117,14 @@ class MemoryHierarchy
     /** Reset all statistics (cache contents are preserved). */
     void resetStats();
 
+    /**
+     * Completion cycle of the earliest outstanding line fill across
+     * the three MSHR files (kNoCycle when nothing is in flight). Feeds
+     * the core's quiescence horizon: no memory-side state the core can
+     * observe changes before this cycle.
+     */
+    Cycle nextFillCompletion(Cycle now) const;
+
     /** Configured full-miss latency. */
     unsigned memLatency() const { return memLatency_; }
 

@@ -1,5 +1,7 @@
 #include "policy/dcra.hh"
 
+#include <algorithm>
+
 namespace rat::policy {
 
 void
@@ -43,6 +45,27 @@ DcraPolicy::beginCycle(core::SmtCore &core)
         for (unsigned t = 0; t < n; ++t)
             caps_[t][r] = totals[r] * weights[t] / weight_sum;
     }
+}
+
+Cycle
+DcraPolicy::quiescentUntil(const core::SmtCore &core, Cycle now) const
+{
+    // The slow/fast split moves only on core events (L2-miss counts,
+    // runahead transitions), but FP-activity classification expires by
+    // time alone: a thread stops being FP-active the first cycle where
+    // lastFpIssue + fpActivityWindow < now. Caps recompute then, so a
+    // fast-forward must stop at the earliest such reclassification.
+    // The boundary cycle itself (last + window + 1, the first cycle
+    // classified inactive) must still clamp: its beginCycle is the one
+    // that recomputes the caps, so it may not be skipped over.
+    Cycle horizon = kNoCycle;
+    for (unsigned t = 0; t < core.numThreads(); ++t) {
+        const Cycle last = core.lastFpIssue(static_cast<ThreadId>(t));
+        if (last == 0 || last + config_.fpActivityWindow + 1 < now)
+            continue; // never issued FP / reclassification already ran
+        horizon = std::min(horizon, last + config_.fpActivityWindow + 1);
+    }
+    return horizon;
 }
 
 bool

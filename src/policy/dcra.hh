@@ -45,6 +45,8 @@ class DcraPolicy : public IcountPolicy
 
     void beginCycle(core::SmtCore &core) override;
     bool mayFetch(const core::SmtCore &core, ThreadId tid) override;
+    Cycle quiescentUntil(const core::SmtCore &core,
+                         Cycle now) const override;
     const char *name() const override { return "DCRA"; }
 
     /** Computed cap for a resource (exposed for tests). */

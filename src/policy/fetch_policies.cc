@@ -16,6 +16,14 @@ RoundRobinPolicy::fetchOrder(const core::SmtCore &core,
 }
 
 void
+RoundRobinPolicy::onCyclesSkipped(const core::SmtCore &core, Cycle skipped)
+{
+    // fetchOrder advances the cursor once per cycle; elided idle cycles
+    // must advance it the same way so the rotation stays bit-identical.
+    next_ = static_cast<unsigned>((next_ + skipped) % core.numThreads());
+}
+
+void
 IcountPolicy::fetchOrder(const core::SmtCore &core,
                          std::vector<ThreadId> &order)
 {
@@ -45,6 +53,15 @@ IcountPolicy::fetchOrder(const core::SmtCore &core,
         }
     }
     tiebreak_ = (tiebreak_ + 1) % n;
+}
+
+void
+IcountPolicy::onCyclesSkipped(const core::SmtCore &core, Cycle skipped)
+{
+    // The per-cycle tiebreak rotation must account for elided cycles
+    // (every ICOUNT-derived policy inherits this).
+    tiebreak_ =
+        static_cast<unsigned>((tiebreak_ + skipped) % core.numThreads());
 }
 
 bool

@@ -21,6 +21,8 @@ class RoundRobinPolicy : public core::SchedulingPolicy
   public:
     void fetchOrder(const core::SmtCore &core,
                     std::vector<ThreadId> &order) override;
+    void onCyclesSkipped(const core::SmtCore &core,
+                         Cycle skipped) override;
     const char *name() const override { return "RR"; }
 
   private:
@@ -36,6 +38,8 @@ class IcountPolicy : public core::SchedulingPolicy
   public:
     void fetchOrder(const core::SmtCore &core,
                     std::vector<ThreadId> &order) override;
+    void onCyclesSkipped(const core::SmtCore &core,
+                         Cycle skipped) override;
     const char *name() const override { return "ICOUNT"; }
 
   private:

@@ -100,6 +100,20 @@ HillClimbingPolicy::beginCycle(core::SmtCore &core)
     epochStartInsts_ = committed;
 }
 
+Cycle
+HillClimbingPolicy::quiescentUntil(const core::SmtCore &core,
+                                   Cycle now) const
+{
+    (void)core;
+    (void)now;
+    if (numThreads_ < 2)
+        return kNoCycle; // beginCycle is a no-op: nothing to partition
+    // The epoch state machine must observe every boundary at exactly
+    // epochStart_ + epochLength (it rebases epochStart_ to the cycle it
+    // fires on), so a fast-forward may never overshoot it.
+    return epochStart_ + config_.epochLength;
+}
+
 bool
 HillClimbingPolicy::mayFetch(const core::SmtCore &core, ThreadId tid)
 {

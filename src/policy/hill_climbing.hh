@@ -45,6 +45,8 @@ class HillClimbingPolicy : public IcountPolicy
     void reset(const core::SmtCore &core) override;
     void beginCycle(core::SmtCore &core) override;
     bool mayFetch(const core::SmtCore &core, ThreadId tid) override;
+    Cycle quiescentUntil(const core::SmtCore &core,
+                         Cycle now) const override;
     const char *name() const override { return "HillClimbing"; }
 
     /** Current base share of a thread (exposed for tests). */

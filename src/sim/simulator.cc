@@ -86,8 +86,13 @@ Simulator::run(PhaseTiming *timing)
 
     t0 = Clock::now();
     core_->run(config_.warmupCycles);
-    if (timing)
+    if (timing) {
         timing->warmupSeconds = seconds_since(t0);
+        timing->warmupSkippedCycles = core_->skipStats().skippedCycles;
+    }
+    // resetStats also clears the skip counters, so the measured window
+    // accounts its fast-forwards separately; run() never skips past the
+    // requested cycle count, so this boundary lands exactly.
     core_->resetStats();
     mem_->resetStats();
 
@@ -95,8 +100,11 @@ Simulator::run(PhaseTiming *timing)
     const Cycle start = core_->cycle();
     core_->run(config_.measureCycles);
     const Cycle elapsed = core_->cycle() - start;
-    if (timing)
+    if (timing) {
         timing->measureSeconds = seconds_since(t0);
+        timing->measureSkippedCycles = core_->skipStats().skippedCycles;
+        timing->measureSkipSpans = core_->skipStats().skipSpans;
+    }
 
     SimResult result;
     result.cycles = elapsed;

@@ -71,12 +71,22 @@ struct SimResult {
 /**
  * Wall-clock seconds spent in each phase of one Simulator::run (filled
  * on request; the perf_simspeed bench separates the cycle-accurate
- * phases from the functional prewarm walk).
+ * phases from the functional prewarm walk), plus the per-phase
+ * quiescence fast-forward counters (zero with cycle skipping off).
+ * Skipped cycles are counted inside their phase: `SmtCore::run` clamps
+ * every fast-forward to the end of the requested window, so a skip can
+ * never cross the warmup→measure resetStats() boundary.
  */
 struct PhaseTiming {
     double prewarmSeconds = 0.0;
     double warmupSeconds = 0.0;
     double measureSeconds = 0.0;
+    /** Warmup-phase cycles elided by cycle skipping. */
+    std::uint64_t warmupSkippedCycles = 0;
+    /** Measure-phase cycles elided by cycle skipping. */
+    std::uint64_t measureSkippedCycles = 0;
+    /** Fast-forward spans taken in the measured window. */
+    std::uint64_t measureSkipSpans = 0;
 };
 
 /**

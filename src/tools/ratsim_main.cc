@@ -66,6 +66,8 @@ usage()
         "  --runahead-cache          enable the runahead cache\n"
         "  --no-prefetch             Fig. 4 ablation: no runahead prefetch\n"
         "  --no-ra-fetch             Fig. 4 ablation: no fetch in runahead\n"
+        "  --no-cycle-skip           tick every cycle (disable the\n"
+        "                            bit-identical quiescence fast-forward)\n"
         "  --json PATH               (report) write JSON ('-' = stdout)\n"
         "  --csv PATH                (report) write CSV ('-' = stdout)\n"
         "\n"
@@ -82,6 +84,7 @@ usage()
         "  --cache DIR               on-disk result cache directory\n"
         "  --jobs N                  worker threads (default: hardware)\n"
         "  --json PATH / --csv PATH  structured output ('-' = stdout)\n"
+        "  --no-cycle-skip           tick every cycle in all cells\n"
         "\n"
         "discovery:\n"
         "  --list-programs           print modelled SPEC2000 programs\n"
@@ -253,6 +256,8 @@ parseRunOption(const std::vector<std::string> &args, std::size_t &i,
         opt.cfg.core.rat.disablePrefetch = true;
     } else if (arg == "--no-ra-fetch") {
         opt.cfg.core.rat.noFetchInRunahead = true;
+    } else if (arg == "--no-cycle-skip") {
+        opt.cfg.core.cycleSkipping = false;
     } else if (structured && arg == "--json") {
         opt.jsonPath = next();
     } else if (structured && arg == "--csv") {
@@ -423,6 +428,8 @@ sweepCommand(const std::vector<std::string> &args)
             rat_flags.disablePrefetch = true;
         } else if (arg == "--no-ra-fetch") {
             rat_flags.noFetchInRunahead = true;
+        } else if (arg == "--no-cycle-skip") {
+            spec.base.core.cycleSkipping = false;
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());

@@ -123,6 +123,21 @@ TEST(CliSmoke, RunSubcommandMatchesLegacyInvocation)
     EXPECT_EQ(legacy.output, sub.output);
 }
 
+TEST(CliSmoke, NoCycleSkipFlagIsAcceptedAndBitIdentical)
+{
+    // STALL on a memory-bound pair skips most cycles, so identical
+    // output across the toggle is an end-to-end pin of the
+    // quiescence fast-forward's bit-identical contract.
+    const char *args =
+        "report --workload art,mcf --policy STALL --measure 2000 "
+        "--warmup 500 --prewarm 20000 --json -";
+    const CliResult skip = runCli(args);
+    const CliResult tick = runCli(std::string(args) + " --no-cycle-skip");
+    ASSERT_EQ(skip.exitCode, 0) << skip.output;
+    ASSERT_EQ(tick.exitCode, 0) << tick.output;
+    EXPECT_EQ(skip.output, tick.output);
+}
+
 TEST(CliSmoke, ReportSubcommandEmitsJsonToStdout)
 {
     const CliResult r = runCli(
