@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Ablation over the runahead efficiency variants (`--ra-variant`):
+ * runs a memory-bound MEM2 mix set under RaT with each variant and
+ * reports the executed-runahead-instruction cost against the
+ * harmonic-mean IPC, the tradeoff the efficient-runahead literature
+ * (Mutlu et al. [10], MLP/distance-capped runahead) optimizes.
+ *
+ * Expected shape: `capped` trades IPC for bounded episodes;
+ * `useless-filter` cuts runahead-executed instructions with a
+ * harmonic-mean IPC change within ~1% of `classic`.
+ *
+ * Episode usefulness is a small, noisy signal, so this bench defaults
+ * to a longer measured window (240k cycles) than the other benches;
+ * RATSIM_MEASURE still overrides it (the ctest smoke runs at 2k).
+ */
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "runahead/variant.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace rat;
+
+struct VariantTotals {
+    double hmeanIpcSum = 0.0; ///< sum over mixes of per-mix hmean IPC
+    std::uint64_t raExecuted = 0;
+    std::uint64_t pseudoRetired = 0;
+    std::uint64_t episodes = 0;
+    std::uint64_t drainEpisodes = 0;
+};
+
+double
+hmeanIpc(const sim::SimResult &r)
+{
+    double inv = 0.0;
+    for (const sim::ThreadResult &t : r.threads) {
+        if (t.ipc <= 0.0)
+            return 0.0;
+        inv += 1.0 / t.ipc;
+    }
+    return static_cast<double>(r.threads.size()) / inv;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rat::bench;
+
+    banner("Ablation — runahead efficiency variants (--ra-variant)",
+           "useless-filter cuts runahead-executed instructions at <=~1% "
+           "harmonic-mean IPC vs classic; capped bounds episode length");
+
+    // Memory-bound MEM2 mixes where runahead episodes (and their
+    // waste) dominate.
+    const std::vector<std::vector<std::string>> mixes = {
+        {"art", "mcf"}, {"swim", "mcf"}, {"mcf", "twolf"}};
+
+    sim::SimConfig base = benchConfig();
+    if (!std::getenv("RATSIM_MEASURE"))
+        base.measureCycles = 240000;
+    base.core.policy = core::PolicyKind::Rat;
+
+    // The variant lineup: the three runtime defaults plus an
+    // aggressive filter point (sticky suppression, sparse re-probes)
+    // that shows the far end of the work-vs-IPC tradeoff curve.
+    struct VariantPoint {
+        const char *label;
+        runahead::RaVariant variant;
+        unsigned filterThreshold; ///< 0 = keep the config default
+        unsigned filterReprobe = 0;
+    };
+    const std::vector<VariantPoint> variants = {
+        {"classic", runahead::RaVariant::Classic, 0},
+        {"capped", runahead::RaVariant::Capped, 0},
+        {"useless-filter", runahead::RaVariant::UselessFilter, 0},
+        {"filter-aggro", runahead::RaVariant::UselessFilter, 2, 16},
+    };
+
+    std::map<std::string, std::vector<double>> ipc_rows, work_rows;
+    std::vector<std::string> labels, mix_names;
+    std::vector<VariantTotals> totals(variants.size());
+
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        labels.emplace_back(variants[v].label);
+        for (const auto &mix : mixes) {
+            sim::SimConfig cfg = base;
+            cfg.core.numThreads = static_cast<unsigned>(mix.size());
+            cfg.core.rat.variant = variants[v].variant;
+            if (variants[v].filterThreshold) {
+                cfg.core.rat.uselessFilterThreshold =
+                    variants[v].filterThreshold;
+                cfg.core.rat.uselessFilterReprobe =
+                    variants[v].filterReprobe;
+            }
+            sim::Simulator simulator(cfg, mix);
+            const sim::SimResult r = simulator.run();
+            const runahead::EngineStats &es =
+                simulator.smtCore().runaheadEngine().stats();
+
+            std::string name;
+            for (const auto &p : mix)
+                name += (name.empty() ? "" : ",") + p;
+            if (v == 0)
+                mix_names.push_back(name);
+            ipc_rows[name].push_back(hmeanIpc(r));
+            work_rows[name].push_back(
+                static_cast<double>(es.executedInRunahead));
+
+            VariantTotals &t = totals[v];
+            t.hmeanIpcSum += hmeanIpc(r);
+            t.raExecuted += es.executedInRunahead;
+            t.episodes += es.episodes;
+            t.drainEpisodes += es.drainEpisodes;
+            for (const sim::ThreadResult &thread : r.threads)
+                t.pseudoRetired += thread.core.pseudoRetired;
+        }
+    }
+
+    printGroupTable("harmonic-mean IPC per mix", labels, ipc_rows,
+                    mix_names);
+    printGroupTable("runahead-executed instructions per mix", labels,
+                    work_rows, mix_names);
+
+    BenchReport report("ravariant");
+    report.addGroupTable("harmonic-mean IPC per mix", labels, ipc_rows,
+                         mix_names);
+    report.addGroupTable("runahead-executed instructions per mix",
+                         labels, work_rows, mix_names);
+
+    std::printf("\n%-16s %12s %14s %14s %10s %10s\n", "variant",
+                "hmean IPC", "RA executed", "pseudo-ret", "episodes",
+                "drained");
+    const VariantTotals &classic = totals[0];
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const VariantTotals &t = totals[v];
+        std::printf("%-16s %12.4f %14llu %14llu %10llu %10llu\n",
+                    labels[v].c_str(),
+                    t.hmeanIpcSum / static_cast<double>(mixes.size()),
+                    static_cast<unsigned long long>(t.raExecuted),
+                    static_cast<unsigned long long>(t.pseudoRetired),
+                    static_cast<unsigned long long>(t.episodes),
+                    static_cast<unsigned long long>(t.drainEpisodes));
+        if (v > 0) {
+            const double ipc_delta =
+                pct(t.hmeanIpcSum, classic.hmeanIpcSum);
+            const double work_delta =
+                pct(static_cast<double>(t.raExecuted),
+                    static_cast<double>(classic.raExecuted));
+            std::printf("%-16s %11.2f%% %13.1f%%\n", "  vs classic",
+                        ipc_delta, work_delta);
+            report.addHeadline(labels[v] + " hmean-IPC delta vs classic (%)",
+                               ipc_delta);
+            report.addHeadline(
+                labels[v] + " RA-executed-inst delta vs classic (%)",
+                work_delta);
+        }
+    }
+
+    report.write();
+    return 0;
+}

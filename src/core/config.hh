@@ -10,6 +10,7 @@
 
 #include "branch/perceptron.hh"
 #include "common/types.hh"
+#include "runahead/variant.hh"
 
 namespace rat::core {
 
@@ -48,6 +49,31 @@ runaheadEnabled(PolicyKind kind)
 
 /** Runahead Threads feature flags (Section 3.3 + Fig. 4 ablations). */
 struct RatConfig {
+    /**
+     * Episode policy the RunaheadEngine runs (src/runahead/): `classic`
+     * is the paper's mechanism, `capped` throttles episode length,
+     * `useless-filter` suppresses loads with a history of useless
+     * episodes. Selectable at runtime via `--ra-variant`.
+     */
+    runahead::RaVariant variant = runahead::RaVariant::Classic;
+    /** `capped` variant: max cycles an episode may run past entry. */
+    unsigned cappedMaxCycles = 128;
+    /**
+     * `useless-filter` variant: consecutive zero-prefetch full episodes
+     * of a PC region before its loads switch to fetch-gated DrainOnly
+     * episodes (a useful full episode resets its region to 0). The
+     * 2-bit counters saturate at 3, so the value is clamped to [1, 3].
+     */
+    unsigned uselessFilterThreshold = 3;
+    /**
+     * `useless-filter` variant: every Nth suppressed (distinct) load of
+     * a filtered PC region runs a full probe episode anyway, so a
+     * region whose loads become prefetchable again recovers quickly.
+     * Episode usefulness is near-random on the synthetic traces, so the
+     * dense default (every 2nd) is what keeps the filter's IPC cost
+     * within ~1% — see DESIGN.md. 0 disables re-probing.
+     */
+    unsigned uselessFilterReprobe = 2;
     /**
      * Drop FP compute instructions during runahead so they use no FP
      * resources (Section 3.3, "Floating-point resources"). FP loads and

@@ -52,8 +52,7 @@ SmtCore::SmtCore(const CoreConfig &config, mem::MemoryHierarchy &mem,
       intRegs_(config.intRegs),
       fpRegs_(config.fpRegs), intUnits_("intFU", config.intUnits),
       fpUnits_("fpFU", config.fpUnits), memUnits_("memFU", config.memUnits),
-      predictor_(config.predictor), btb_(), raCache_(
-          config.rat.runaheadCacheLines)
+      predictor_(config.predictor), btb_(), raEngine_(config.rat)
 {
     if (config.numThreads == 0 || config.numThreads > kMaxThreads)
         fatal("numThreads %u out of range [1,%u]", config.numThreads,
@@ -176,9 +175,10 @@ SmtCore::nextEventCycle() const
     const bool rob_full = rob_.full();
     for (unsigned tid = 0; tid < config_.numThreads; ++tid) {
         const ThreadState &t = threads_[tid];
-        // Runahead exit fires the first cycle >= raExitAt.
-        if (t.inRunahead)
-            clamp(t.raExitAt);
+        const bool in_ra = raEngine_.inRunahead(static_cast<ThreadId>(tid));
+        // Runahead exit fires the first cycle >= the engine's horizon.
+        if (in_ra)
+            clamp(raEngine_.exitAt(static_cast<ThreadId>(tid)));
         // Fetch re-enables the first cycle >= fetchBlockedUntil — but
         // only when time is what blocks it. A thread gated by an
         // unresolved branch, a full fetch queue or the no-fetch
@@ -188,7 +188,8 @@ SmtCore::nextEventCycle() const
         const bool fetch_event_gated =
             t.waitingBranch ||
             t.fetchQueue.size() >= config_.fetchQueueEntries ||
-            (config_.rat.noFetchInRunahead && t.inRunahead);
+            (config_.rat.noFetchInRunahead && in_ra) ||
+            raEngine_.fetchSuppressed(static_cast<ThreadId>(tid));
         if (!fetch_event_gated && t.fetchBlockedUntil >= cycle_)
             clamp(t.fetchBlockedUntil);
         // The fetch-queue head becomes renameable at renameReadyAt.
@@ -221,7 +222,7 @@ SmtCore::skipTo(Cycle target)
         const ThreadState &t = threads_[tid];
         ThreadStats &s = stats_[tid];
         const unsigned held = t.intRegsHeld + t.fpRegsHeld;
-        if (t.inRunahead) {
+        if (raEngine_.inRunahead(static_cast<ThreadId>(tid))) {
             s.runaheadCycles += span;
             s.runaheadRegCycles += span * held;
         } else {
@@ -321,6 +322,7 @@ SmtCore::resetStats()
     skip_ = {};
     predictor_.resetStats();
     btb_.resetStats();
+    raEngine_.resetStats();
 }
 
 // ---------------------------------------------------------------------------
@@ -349,7 +351,7 @@ SmtCore::processCompletions()
         DynInst *inst = pool_.get(h);
         if (!inst || !inst->countedL2Miss)
             continue;
-        if (threads_[inst->tid].inRunahead)
+        if (raEngine_.inRunahead(inst->tid))
             continue;
         policy_.onL2MissDetected(*this, inst->tid, *inst);
     }
@@ -739,17 +741,16 @@ SmtCore::foldInst(DynInst &inst)
 void
 SmtCore::enterRunahead(ThreadId tid, DynInst &blocking_load)
 {
-    ThreadState &t = threads_[tid];
-    RAT_ASSERT(!t.inRunahead, "nested runahead entry");
     RAT_ASSERT(blocking_load.completeAt != kNoCycle,
                "blocking load has no completion time");
 
-    t.inRunahead = true;
-    t.raResumeSeq = blocking_load.op.seq;
-    t.raExitAt = blocking_load.completeAt;
-    t.raHistCheckpoint = predictor_.history(tid);
-    t.raPrefetchSnapshot = mem_.threadStats(tid).raMemPrefetches +
-                           mem_.threadStats(tid).raL2Prefetches;
+    // The engine records the checkpoint (resume point, predictor
+    // history, prefetch snapshot) and lets the selected variant pick
+    // the exit horizon.
+    raEngine_.enter(tid, blocking_load.op, cycle_,
+                    blocking_load.completeAt, predictor_.history(tid),
+                    mem_.threadStats(tid).raMemPrefetches +
+                        mem_.threadStats(tid).raL2Prefetches);
     ++stats_[tid].runaheadEntries;
 
     // The blocking load's destination becomes INV (bogus value); the
@@ -796,10 +797,10 @@ void
 SmtCore::checkRunaheadTransitions()
 {
     for (unsigned tid = 0; tid < config_.numThreads; ++tid) {
-        ThreadState &t = threads_[tid];
-        if (t.inRunahead && cycle_ >= t.raExitAt) {
+        const auto t = static_cast<ThreadId>(tid);
+        if (raEngine_.inRunahead(t) && cycle_ >= raEngine_.exitAt(t)) {
             tickActivity_ = true;
-            exitRunahead(static_cast<ThreadId>(tid));
+            exitRunahead(t);
         }
     }
 }
@@ -830,18 +831,18 @@ SmtCore::exitRunahead(ThreadId tid)
     RAT_ASSERT(t.icount == 0, "icount leaked across runahead exit");
     t.pendingL2Misses = 0;
 
-    const std::uint64_t episode_prefetches =
-        mem_.threadStats(tid).raMemPrefetches +
-        mem_.threadStats(tid).raL2Prefetches - t.raPrefetchSnapshot;
-    if (episode_prefetches == 0)
+    // The engine ends the episode (variant training, runahead-cache
+    // clear, useless-episode classification) and hands the checkpoint
+    // back for the core to restore.
+    const runahead::RunaheadEngine::ExitOutcome out = raEngine_.exit(
+        tid, mem_.threadStats(tid).raMemPrefetches +
+                 mem_.threadStats(tid).raL2Prefetches);
+    if (out.useless)
         ++stats_[tid].uselessRunaheadEpisodes;
+    predictor_.restoreHistory(tid, out.histCheckpoint);
 
-    predictor_.restoreHistory(tid, t.raHistCheckpoint);
-    raCache_.clear(tid);
-
-    t.inRunahead = false;
     t.waitingBranch = false;
-    t.nextSeq = t.raResumeSeq;
+    t.nextSeq = out.resumeSeq;
     t.lastFetchLine = ~Addr{0};
     t.fetchBlockedUntil = cycle_ + config_.mispredictRedirect;
 }
@@ -980,19 +981,19 @@ SmtCore::squashYoungerThan(ThreadId tid, InstSeq seq)
 bool
 SmtCore::retireHead(ThreadId tid)
 {
-    ThreadState &t = threads_[tid];
     DynInst *head = rob_.head(tid);
     if (!head)
         return false;
 
-    if (t.inRunahead) {
+    if (raEngine_.inRunahead(tid)) {
         if (head->status != InstStatus::Complete)
             return false;
         // Pseudo-retire (Section 3.1): no architectural or memory update.
         if (trace::isStoreOp(head->op.op) && config_.rat.useRunaheadCache &&
             head->renamed) {
-            raCache_.write(tid, mem_.l1d().lineAlign(head->op.effAddr),
-                           /*data_valid=*/!head->inv);
+            raEngine_.notePseudoRetiredStore(
+                tid, mem_.l1d().lineAlign(head->op.effAddr),
+                /*data_valid=*/!head->inv);
         }
         releaseDest(*head, /*make_inv=*/head->inv);
         if (trace::isMemOp(head->op.op))
@@ -1029,13 +1030,11 @@ SmtCore::retireHead(ThreadId tid)
     }
 
     // Head not complete. A long-latency load blocking the head is the
-    // runahead trigger (Section 3.1).
+    // runahead entry trigger (Section 3.1), gated by the engine (the
+    // Fig. 4 suppression set plus the selected variant's entry veto).
     if (runaheadEnabled(config_.policy) &&
         trace::isLoadOp(head->op.op) && head->memIssued &&
-        head->longLatency &&
-        (t.raSuppressedLoads.empty() || // non-empty only in the Fig. 4
-                                        // no-prefetch ablation
-         !t.raSuppressedLoads.count(head->op.seq))) {
+        head->longLatency && raEngine_.mayEnter(tid, head->op)) {
         enterRunahead(tid, *head);
         return true; // consumed a commit slot taking the checkpoint
     }
@@ -1069,9 +1068,12 @@ SmtCore::tryIssueInst(DynInst &inst)
 {
     ThreadState &t = threads_[inst.tid];
     const trace::OpClass op = inst.op.op;
+    const bool in_ra = raEngine_.inRunahead(inst.tid);
 
     auto start_execution = [&](Cycle complete_at) {
         ++stats_[inst.tid].executedInsts;
+        if (in_ra)
+            raEngine_.noteExecutedInRunahead();
         queueOf(iqClassOf(op)).remove(inst);
         --t.iqCount[static_cast<unsigned>(iqClassOf(op))];
         RAT_ASSERT(t.icount > 0, "icount underflow on issue");
@@ -1121,9 +1123,9 @@ SmtCore::tryIssueInst(DynInst &inst)
 
         // Communication from pseudo-retired runahead stores (the
         // runahead cache, Section 3.3).
-        if (t.inRunahead && config_.rat.useRunaheadCache) {
+        if (in_ra && config_.rat.useRunaheadCache) {
             bool data_valid = false;
-            if (raCache_.lookup(inst.tid, line, data_valid)) {
+            if (raEngine_.lookupStoreLine(inst.tid, line, data_valid)) {
                 if (!data_valid) {
                     foldInst(inst);
                     return false;
@@ -1139,10 +1141,10 @@ SmtCore::tryIssueInst(DynInst &inst)
         // Fig. 4 "no prefetch" ablation: runahead loads may not touch
         // the L2 or memory; would-be L2 misses fold without prefetching
         // and are barred from re-triggering runahead after recovery.
-        if (t.inRunahead && config_.rat.disablePrefetch) {
+        if (in_ra && config_.rat.disablePrefetch) {
             const auto level = mem_.probe(inst.op.effAddr, cycle_);
             if (level != mem::HitLevel::L1) {
-                t.raSuppressedLoads.insert(inst.op.seq);
+                raEngine_.suppressLoad(inst.tid, inst.op.seq);
                 foldInst(inst);
                 return false;
             }
@@ -1151,7 +1153,7 @@ SmtCore::tryIssueInst(DynInst &inst)
         if (!memUnits_.tryIssue(cycle_, 1))
             return false;
         const auto res = mem_.readData(inst.tid, inst.op.effAddr, cycle_,
-                                       /*speculative=*/t.inRunahead);
+                                       /*speculative=*/in_ra);
         if (res.rejected)
             return true; // port burned; retry next cycle
         inst.memIssued = true;
@@ -1164,15 +1166,16 @@ SmtCore::tryIssueInst(DynInst &inst)
             res.completeAt > cycle_ + Cycle{mem_.l1d().latency() +
                                             mem_.l2().latency() + 2};
 
-        if (t.inRunahead && inst.longLatency) {
+        if (in_ra && inst.longLatency) {
             // The access already installed/merged the line fill: that is
             // the prefetch. The load itself is invalidated (Section 3.2).
             ++stats_[inst.tid].executedInsts; // the AGU + access ran
+            raEngine_.noteExecutedInRunahead();
             foldInst(inst);
             return true;
         }
         start_execution(res.completeAt);
-        if (!t.inRunahead && inst.longLatency) {
+        if (!in_ra && inst.longLatency) {
             inst.countedL2Miss = true;
             ++t.pendingL2Misses;
             l2Detections_.push(
@@ -1328,8 +1331,9 @@ SmtCore::renameOne(ThreadId tid)
 
     // Runahead folding decision (Section 3.3): INV sources, FP compute
     // under the FP-drop optimisation, and synchronization ops all fold.
+    const bool in_ra = raEngine_.inRunahead(tid);
     bool fold = false;
-    if (t.inRunahead) {
+    if (in_ra) {
         fold = any_src_inv ||
                (config_.rat.dropFpInRunahead &&
                 trace::isFpComputeOp(op)) ||
@@ -1341,7 +1345,7 @@ SmtCore::renameOne(ThreadId tid)
     // FP loads under FP-drop still execute for their prefetch effect but
     // take no FP destination register (Section 3.3).
     const bool prefetch_only =
-        t.inRunahead && config_.rat.dropFpInRunahead && !fold &&
+        in_ra && config_.rat.dropFpInRunahead && !fold &&
         op == trace::OpClass::FpLoad;
     const bool needs_dst_reg = inst->op.hasDst && !fold && !prefetch_only;
 
@@ -1357,7 +1361,7 @@ SmtCore::renameOne(ThreadId tid)
     // Commit the rename.
     t.fetchQueue.pop_front();
     inst->renamed = true;
-    inst->runahead = t.inRunahead;
+    inst->runahead = in_ra;
     inst->dstIsFp = inst->op.dstIsFp;
 
     if (fold) {
@@ -1569,8 +1573,10 @@ SmtCore::fetchStage()
             continue;
         if (t.fetchQueue.size() >= config_.fetchQueueEntries)
             continue;
-        if (config_.rat.noFetchInRunahead && t.inRunahead)
+        if (config_.rat.noFetchInRunahead && raEngine_.inRunahead(tid))
             continue; // Fig. 4 resource-availability ablation
+        if (raEngine_.fetchSuppressed(tid))
+            continue; // variant-gated DrainOnly episode
         if (!policy_.mayFetch(*this, tid))
             continue;
         // Entering fetchThread always does work: it either fetches or
@@ -1594,7 +1600,7 @@ SmtCore::sampleCycle()
         ThreadState &t = threads_[tid];
         ThreadStats &s = stats_[tid];
         const unsigned held = t.intRegsHeld + t.fpRegsHeld;
-        if (t.inRunahead) {
+        if (raEngine_.inRunahead(static_cast<ThreadId>(tid))) {
             ++s.runaheadCycles;
             s.runaheadRegCycles += held;
         } else {

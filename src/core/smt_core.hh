@@ -1,14 +1,24 @@
 /**
  * @file
- * The simultaneous-multithreaded out-of-order core, including the
- * Runahead Threads mechanism (the paper's contribution).
+ * The simultaneous-multithreaded out-of-order core. The Runahead
+ * Threads mechanism it hosts lives in its own subsystem — the
+ * `runahead::RunaheadEngine` owns episode state, checkpoints, the
+ * runahead cache and the runtime-selected efficiency variant; this
+ * core owns the pipeline machinery episodes ride on (INV folding and
+ * its cascade, pseudo-retirement, the exit squash) and talks to the
+ * engine through its narrow trigger/horizon/hook interface (see
+ * runahead/engine.hh and DESIGN.md, "RunaheadEngine extraction &
+ * variant interface").
  *
  * Pipeline model (evaluated oldest-stage-first each cycle):
  *   1. completions  — writeback: wake consumers, resolve branches
- *   2. runahead exit — blocking miss returned: restore checkpoint
- *   3. commit       — per-thread in-order retire / pseudo-retire;
- *                     runahead *entry* happens here (L2-miss load at the
- *                     thread's ROB head, Section 3.1)
+ *   2. runahead exit — the engine's exit horizon passed: squash the
+ *                     speculative window, restore the engine's
+ *                     checkpoint
+ *   3. commit       — per-thread in-order retire / pseudo-retire; the
+ *                     runahead *entry* trigger fires here (L2-miss
+ *                     load at the thread's ROB head, gated by
+ *                     RunaheadEngine::mayEnter)
  *   4. issue        — oldest-first select from the event-driven ready
  *                     queue (or a full-IQ rescan in the legacy
  *                     broadcast reference mode; DESIGN.md,
@@ -32,7 +42,6 @@
 #include <deque>
 #include <memory>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "branch/btb.hh"
@@ -45,6 +54,7 @@
 #include "core/stats.hh"
 #include "core/structures.hh"
 #include "mem/hierarchy.hh"
+#include "runahead/engine.hh"
 #include "trace/generator.hh"
 #include "trace/source.hh"
 
@@ -123,7 +133,12 @@ class SmtCore
     /** Is the thread in runahead mode? */
     bool inRunahead(ThreadId tid) const
     {
-        return threads_[tid].inRunahead;
+        return raEngine_.inRunahead(tid);
+    }
+    /** The runahead subsystem (variant stats, tests, benches). */
+    const runahead::RunaheadEngine &runaheadEngine() const
+    {
+        return raEngine_;
     }
     /** Does the thread have an outstanding demand L2 miss? */
     bool hasPendingL2Miss(ThreadId tid) const
@@ -241,15 +256,8 @@ class SmtCore
         };
         std::vector<TraceMemoEntry> traceMemo;
 
-        // Runahead state (Section 3).
-        bool inRunahead = false;
-        InstSeq raResumeSeq = 0;
-        Cycle raExitAt = 0;
-        std::uint64_t raHistCheckpoint = 0;
-        /** Prefetch count at episode entry (useless-episode stat). */
-        std::uint64_t raPrefetchSnapshot = 0;
-        /** Loads that must not re-trigger runahead (Fig. 4 ablation). */
-        std::unordered_set<InstSeq> raSuppressedLoads;
+        // Per-thread runahead state (episode checkpoint, exit horizon,
+        // suppression sets) lives in the RunaheadEngine, not here.
     };
 
     // Timed event referencing a pooled instruction.
@@ -339,7 +347,9 @@ class SmtCore
     /** Seed store-forward scan over the legacy LSQ deque. */
     DynInst *legacyStoreForwardMatch(const DynInst &load, Addr line);
 
+    /** Start an episode: engine checkpoint + fold of in-flight misses. */
     void enterRunahead(ThreadId tid, DynInst &blocking_load);
+    /** End an episode: squash the window, restore the checkpoint. */
     void exitRunahead(ThreadId tid);
     /** Retire one instruction (commit or pseudo-retire). */
     bool retireHead(ThreadId tid);
@@ -353,8 +363,9 @@ class SmtCore
      * Earliest cycle at which *any* state can change, given the tick
      * that just ended was fully quiescent: the completion and
      * L2-detection heap heads, the earliest outstanding MSHR fill, the
-     * earliest runahead exit, fetch-unblock and rename-ready times, and
-     * the policy's time horizon. kNoCycle when nothing is pending.
+     * runahead engine's earliest exit horizon, fetch-unblock and
+     * rename-ready times, and the policy's time horizon. kNoCycle when
+     * nothing is pending.
      */
     Cycle nextEventCycle() const;
 
@@ -403,7 +414,7 @@ class SmtCore
 
     branch::PerceptronPredictor predictor_;
     branch::Btb btb_;
-    RunaheadCache raCache_;
+    runahead::RunaheadEngine raEngine_;
 
     std::vector<ThreadState> threads_;
     std::array<ThreadStats, kMaxThreads> stats_{};

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "policy/factory.hh"
+#include "runahead/variant.hh"
 #include "sim/metrics.hh"
 #include "sim/workloads.hh"
 
@@ -84,6 +85,12 @@ Json
 toJson(const core::RatConfig &rat)
 {
     Json j = Json::object();
+    j["variant"] = Json(runahead::raVariantName(rat.variant));
+    j["cappedMaxCycles"] = Json(std::uint64_t{rat.cappedMaxCycles});
+    j["uselessFilterThreshold"] =
+        Json(std::uint64_t{rat.uselessFilterThreshold});
+    j["uselessFilterReprobe"] =
+        Json(std::uint64_t{rat.uselessFilterReprobe});
     j["dropFpInRunahead"] = Json(rat.dropFpInRunahead);
     j["useRunaheadCache"] = Json(rat.useRunaheadCache);
     j["runaheadCacheLines"] = Json(std::uint64_t{rat.runaheadCacheLines});
@@ -95,7 +102,19 @@ toJson(const core::RatConfig &rat)
 bool
 fromJson(const Json &json, core::RatConfig &rat)
 {
-    return getBool(json, "dropFpInRunahead", rat.dropFpInRunahead) &&
+    std::string variant;
+    if (!getString(json, "variant", variant))
+        return false;
+    const auto parsed = runahead::parseRaVariant(variant);
+    if (!parsed)
+        return false;
+    rat.variant = *parsed;
+    return getUnsigned(json, "cappedMaxCycles", rat.cappedMaxCycles) &&
+           getUnsigned(json, "uselessFilterThreshold",
+                       rat.uselessFilterThreshold) &&
+           getUnsigned(json, "uselessFilterReprobe",
+                       rat.uselessFilterReprobe) &&
+           getBool(json, "dropFpInRunahead", rat.dropFpInRunahead) &&
            getBool(json, "useRunaheadCache", rat.useRunaheadCache) &&
            getUnsigned(json, "runaheadCacheLines",
                        rat.runaheadCacheLines) &&

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The concrete runahead efficiency variants behind `--ra-variant`.
+ * Each is a small pure-strategy object; the heavy lifting (checkpoint,
+ * folding, recovery) lives in the engine and the core.
+ */
+
+#include "runahead/policy.hh"
+
+#include <array>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rat::runahead {
+
+namespace {
+
+/** The paper's Runahead Threads: every L2-miss-blocked load enters,
+ * every episode runs until its blocking fill returns. */
+class ClassicPolicy : public RunaheadPolicy
+{
+  public:
+    const char *name() const override { return "classic"; }
+};
+
+/** Classic entry with a max-episode-distance throttle: an episode may
+ * run at most `cappedMaxCycles` cycles past its entry point. A capped
+ * thread recovers early and, if the fill is still distant when the
+ * refetched load re-issues, simply starts a fresh (re-capped)
+ * episode. */
+class CappedPolicy : public RunaheadPolicy
+{
+  public:
+    explicit CappedPolicy(unsigned max_cycles)
+        : maxCycles_(max_cycles ? max_cycles : 1)
+    {
+    }
+
+    Cycle
+    exitHorizon(Cycle now, Cycle fill_at) const override
+    {
+        const Cycle cap = now + maxCycles_;
+        return fill_at < cap ? fill_at : cap;
+    }
+
+    const char *name() const override { return "capped"; }
+
+  private:
+    Cycle maxCycles_;
+};
+
+/**
+ * Per-PC usefulness filter: a load whose recent episodes generated no
+ * prefetches stops running full episodes — its episodes become
+ * fetch-gated DrainOnly entries that release the thread's in-flight
+ * resources but fetch and execute nothing new (full suppression would
+ * revert the thread to ICOUNT's ROB-clogging stall and punish the
+ * co-runners; see DESIGN.md). 2-bit saturating counters, indexed by a
+ * multiplicative hash of the entry PC's 4 KB code region — region
+ * granularity gives the predictor the spatial recurrence it needs to
+ * train quickly (neighbouring static loads of one loop share pointer-
+ * chasing behavior; the synthetic traces walk hot-loop PCs linearly,
+ * so exact-PC entries would each be seen once per loop iteration). A
+ * useful episode resets its region's counter, and every `reprobe`-th
+ * suppressed (distinct) load of a filtered region runs a probe episode
+ * so the filter can recover when the code becomes prefetchable again.
+ */
+class UselessFilterPolicy : public RunaheadPolicy
+{
+  public:
+    UselessFilterPolicy(unsigned threshold, unsigned reprobe)
+        // The counter saturates at kCounterMax, so a larger threshold
+        // would silently disable the filter; clamp to [1, kCounterMax].
+        : threshold_(threshold < 1 ? 1
+                                   : threshold > kCounterMax
+                                         ? unsigned{kCounterMax}
+                                         : threshold),
+          reprobe_(reprobe), table_(kTableEntries)
+    {
+        lastSeq_.fill(~InstSeq{0});
+    }
+
+    EntryDecision
+    entryDecision(ThreadId tid, const trace::MicroOp &load) override
+    {
+        Entry &e = table_[index(load.pc)];
+        if (e.uselessCount < threshold_)
+            return EntryDecision::Enter;
+        // Count each suppressed load instance once, even though the
+        // core re-asks every cycle the load blocks commit. The answer
+        // below depends only on denyCount, so repeated queries for the
+        // same instance stay consistent.
+        if (lastSeq_[tid] != load.seq) {
+            lastSeq_[tid] = load.seq;
+            ++e.denyCount;
+        }
+        if (reprobe_ && e.denyCount % reprobe_ == 0)
+            return EntryDecision::Enter; // probe: a fresh full episode
+        return EntryDecision::DrainOnly;
+    }
+
+    void
+    onEpisodeEnd(ThreadId tid, Addr entry_pc, std::uint64_t prefetches,
+                 bool full_episode) override
+    {
+        (void)tid;
+        if (!full_episode)
+            return; // drained windows carry no usefulness signal
+        Entry &e = table_[index(entry_pc)];
+        if (prefetches == 0) {
+            if (e.uselessCount < kCounterMax)
+                ++e.uselessCount;
+        } else {
+            e.uselessCount = 0;
+        }
+    }
+
+    const char *name() const override { return "useless-filter"; }
+
+  private:
+    static constexpr unsigned kTableEntries = 1024; // power of two
+    static constexpr std::uint8_t kCounterMax = 3;  // 2-bit counters
+    static constexpr unsigned kRegionShift = 12;    // 4 KB code regions
+
+    struct Entry {
+        std::uint8_t uselessCount = 0;
+        std::uint32_t denyCount = 0;
+    };
+
+    static std::size_t
+    index(Addr pc)
+    {
+        std::uint64_t h = (pc >> kRegionShift) * 0x9E3779B97F4A7C15ull;
+        h ^= h >> 32;
+        return static_cast<std::size_t>(h & (kTableEntries - 1));
+    }
+
+    unsigned threshold_;
+    unsigned reprobe_;
+    std::vector<Entry> table_;
+    std::array<InstSeq, kMaxThreads> lastSeq_{};
+};
+
+} // namespace
+
+std::unique_ptr<RunaheadPolicy>
+makeRunaheadPolicy(const core::RatConfig &cfg)
+{
+    switch (cfg.variant) {
+      case RaVariant::Classic:
+        return std::make_unique<ClassicPolicy>();
+      case RaVariant::Capped:
+        return std::make_unique<CappedPolicy>(cfg.cappedMaxCycles);
+      case RaVariant::UselessFilter:
+        return std::make_unique<UselessFilterPolicy>(
+            cfg.uselessFilterThreshold, cfg.uselessFilterReprobe);
+    }
+    panic("unknown runahead variant");
+}
+
+} // namespace rat::runahead

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Runtime-selectable runahead efficiency variants.
+ *
+ * A variant is the *episode policy* of the RunaheadEngine: it decides
+ * which long-latency loads may start a runahead episode and how far an
+ * episode may run. The mechanism itself (checkpoint, INV folding,
+ * pseudo-retirement, recovery) is shared by all variants.
+ */
+
+#ifndef RAT_RUNAHEAD_VARIANT_HH
+#define RAT_RUNAHEAD_VARIANT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rat::runahead {
+
+/** Which runahead episode policy the engine runs. */
+enum class RaVariant : std::uint8_t {
+    /** The paper's Runahead Threads, unmodified (HPCA 2008). */
+    Classic,
+    /**
+     * Classic entry, but an episode may run at most
+     * `RatConfig::cappedMaxCycles` cycles past its entry point — a
+     * max-episode-distance throttle in the spirit of bounding wasted
+     * speculative work (cf. MLP-aware windows, R3-DLA distance caps).
+     */
+    Capped,
+    /**
+     * Classic episodes, gated by a per-PC usefulness predictor: a load
+     * whose past episodes generated no prefetches is suppressed from
+     * re-triggering runahead (the efficiency concern of Mutlu et
+     * al.'s useless-runahead elimination).
+     */
+    UselessFilter,
+};
+
+/** Canonical CLI/JSON spelling of a variant. */
+inline const char *
+raVariantName(RaVariant variant)
+{
+    switch (variant) {
+      case RaVariant::Classic:
+        return "classic";
+      case RaVariant::Capped:
+        return "capped";
+      case RaVariant::UselessFilter:
+        return "useless-filter";
+    }
+    return "?";
+}
+
+/** Parse a variant name as accepted by `--ra-variant`. */
+inline std::optional<RaVariant>
+parseRaVariant(const std::string &name)
+{
+    if (name == "classic")
+        return RaVariant::Classic;
+    if (name == "capped")
+        return RaVariant::Capped;
+    if (name == "useless-filter" || name == "uselessfilter")
+        return RaVariant::UselessFilter;
+    return std::nullopt;
+}
+
+/** Canonical names of every variant, in declaration order. */
+inline std::vector<std::string>
+raVariantNames()
+{
+    return {raVariantName(RaVariant::Classic),
+            raVariantName(RaVariant::Capped),
+            raVariantName(RaVariant::UselessFilter)};
+}
+
+} // namespace rat::runahead
+
+#endif // RAT_RUNAHEAD_VARIANT_HH

@@ -42,6 +42,8 @@ expandCampaign(const CampaignSpec &spec)
     RAT_ASSERT(!workloads.empty(),
                "campaign needs at least one group or workload");
 
+    const auto variants =
+        axisOrDefault(spec.raVariantAxis, spec.base.core.rat.variant);
     const auto regs =
         axisOrDefault(spec.regsAxis, spec.base.core.intRegs);
     const auto robs = axisOrDefault(spec.robAxis, spec.base.core.robEntries);
@@ -51,38 +53,50 @@ expandCampaign(const CampaignSpec &spec)
 
     std::vector<CampaignCell> cells;
     cells.reserve(spec.techniques.size() * workloads.size() *
-                  regs.size() * robs.size() * measures.size() *
-                  seeds.size());
+                  variants.size() * regs.size() * robs.size() *
+                  measures.size() * seeds.size());
     for (const TechniqueSpec &tech : spec.techniques) {
+        // The runahead engine is inert for non-runahead techniques, so
+        // every variant cell would be a bit-identical re-simulation
+        // under a distinct cache key; collapse them to one cell.
+        const std::vector<runahead::RaVariant> inert{tech.rat.variant};
+        const auto &tech_variants =
+            core::runaheadEnabled(tech.policy) ? variants : inert;
         for (const auto &[group, workload] : workloads) {
-            for (const unsigned r : regs) {
-                for (const unsigned rob : robs) {
-                    for (const Cycle measure : measures) {
-                        for (const std::uint64_t seed : seeds) {
-                            CampaignCell cell;
-                            cell.technique = tech.label;
-                            cell.group = group;
-                            cell.workload = workload->name;
-                            cell.regs = r;
-                            cell.rob = rob;
-                            cell.measureCycles = measure;
-                            cell.seed = seed;
-                            cell.programs = workload->programs;
+            for (const runahead::RaVariant variant : tech_variants) {
+                for (const unsigned r : regs) {
+                    for (const unsigned rob : robs) {
+                        for (const Cycle measure : measures) {
+                            for (const std::uint64_t seed : seeds) {
+                                CampaignCell cell;
+                                cell.technique = tech.label;
+                                cell.group = group;
+                                cell.workload = workload->name;
+                                cell.raVariant =
+                                    runahead::raVariantName(variant);
+                                cell.regs = r;
+                                cell.rob = rob;
+                                cell.measureCycles = measure;
+                                cell.seed = seed;
+                                cell.programs = workload->programs;
 
-                            SimConfig cfg = spec.base;
-                            cfg.core.numThreads = static_cast<unsigned>(
-                                workload->programs.size());
-                            cfg.core.policy = tech.policy;
-                            cfg.core.rat = tech.rat;
-                            cfg.core.intRegs = r;
-                            cfg.core.fpRegs = r;
-                            cfg.core.robEntries = rob;
-                            cfg.measureCycles = measure;
-                            cfg.seed = seed;
-                            cell.config = cfg;
-                            cell.key = report::ResultCache::keyFor(
-                                cfg, cell.programs);
-                            cells.push_back(std::move(cell));
+                                SimConfig cfg = spec.base;
+                                cfg.core.numThreads =
+                                    static_cast<unsigned>(
+                                        workload->programs.size());
+                                cfg.core.policy = tech.policy;
+                                cfg.core.rat = tech.rat;
+                                cfg.core.rat.variant = variant;
+                                cfg.core.intRegs = r;
+                                cfg.core.fpRegs = r;
+                                cfg.core.robEntries = rob;
+                                cfg.measureCycles = measure;
+                                cfg.seed = seed;
+                                cell.config = cfg;
+                                cell.key = report::ResultCache::keyFor(
+                                    cfg, cell.programs);
+                                cells.push_back(std::move(cell));
+                            }
                         }
                     }
                 }
@@ -165,6 +179,7 @@ campaignJson(const CampaignOutcome &outcome, const CampaignSpec &spec)
         if (!cell.group.empty())
             c["group"] = report::Json(cell.group);
         c["workload"] = report::Json(cell.workload);
+        c["raVariant"] = report::Json(cell.raVariant);
         c["regs"] = report::Json(std::uint64_t{cell.regs});
         c["rob"] = report::Json(std::uint64_t{cell.rob});
         c["measureCycles"] = report::Json(cell.measureCycles);
@@ -181,14 +196,15 @@ report::CsvTable
 campaignCsv(const CampaignOutcome &outcome)
 {
     report::CsvTable csv;
-    csv.setHeader({"technique", "group", "workload", "regs", "rob",
-                   "measureCycles", "seed", "throughput", "totalIpc",
-                   "ed2", "committedTotal", "cycles"});
+    csv.setHeader({"technique", "group", "workload", "raVariant",
+                   "regs", "rob", "measureCycles", "seed", "throughput",
+                   "totalIpc", "ed2", "committedTotal", "cycles"});
     for (const CampaignCell &cell : outcome.cells) {
         report::CsvTable::Row row;
         row.add(cell.technique)
             .add(cell.group)
             .add(cell.workload)
+            .add(cell.raVariant)
             .add(std::uint64_t{cell.regs})
             .add(std::uint64_t{cell.rob})
             .add(cell.measureCycles)

@@ -21,6 +21,7 @@
 
 #include "report/csv.hh"
 #include "report/json.hh"
+#include "runahead/variant.hh"
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
 #include "sim/workloads.hh"
@@ -31,13 +32,20 @@ namespace rat::sim {
  * A declarative campaign. Empty axes mean "use the base config's
  * value"; the grid is the full cross product
  *   techniques x (group workloads + explicit workloads)
- *              x regs x rob x measure x seeds.
+ *              x ra-variants x regs x rob x measure x seeds.
  */
 struct CampaignSpec {
     SimConfig base{};
     std::vector<TechniqueSpec> techniques; ///< required, >= 1
     std::vector<WorkloadGroup> groups;     ///< whole Table 2 groups
     std::vector<Workload> workloads;       ///< explicit extra workloads
+    /**
+     * Runahead efficiency variants. Applies to runahead techniques
+     * (RaT, RaT+DCRA); other techniques collapse to a single cell —
+     * the engine is inert for them, so variant cells would only be
+     * bit-identical re-simulations under distinct cache keys.
+     */
+    std::vector<runahead::RaVariant> raVariantAxis;
     std::vector<unsigned> regsAxis;        ///< INT+FP renaming registers
     std::vector<unsigned> robAxis;         ///< shared ROB entries
     std::vector<Cycle> measureAxis;        ///< measured-window cycles
@@ -52,6 +60,7 @@ struct CampaignCell {
     std::string technique;
     std::string group;    ///< "" for an explicit workload
     std::string workload; ///< canonical comma-joined name
+    std::string raVariant; ///< runahead variant of this cell
     unsigned regs = 0;
     unsigned rob = 0;
     Cycle measureCycles = 0;

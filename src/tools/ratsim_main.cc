@@ -30,6 +30,7 @@
 #include "common/parse.hh"
 #include "policy/factory.hh"
 #include "report/serialize.hh"
+#include "runahead/variant.hh"
 #include "sim/campaign.hh"
 #include "sim/experiment.hh"
 #include "sim/metrics.hh"
@@ -62,8 +63,16 @@ usage()
         "  --regs N                  INT and FP renaming registers\n"
         "  --rob N                   shared reorder-buffer entries\n"
         "  --fairness                also compute Eq. 2 fairness\n"
+        "  --ra-variant NAME         runahead variant: classic capped\n"
+        "                            useless-filter (default classic)\n"
+        "  --ra-cap N                capped variant: max episode cycles\n"
+        "  --ra-filter-threshold N   useless-filter: useless episodes of\n"
+        "                            a PC before it stops entering\n"
+        "  --ra-filter-reprobe N     useless-filter: probe every Nth\n"
+        "                            suppressed load (0 = never)\n"
         "  --no-fp-drop              execute FP work in runahead\n"
         "  --runahead-cache          enable the runahead cache\n"
+        "  --ra-cache-lines N        runahead-cache lines per thread\n"
         "  --no-prefetch             Fig. 4 ablation: no runahead prefetch\n"
         "  --no-ra-fetch             Fig. 4 ablation: no fetch in runahead\n"
         "  --no-cycle-skip           tick every cycle (disable the\n"
@@ -76,6 +85,7 @@ usage()
         "  --groups G1,G2,...        Table 2 groups to sweep\n"
         "  --workloads W1;W2;...     explicit workloads, ';'-separated\n"
         "                            (default art,mcf when no --groups)\n"
+        "  --ra-variant V1,V2,...    runahead-variant axis\n"
         "  --regs N1,N2,...          renaming-register axis\n"
         "  --rob N1,N2,...           ROB-size axis\n"
         "  --measure N1,N2,...       measured-window axis\n"
@@ -126,6 +136,16 @@ parsePolicy(const std::string &name)
     if (const auto kind = policy::parsePolicyKind(name))
         return *kind;
     fatal("unknown policy '%s' (try --help)", name.c_str());
+}
+
+runahead::RaVariant
+parseVariant(const std::string &name)
+{
+    if (const auto variant = runahead::parseRaVariant(name))
+        return *variant;
+    fatal("unknown runahead variant '%s' (classic, capped, "
+          "useless-filter)",
+          name.c_str());
 }
 
 std::vector<std::string>
@@ -248,6 +268,20 @@ parseRunOption(const std::vector<std::string> &args, std::size_t &i,
         opt.cfg.core.robEntries = parseUnsigned(next(), "--rob");
     } else if (arg == "--fairness") {
         opt.withFairness = true;
+    } else if (arg == "--ra-variant") {
+        opt.cfg.core.rat.variant = parseVariant(next());
+    } else if (arg == "--ra-cap") {
+        opt.cfg.core.rat.cappedMaxCycles =
+            parseUnsigned(next(), "--ra-cap");
+    } else if (arg == "--ra-filter-threshold") {
+        opt.cfg.core.rat.uselessFilterThreshold =
+            parseUnsigned(next(), "--ra-filter-threshold");
+    } else if (arg == "--ra-filter-reprobe") {
+        opt.cfg.core.rat.uselessFilterReprobe =
+            parseUnsigned(next(), "--ra-filter-reprobe");
+    } else if (arg == "--ra-cache-lines") {
+        opt.cfg.core.rat.runaheadCacheLines =
+            parseUnsigned(next(), "--ra-cache-lines");
     } else if (arg == "--no-fp-drop") {
         opt.cfg.core.rat.dropFpInRunahead = false;
     } else if (arg == "--runahead-cache") {
@@ -412,6 +446,23 @@ sweepCommand(const std::vector<std::string> &args)
             spec.base.warmupCycles = parseU64(next(), "--warmup");
         } else if (arg == "--prewarm") {
             spec.base.prewarmInsts = parseU64(next(), "--prewarm");
+        } else if (arg == "--ra-variant") {
+            for (const std::string &name : splitList(next(), ','))
+                spec.raVariantAxis.push_back(parseVariant(name));
+            if (spec.raVariantAxis.empty())
+                fatal("--ra-variant: expected a comma-separated list of "
+                      "variants");
+        } else if (arg == "--ra-cap") {
+            rat_flags.cappedMaxCycles = parseUnsigned(next(), "--ra-cap");
+        } else if (arg == "--ra-filter-threshold") {
+            rat_flags.uselessFilterThreshold =
+                parseUnsigned(next(), "--ra-filter-threshold");
+        } else if (arg == "--ra-filter-reprobe") {
+            rat_flags.uselessFilterReprobe =
+                parseUnsigned(next(), "--ra-filter-reprobe");
+        } else if (arg == "--ra-cache-lines") {
+            rat_flags.runaheadCacheLines =
+                parseUnsigned(next(), "--ra-cache-lines");
         } else if (arg == "--cache") {
             spec.cacheDir = next();
         } else if (arg == "--jobs") {
@@ -468,13 +519,14 @@ sweepCommand(const std::vector<std::string> &args)
                 outcome.cells.size(),
                 static_cast<unsigned long long>(outcome.simulated),
                 static_cast<unsigned long long>(outcome.cacheHits));
-    std::printf("%-14s %-6s %-28s %5s %5s %10s %8s\n", "technique",
-                "group", "workload", "regs", "rob", "seed",
-                "thrpt");
+    std::printf("%-14s %-6s %-28s %-14s %5s %5s %10s %8s\n",
+                "technique", "group", "workload", "ra-variant", "regs",
+                "rob", "seed", "thrpt");
     for (const sim::CampaignCell &cell : outcome.cells) {
-        std::printf("%-14s %-6s %-28s %5u %5u %10llu %8.3f\n",
+        std::printf("%-14s %-6s %-28s %-14s %5u %5u %10llu %8.3f\n",
                     cell.technique.c_str(), cell.group.c_str(),
-                    cell.workload.c_str(), cell.regs, cell.rob,
+                    cell.workload.c_str(), cell.raVariant.c_str(),
+                    cell.regs, cell.rob,
                     static_cast<unsigned long long>(cell.seed),
                     sim::throughput(cell.result));
     }

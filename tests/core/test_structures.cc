@@ -1,4 +1,4 @@
-/** @file Unit tests for ROB / IQ / LSQ / FU pool / runahead cache. */
+/** @file Unit tests for ROB / IQ / LSQ / FU pool structures. */
 
 #include <gtest/gtest.h>
 
@@ -198,117 +198,6 @@ TEST(FuncUnitPool, UnpipelinedOccupancy)
     EXPECT_FALSE(pool.tryIssue(10, 1));
     EXPECT_TRUE(pool.tryIssue(20, 1));
     EXPECT_EQ(pool.freeUnits(20), 0u); // claimed again at 20
-}
-
-TEST(RunaheadCache, WriteLookupClear)
-{
-    RunaheadCache rc(4);
-    rc.write(0, 0x100, true);
-    rc.write(0, 0x200, false);
-    bool valid = false;
-    EXPECT_TRUE(rc.lookup(0, 0x100, valid));
-    EXPECT_TRUE(valid);
-    EXPECT_TRUE(rc.lookup(0, 0x200, valid));
-    EXPECT_FALSE(valid);
-    EXPECT_FALSE(rc.lookup(0, 0x300, valid));
-    EXPECT_FALSE(rc.lookup(1, 0x100, valid)); // per-thread tags
-    rc.clear(0);
-    EXPECT_FALSE(rc.lookup(0, 0x100, valid));
-}
-
-TEST(RunaheadCache, RewriteUpdatesStatus)
-{
-    RunaheadCache rc(4);
-    rc.write(0, 0x100, true);
-    rc.write(0, 0x100, false);
-    bool valid = true;
-    EXPECT_TRUE(rc.lookup(0, 0x100, valid));
-    EXPECT_FALSE(valid);
-}
-
-TEST(RunaheadCache, BoundedFifoEviction)
-{
-    RunaheadCache rc(2);
-    rc.write(0, 0x100, true);
-    rc.write(0, 0x200, true);
-    rc.write(0, 0x300, true); // evicts 0x100
-    bool valid = false;
-    EXPECT_FALSE(rc.lookup(0, 0x100, valid));
-    EXPECT_TRUE(rc.lookup(0, 0x300, valid));
-}
-
-TEST(RunaheadCache, RewriteDoesNotRefreshFifoOrder)
-{
-    // An in-place status update must not move the entry to the back of
-    // the FIFO (matching the original deque semantics).
-    RunaheadCache rc(2);
-    rc.write(0, 0x100, true);
-    rc.write(0, 0x200, true);
-    rc.write(0, 0x100, false); // rewrite: still the oldest
-    rc.write(0, 0x300, true);  // evicts 0x100, not 0x200
-    bool valid = false;
-    EXPECT_FALSE(rc.lookup(0, 0x100, valid));
-    EXPECT_TRUE(rc.lookup(0, 0x200, valid));
-    EXPECT_TRUE(rc.lookup(0, 0x300, valid));
-}
-
-TEST(RunaheadCache, MatchesFifoReferenceModel)
-{
-    // Randomized equivalence against the straightforward deque model
-    // the open-addressed implementation replaced.
-    struct RefEntry {
-        Addr line;
-        bool valid;
-    };
-    std::deque<RefEntry> ref;
-    const unsigned capacity = 8;
-    RunaheadCache rc(capacity);
-
-    std::uint64_t rng = 0x243F6A8885A308D3ull;
-    auto next_rand = [&rng]() {
-        rng ^= rng << 13;
-        rng ^= rng >> 7;
-        rng ^= rng << 17;
-        return rng;
-    };
-
-    for (int op = 0; op < 2000; ++op) {
-        const Addr line = (next_rand() % 24) * 64; // collisions likely
-        const std::uint64_t r = next_rand();
-        if (r % 8 == 0 && op % 500 == 499) {
-            rc.clear(0);
-            ref.clear();
-            continue;
-        }
-        if (r % 2 == 0) {
-            const bool valid = (r & 4) != 0;
-            rc.write(0, line, valid);
-            bool found = false;
-            for (auto &e : ref) {
-                if (e.line == line) {
-                    e.valid = valid;
-                    found = true;
-                    break;
-                }
-            }
-            if (!found) {
-                if (ref.size() >= capacity)
-                    ref.pop_front();
-                ref.push_back({line, valid});
-            }
-        } else {
-            bool got_valid = false;
-            const bool hit = rc.lookup(0, line, got_valid);
-            const RefEntry *want = nullptr;
-            for (const auto &e : ref) {
-                if (e.line == line)
-                    want = &e;
-            }
-            ASSERT_EQ(hit, want != nullptr) << "op " << op;
-            if (want)
-                ASSERT_EQ(got_valid, want->valid) << "op " << op;
-        }
-    }
 }
 
 } // namespace

@@ -199,6 +199,56 @@ TEST(CliSmoke, EmptySweepListsFailWithDiagnostic)
     EXPECT_NE(g.output.find("--groups"), std::string::npos) << g.output;
 }
 
+TEST(CliSmoke, RaVariantFlagReachesReportedConfig)
+{
+    const CliResult r = runCli(
+        "report --workload art,mcf --policy RaT --measure 2000 "
+        "--warmup 500 --prewarm 20000 --ra-variant capped --ra-cap 64 "
+        "--json -");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("\"variant\": \"capped\""), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"cappedMaxCycles\": 64"), std::string::npos)
+        << r.output;
+}
+
+TEST(CliSmoke, UnknownRaVariantFailsWithDiagnostic)
+{
+    const CliResult r =
+        runCli("run --workload art,mcf --ra-variant bogus");
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_NE(r.output.find("unknown runahead variant"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(CliSmoke, RaCacheLinesFlagIsAccepted)
+{
+    const CliResult r = runCli(
+        "run --workload art,mcf --policy RaT --measure 1000 "
+        "--warmup 200 --prewarm 5000 --runahead-cache "
+        "--ra-cache-lines 16");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("throughput (Eq.1):"), std::string::npos)
+        << r.output;
+}
+
+TEST(CliSmoke, SweepGridsOverRaVariants)
+{
+    // Three variants expand to three cells; all must be listed.
+    const CliResult r = runCli(
+        "sweep --policies RaT --workloads art,mcf "
+        "--ra-variant classic,capped,useless-filter --measure 1000 "
+        "--warmup 200 --prewarm 5000");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("sweep: 3 cells"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("classic"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("capped"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("useless-filter"), std::string::npos)
+        << r.output;
+}
+
 TEST(CliSmoke, UnknownSubcommandFailsWithDiagnostic)
 {
     const CliResult r = runCli("frobnicate");

@@ -40,6 +40,10 @@ nonDefaultConfig()
     cfg.core.mispredictRedirect = 4;
     cfg.core.ifetchPrefetchLines = 2;
     cfg.core.policy = core::PolicyKind::RatDcra;
+    cfg.core.rat.variant = runahead::RaVariant::UselessFilter;
+    cfg.core.rat.cappedMaxCycles = 96;
+    cfg.core.rat.uselessFilterThreshold = 3;
+    cfg.core.rat.uselessFilterReprobe = 17;
     cfg.core.rat.dropFpInRunahead = false;
     cfg.core.rat.useRunaheadCache = true;
     cfg.core.rat.runaheadCacheLines = 128;

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Standalone unit tests of the runahead cache (runahead/racache.hh):
+ * FIFO-ring eviction order, duplicate-line (rewrite-in-place)
+ * semantics, open-addressing collision handling under load and across
+ * backward-shift erases, and per-thread isolation.
+ */
+
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runahead/racache.hh"
+
+namespace rat::runahead {
+namespace {
+
+TEST(RaCache, WriteLookupClear)
+{
+    RunaheadCache rc(4);
+    rc.write(0, 0x100, true);
+    rc.write(0, 0x200, false);
+    bool valid = false;
+    EXPECT_TRUE(rc.lookup(0, 0x100, valid));
+    EXPECT_TRUE(valid);
+    EXPECT_TRUE(rc.lookup(0, 0x200, valid));
+    EXPECT_FALSE(valid);
+    EXPECT_FALSE(rc.lookup(0, 0x300, valid));
+    EXPECT_FALSE(rc.lookup(1, 0x100, valid)); // per-thread tags
+    rc.clear(0);
+    EXPECT_FALSE(rc.lookup(0, 0x100, valid));
+}
+
+TEST(RaCache, RewriteUpdatesStatus)
+{
+    RunaheadCache rc(4);
+    rc.write(0, 0x100, true);
+    rc.write(0, 0x100, false);
+    bool valid = true;
+    EXPECT_TRUE(rc.lookup(0, 0x100, valid));
+    EXPECT_FALSE(valid);
+    EXPECT_EQ(rc.occupancy(0), 1u); // duplicate line: one entry
+}
+
+TEST(RaCache, BoundedFifoEviction)
+{
+    RunaheadCache rc(2);
+    rc.write(0, 0x100, true);
+    rc.write(0, 0x200, true);
+    rc.write(0, 0x300, true); // evicts 0x100
+    bool valid = false;
+    EXPECT_FALSE(rc.lookup(0, 0x100, valid));
+    EXPECT_TRUE(rc.lookup(0, 0x300, valid));
+    EXPECT_EQ(rc.occupancy(0), rc.capacity());
+}
+
+TEST(RaCache, RewriteDoesNotRefreshFifoOrder)
+{
+    // An in-place status update must not move the entry to the back of
+    // the FIFO (matching the original deque semantics).
+    RunaheadCache rc(2);
+    rc.write(0, 0x100, true);
+    rc.write(0, 0x200, true);
+    rc.write(0, 0x100, false); // rewrite: still the oldest
+    rc.write(0, 0x300, true);  // evicts 0x100, not 0x200
+    bool valid = false;
+    EXPECT_FALSE(rc.lookup(0, 0x100, valid));
+    EXPECT_TRUE(rc.lookup(0, 0x200, valid));
+    EXPECT_TRUE(rc.lookup(0, 0x300, valid));
+}
+
+TEST(RaCache, CollidingLinesAllRetrievableAtFullOccupancy)
+{
+    // Fill to capacity: the probe table is only twice the capacity, so
+    // at full occupancy probe chains (open-addressing collisions) are
+    // statistically certain. Every resident line must still resolve to
+    // its own entry, and every long-evicted line must miss.
+    const unsigned capacity = 64;
+    RunaheadCache rc(capacity);
+    const unsigned total = 4 * capacity;
+    for (unsigned i = 0; i < total; ++i)
+        rc.write(0, 0x1000 + static_cast<Addr>(i) * 64, (i & 1) != 0);
+    EXPECT_EQ(rc.occupancy(0), capacity);
+    for (unsigned i = 0; i < total; ++i) {
+        bool valid = false;
+        const bool hit =
+            rc.lookup(0, 0x1000 + static_cast<Addr>(i) * 64, valid);
+        if (i < total - capacity) {
+            EXPECT_FALSE(hit) << "line " << i << " should have evicted";
+        } else {
+            ASSERT_TRUE(hit) << "line " << i << " lost";
+            EXPECT_EQ(valid, (i & 1) != 0) << "line " << i;
+        }
+    }
+}
+
+TEST(RaCache, PerThreadIsolation)
+{
+    // The same line written by different threads carries independent
+    // status, eviction state and clear() scope.
+    RunaheadCache rc(2);
+    rc.write(0, 0x100, true);
+    rc.write(1, 0x100, false);
+    rc.write(2, 0x100, true);
+
+    bool valid = false;
+    EXPECT_TRUE(rc.lookup(0, 0x100, valid));
+    EXPECT_TRUE(valid);
+    EXPECT_TRUE(rc.lookup(1, 0x100, valid));
+    EXPECT_FALSE(valid);
+
+    // Evictions on thread 0 must not disturb thread 1's entry.
+    rc.write(0, 0x200, true);
+    rc.write(0, 0x300, true); // evicts thread 0's 0x100
+    EXPECT_FALSE(rc.lookup(0, 0x100, valid));
+    EXPECT_TRUE(rc.lookup(1, 0x100, valid));
+
+    // clear() is per-thread.
+    rc.clear(1);
+    EXPECT_FALSE(rc.lookup(1, 0x100, valid));
+    EXPECT_TRUE(rc.lookup(2, 0x100, valid));
+    EXPECT_EQ(rc.occupancy(1), 0u);
+    EXPECT_EQ(rc.occupancy(2), 1u);
+}
+
+TEST(RaCache, MatchesFifoReferenceModel)
+{
+    // Randomized equivalence against the straightforward deque model
+    // the open-addressed implementation replaced.
+    struct RefEntry {
+        Addr line;
+        bool valid;
+    };
+    std::deque<RefEntry> ref;
+    const unsigned capacity = 8;
+    RunaheadCache rc(capacity);
+
+    std::uint64_t rng = 0x243F6A8885A308D3ull;
+    auto next_rand = [&rng]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+
+    for (int op = 0; op < 2000; ++op) {
+        const Addr line = (next_rand() % 24) * 64; // collisions likely
+        const std::uint64_t r = next_rand();
+        if (r % 8 == 0 && op % 500 == 499) {
+            rc.clear(0);
+            ref.clear();
+            continue;
+        }
+        if (r % 2 == 0) {
+            const bool valid = (r & 4) != 0;
+            rc.write(0, line, valid);
+            bool found = false;
+            for (auto &e : ref) {
+                if (e.line == line) {
+                    e.valid = valid;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                if (ref.size() >= capacity)
+                    ref.pop_front();
+                ref.push_back({line, valid});
+            }
+        } else {
+            bool got_valid = false;
+            const bool hit = rc.lookup(0, line, got_valid);
+            const RefEntry *want = nullptr;
+            for (const auto &e : ref) {
+                if (e.line == line)
+                    want = &e;
+            }
+            ASSERT_EQ(hit, want != nullptr) << "op " << op;
+            if (want) {
+                ASSERT_EQ(got_valid, want->valid) << "op " << op;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace rat::runahead

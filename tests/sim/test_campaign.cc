@@ -97,6 +97,77 @@ TEST(Campaign, ExpandsFullCrossProductInDeterministicOrder)
     }
 }
 
+TEST(Campaign, RaVariantAxisExpandsWithDistinctKeys)
+{
+    CampaignSpec spec;
+    spec.base = tinyConfig();
+    spec.techniques = {ratSpec()};
+    spec.workloads = {Workload::fromPrograms({"art", "mcf"})};
+    spec.raVariantAxis = {runahead::RaVariant::Classic,
+                          runahead::RaVariant::Capped,
+                          runahead::RaVariant::UselessFilter};
+
+    const auto cells = expandCampaign(spec);
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0].raVariant, "classic");
+    EXPECT_EQ(cells[1].raVariant, "capped");
+    EXPECT_EQ(cells[2].raVariant, "useless-filter");
+    EXPECT_EQ(cells[1].config.core.rat.variant,
+              runahead::RaVariant::Capped);
+
+    // The variant is part of the serialized config, so every variant
+    // cell gets its own result-cache key.
+    EXPECT_NE(cells[0].key, cells[1].key);
+    EXPECT_NE(cells[0].key, cells[2].key);
+    EXPECT_NE(cells[1].key, cells[2].key);
+}
+
+TEST(Campaign, RaVariantAxisCollapsesForNonRunaheadTechniques)
+{
+    // The engine is inert for ICOUNT, so the axis must not multiply
+    // its cells (they would be bit-identical simulations under
+    // distinct cache keys).
+    CampaignSpec spec;
+    spec.base = tinyConfig();
+    spec.techniques = {icountSpec(), ratSpec()};
+    spec.workloads = {Workload::fromPrograms({"art", "mcf"})};
+    spec.raVariantAxis = {runahead::RaVariant::Classic,
+                          runahead::RaVariant::Capped,
+                          runahead::RaVariant::UselessFilter};
+
+    const auto cells = expandCampaign(spec);
+    ASSERT_EQ(cells.size(), 1u + 3u);
+    EXPECT_EQ(cells[0].technique, "ICOUNT");
+    EXPECT_EQ(cells[0].raVariant, "classic");
+    for (std::size_t i = 1; i < cells.size(); ++i)
+        EXPECT_EQ(cells[i].technique, "RaT");
+}
+
+TEST(Campaign, RaVariantCellsRoundTripThroughCacheBitIdentical)
+{
+    TempCacheDir dir("ravariant-cache");
+    CampaignSpec spec;
+    spec.base = tinyConfig();
+    spec.techniques = {ratSpec()};
+    spec.workloads = {Workload::fromPrograms({"art", "mcf"})};
+    spec.raVariantAxis = {runahead::RaVariant::Classic,
+                          runahead::RaVariant::Capped,
+                          runahead::RaVariant::UselessFilter};
+    spec.cacheDir = dir.path.string();
+
+    const CampaignOutcome cold = runCampaign(spec);
+    EXPECT_EQ(cold.simulated, 3u);
+    const CampaignOutcome warm = runCampaign(spec);
+    EXPECT_EQ(warm.simulated, 0u);
+    EXPECT_EQ(warm.cacheHits, 3u);
+    EXPECT_EQ(cellsJson(warm, spec), cellsJson(cold, spec));
+
+    // The variant knob must actually reach the simulator: capped runs
+    // differ from classic on this memory-bound pair.
+    EXPECT_NE(report::toJson(cold.cells[0].result).dump(),
+              report::toJson(cold.cells[1].result).dump());
+}
+
 TEST(Campaign, EmptyAxesCollapseToBaseValues)
 {
     CampaignSpec spec;
