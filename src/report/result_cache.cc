@@ -1,7 +1,10 @@
 #include "report/result_cache.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +24,45 @@ namespace {
  */
 constexpr unsigned kCacheFormatVersion = 1;
 
+/**
+ * A `*.tmp` file this old cannot belong to a live writer (one cell
+ * writes in milliseconds); anything older was orphaned by a crash or
+ * kill -9 and is safe to reap. The age gate keeps the open-time GC
+ * from unlinking a temp another process is writing right now.
+ */
+constexpr auto kStaleTmpAge = std::chrono::minutes(10);
+
+/**
+ * Serializes cell renames (and the GC's unlinks) across every process
+ * sharing the cache directory. Held only around metadata operations,
+ * never around simulation or file streaming, so contention is
+ * negligible even with dozens of farm workers.
+ */
+class DirLock
+{
+  public:
+    explicit DirLock(const std::string &dir)
+        : fd_(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC))
+    {
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+    ~DirLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+    DirLock(const DirLock &) = delete;
+    DirLock &operator=(const DirLock &) = delete;
+
+  private:
+    int fd_;
+};
+
 } // namespace
 
 std::uint64_t
@@ -34,7 +76,32 @@ fnv1a64(const std::string &text)
     return hash;
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    if (enabled())
+        gcStaleTmpFiles();
+}
+
+void
+ResultCache::gcStaleTmpFiles()
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir_, ec);
+    if (ec)
+        return; // directory does not exist yet — nothing to reap
+    const auto now = std::filesystem::file_time_type::clock::now();
+    const DirLock lock(dir_);
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec) ||
+            entry.path().extension() != ".tmp")
+            continue;
+        const auto mtime = entry.last_write_time(ec);
+        if (ec || now - mtime < kStaleTmpAge)
+            continue;
+        if (std::filesystem::remove(entry.path(), ec) && !ec)
+            ++reapedTmp_;
+    }
+}
 
 std::string
 ResultCache::keyFor(const sim::SimConfig &config,
@@ -102,18 +169,19 @@ ResultCache::load(const std::string &key) const
     return result;
 }
 
-void
+bool
 ResultCache::store(const std::string &key,
                    const sim::SimResult &result) const
 {
     if (!enabled())
-        return;
+        return false;
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     if (ec) {
         warn("result cache: cannot create %s: %s", dir_.c_str(),
              ec.message().c_str());
-        return;
+        storeFailures_.fetch_add(1);
+        return false;
     }
 
     Json cell = Json::object();
@@ -122,22 +190,59 @@ ResultCache::store(const std::string &key,
 
     const std::filesystem::path path =
         std::filesystem::path(dir_) / fileNameFor(key);
-    // Unique temp per process; rename() is atomic, so readers never see
-    // a partially written cell.
+    // Temp name unique per (process, store call): two threads — or two
+    // farm worker processes — storing the same key never interleave
+    // bytes into one temp file. rename() is atomic, so readers only
+    // ever see complete cells.
+    static std::atomic<std::uint64_t> tmpSeq{0};
     const std::filesystem::path tmp =
-        path.string() + "." + std::to_string(::getpid()) + ".tmp";
+        path.string() + "." + std::to_string(::getpid()) + "." +
+        std::to_string(tmpSeq.fetch_add(1)) + ".tmp";
     {
         std::ofstream out(tmp);
         if (!out) {
             warn("result cache: cannot write %s", tmp.c_str());
-            return;
+            storeFailures_.fetch_add(1);
+            return false;
         }
         out << cell.dump(2);
+        out.flush();
+        // A short write (ENOSPC, closed fd) must never be renamed into
+        // place as a "valid" cell: verify the stream, and drop the
+        // temp on failure.
+        if (!out.good()) {
+            out.close();
+            std::filesystem::remove(tmp, ec);
+            warn("result cache: short write to %s, cell dropped",
+                 tmp.c_str());
+            storeFailures_.fetch_add(1);
+            return false;
+        }
+        out.close();
+        if (out.fail()) {
+            std::filesystem::remove(tmp, ec);
+            warn("result cache: close of %s failed, cell dropped",
+                 tmp.c_str());
+            storeFailures_.fetch_add(1);
+            return false;
+        }
     }
+    // Publish under the directory lock: concurrent same-key writers
+    // serialize here, so the winner's bytes are whole-file, never a
+    // mix. (rename alone is atomic; the lock also covers filesystems
+    // where rename-over-open-target semantics are weaker, and fences
+    // the GC's unlink pass.)
+    const DirLock lock(dir_);
     std::filesystem::rename(tmp, path, ec);
-    if (ec)
+    if (ec) {
         warn("result cache: rename to %s failed: %s", path.c_str(),
              ec.message().c_str());
+        std::error_code ec2;
+        std::filesystem::remove(tmp, ec2);
+        storeFailures_.fetch_add(1);
+        return false;
+    }
+    return true;
 }
 
 } // namespace rat::report

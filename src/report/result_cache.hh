@@ -10,6 +10,16 @@
  * key alongside the result, and a load only hits when the stored key
  * matches byte-for-byte, so hash collisions degrade to misses, never
  * to wrong results.
+ *
+ * Crash-safety contract (DESIGN.md, "Farm architecture"): a cell file
+ * either holds a complete, verified write or does not exist. Writers
+ * stream into a per-(pid, sequence) temp file, flush, verify stream
+ * state, and only then rename into place under a directory-level
+ * flock; any failure unlinks the temp instead of renaming garbage.
+ * The cache is therefore safe for many processes (the farm's workers)
+ * sharing one directory. Temp files orphaned by killed writers are
+ * garbage-collected on open once they are old enough to be provably
+ * dead.
  */
 
 #ifndef RAT_REPORT_RESULT_CACHE_HH
@@ -31,7 +41,12 @@ std::uint64_t fnv1a64(const std::string &text);
 class ResultCache
 {
   public:
-    /** @param dir Cache directory; an empty string disables caching. */
+    /**
+     * @param dir Cache directory; an empty string disables caching.
+     * Opening an existing directory garbage-collects stale `*.tmp`
+     * files left behind by killed writers (age-gated, so temps of
+     * concurrently live writers are never touched).
+     */
     explicit ResultCache(std::string dir);
 
     bool enabled() const { return !dir_.empty(); }
@@ -52,22 +67,33 @@ class ResultCache
     std::optional<sim::SimResult> load(const std::string &key) const;
 
     /**
-     * Persist a cell (no-op when disabled). Writes to a temp file and
-     * renames, so concurrent readers never observe partial JSON.
-     * Thread-safe for distinct keys (campaign cells are distinct by
-     * construction).
+     * Persist a cell. Returns true once the cell is durably renamed
+     * into place; false when disabled or on any write failure (short
+     * write, unwritable directory, failed rename) — in which case no
+     * partial cell is left behind. Safe for concurrent stores of the
+     * same key from multiple threads *and* processes: each writer uses
+     * a unique temp file and the rename is flock-guarded, so the cell
+     * file always holds one writer's complete bytes.
      */
-    void store(const std::string &key, const sim::SimResult &result) const;
+    bool store(const std::string &key, const sim::SimResult &result) const;
 
     /** Cells served from disk since construction. */
     std::uint64_t hits() const { return hits_.load(); }
     /** Failed lookups since construction. */
     std::uint64_t misses() const { return misses_.load(); }
+    /** store() calls that failed since construction. */
+    std::uint64_t storeFailures() const { return storeFailures_.load(); }
+    /** Stale temp files removed by the open-time GC. */
+    std::uint64_t reapedTmpFiles() const { return reapedTmp_; }
 
   private:
+    void gcStaleTmpFiles();
+
     std::string dir_;
+    std::uint64_t reapedTmp_ = 0;
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};
+    mutable std::atomic<std::uint64_t> storeFailures_{0};
 };
 
 } // namespace rat::report

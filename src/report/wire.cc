@@ -1,0 +1,130 @@
+#include "report/wire.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rat::report {
+
+namespace {
+
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read exactly @p size bytes; 1 = ok, 0 = clean EOF before any byte,
+ * -1 = error or EOF mid-read. */
+int
+readAll(int fd, char *data, std::size_t size)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::read(fd, data + got, size - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (n == 0)
+            return got == 0 ? 0 : -1;
+        got += static_cast<std::size_t>(n);
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        return false;
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    char header[4];
+    header[0] = static_cast<char>(len & 0xff);
+    header[1] = static_cast<char>((len >> 8) & 0xff);
+    header[2] = static_cast<char>((len >> 16) & 0xff);
+    header[3] = static_cast<char>((len >> 24) & 0xff);
+    return writeAll(fd, header, sizeof(header)) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string>
+FrameReader::next()
+{
+    char header[4];
+    const int h = readAll(fd_, header, sizeof(header));
+    if (h == 0)
+        return std::nullopt; // clean EOF between frames
+    if (h < 0) {
+        truncated_ = true;
+        return std::nullopt;
+    }
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(static_cast<unsigned char>(header[0])) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+         << 8) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+         << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]))
+         << 24);
+    if (len > kMaxFramePayload) {
+        truncated_ = true;
+        return std::nullopt;
+    }
+    std::string payload(len, '\0');
+    if (len > 0 && readAll(fd_, payload.data(), len) != 1) {
+        truncated_ = true;
+        return std::nullopt;
+    }
+    return payload;
+}
+
+void
+FrameBuffer::feed(const char *data, std::size_t size)
+{
+    // Reclaim the consumed prefix before it grows without bound.
+    if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 64 * 1024)) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(data, size);
+}
+
+std::optional<std::string>
+FrameBuffer::pop()
+{
+    if (corrupt_ || buf_.size() - pos_ < 4)
+        return std::nullopt;
+    const unsigned char *p =
+        reinterpret_cast<const unsigned char *>(buf_.data()) + pos_;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    if (len > kMaxFramePayload) {
+        corrupt_ = true;
+        return std::nullopt;
+    }
+    if (buf_.size() - pos_ - 4 < len)
+        return std::nullopt;
+    std::string payload = buf_.substr(pos_ + 4, len);
+    pos_ += 4 + len;
+    return payload;
+}
+
+} // namespace rat::report

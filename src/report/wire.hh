@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Length-prefixed frame transport for streamed result cells.
+ *
+ * The farm coordinator and its worker processes exchange JSON
+ * documents over pipes. A document is framed as a 4-byte little-endian
+ * payload length followed by the payload bytes, so the reader never
+ * has to scan for delimiters and a torn write is detected as a short
+ * frame instead of being mis-parsed. Frames above kMaxFramePayload are
+ * rejected as stream corruption.
+ */
+
+#ifndef RAT_REPORT_WIRE_HH
+#define RAT_REPORT_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace rat::report {
+
+/** Upper bound on one frame's payload (a cell is a few KiB). */
+constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/**
+ * Write one frame to @p fd, looping over partial writes and EINTR.
+ * Returns false on any write error (e.g. EPIPE after the peer died)
+ * or when @p payload exceeds kMaxFramePayload.
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Blocking reader for one end of a frame pipe (the worker's job
+ * stream). next() returns the payload of the next complete frame,
+ * std::nullopt on clean EOF at a frame boundary; a truncated frame or
+ * an oversized length prefix is reported through truncated().
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(int fd) : fd_(fd) {}
+
+    std::optional<std::string> next();
+
+    /** True when the stream ended mid-frame or with a bad length. */
+    bool truncated() const { return truncated_; }
+
+  private:
+    int fd_;
+    bool truncated_ = false;
+};
+
+/**
+ * Incremental frame decoder for the coordinator's non-blocking reads:
+ * feed() whatever bytes poll() delivered, then pop() complete frames.
+ */
+class FrameBuffer
+{
+  public:
+    /** Append raw bytes from the pipe. */
+    void feed(const char *data, std::size_t size);
+
+    /**
+     * Extract the next complete frame, if any. Returns std::nullopt
+     * while the buffer holds less than one full frame.
+     */
+    std::optional<std::string> pop();
+
+    /** True once a length prefix exceeded kMaxFramePayload. */
+    bool corrupt() const { return corrupt_; }
+
+    /** Bytes buffered but not yet popped (mid-frame after EOF means
+     * the writer died inside a frame). */
+    std::size_t pendingBytes() const { return buf_.size() - pos_; }
+
+  private:
+    std::string buf_;
+    std::size_t pos_ = 0; ///< consumed prefix of buf_
+    bool corrupt_ = false;
+};
+
+} // namespace rat::report
+
+#endif // RAT_REPORT_WIRE_HH

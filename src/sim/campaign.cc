@@ -1,5 +1,6 @@
 #include "sim/campaign.hh"
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <thread>
@@ -106,19 +107,16 @@ expandCampaign(const CampaignSpec &spec)
     return cells;
 }
 
-CampaignOutcome
-runCampaign(const CampaignSpec &spec)
+CampaignPlan
+planCampaign(const CampaignSpec &spec, const report::ResultCache &cache)
 {
-    CampaignOutcome outcome;
-    outcome.cells = expandCampaign(spec);
-
-    const report::ResultCache cache(spec.cacheDir);
+    CampaignPlan plan;
+    plan.outcome.cells = expandCampaign(spec);
 
     // Probe the cache and dedupe: identical keys (e.g. a workload both
     // in a group and listed explicitly) simulate exactly once.
-    std::map<std::string, std::vector<std::size_t>> pending;
-    for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
-        CampaignCell &cell = outcome.cells[i];
+    for (std::size_t i = 0; i < plan.outcome.cells.size(); ++i) {
+        CampaignCell &cell = plan.outcome.cells[i];
         if (cache.enabled()) {
             if (auto hit = cache.load(cell.key)) {
                 cell.result = std::move(*hit);
@@ -126,26 +124,54 @@ runCampaign(const CampaignSpec &spec)
                 continue;
             }
         }
-        pending[cell.key].push_back(i);
+        plan.pending[cell.key].push_back(i);
     }
-    outcome.cacheHits = cache.hits();
-    outcome.cacheMisses = cache.misses();
+    plan.outcome.cacheHits = cache.hits();
+    plan.outcome.cacheMisses = cache.misses();
+
+    plan.leads.reserve(plan.pending.size());
+    for (const auto &[key, indices] : plan.pending)
+        plan.leads.push_back(indices.front());
+    return plan;
+}
+
+void
+fanOutDuplicates(
+    CampaignOutcome &outcome,
+    const std::map<std::string, std::vector<std::size_t>> &pending)
+{
+    for (const auto &[key, indices] : pending) {
+        for (std::size_t i = 1; i < indices.size(); ++i)
+            outcome.cells[indices[i]].result =
+                outcome.cells[indices.front()].result;
+    }
+}
+
+CampaignOutcome
+runCampaign(const CampaignSpec &spec)
+{
+    const report::ResultCache cache(spec.cacheDir);
+    CampaignPlan plan = planCampaign(spec, cache);
+    CampaignOutcome &outcome = plan.outcome;
 
     // Simulate the unique misses on the worker pool. Each job owns a
-    // distinct lead cell, so no locking is needed.
-    std::vector<std::size_t> leads;
-    leads.reserve(pending.size());
-    for (const auto &[key, indices] : pending)
-        leads.push_back(indices.front());
-
+    // distinct lead cell, so no locking is needed; the completion
+    // counters are atomics because jobs finish concurrently.
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> failedStores{0};
     std::vector<std::function<void()>> jobs;
-    jobs.reserve(leads.size());
-    for (const std::size_t lead : leads) {
-        jobs.emplace_back([&outcome, &cache, lead] {
+    jobs.reserve(plan.leads.size());
+    for (const std::size_t lead : plan.leads) {
+        jobs.emplace_back([&outcome, &cache, &completed, &failedStores,
+                           lead] {
             CampaignCell &cell = outcome.cells[lead];
             Simulator sim(cell.config, cell.programs);
             cell.result = sim.run();
-            cache.store(cell.key, cell.result);
+            // Count completion only after the simulation finished: a
+            // throwing cell must not inflate the simulated count.
+            completed.fetch_add(1);
+            if (cache.enabled() && !cache.store(cell.key, cell.result))
+                failedStores.fetch_add(1);
         });
     }
     unsigned workers = spec.parallelism;
@@ -154,14 +180,10 @@ runCampaign(const CampaignSpec &spec)
         workers = hw ? hw : 4;
     }
     runParallel(jobs, workers);
-    outcome.simulated = jobs.size();
+    outcome.simulated = completed.load();
+    outcome.failedStores = failedStores.load();
 
-    // Fan results out to duplicate cells.
-    for (const auto &[key, indices] : pending) {
-        for (std::size_t i = 1; i < indices.size(); ++i)
-            outcome.cells[indices[i]].result =
-                outcome.cells[indices.front()].result;
-    }
+    fanOutDuplicates(outcome, plan.pending);
     return outcome;
 }
 

@@ -16,11 +16,13 @@
 #define RAT_SIM_CAMPAIGN_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "report/csv.hh"
 #include "report/json.hh"
+#include "report/result_cache.hh"
 #include "runahead/variant.hh"
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
@@ -77,7 +79,28 @@ struct CampaignOutcome {
     std::vector<CampaignCell> cells; ///< deterministic grid order
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
-    std::uint64_t simulated = 0; ///< cells actually executed
+    /**
+     * Simulations that actually ran to completion — not merely
+     * scheduled jobs, so a crashed or failed cell is never counted.
+     */
+    std::uint64_t simulated = 0;
+    /** Completed cells whose cache store failed (cell re-simulates on
+     * the next run instead of silently counting as cached). */
+    std::uint64_t failedStores = 0;
+};
+
+/**
+ * A probed-but-not-executed campaign: cache hits are already filled
+ * in, and `pending` maps each missing cache key to the grid indices
+ * that need it (duplicates simulate once). This is the seam the farm
+ * coordinator shares with the in-process runner.
+ */
+struct CampaignPlan {
+    CampaignOutcome outcome;
+    /** key -> cell indices, first index is the lead cell. */
+    std::map<std::string, std::vector<std::size_t>> pending;
+    /** Lead cell index of every pending key, in key order. */
+    std::vector<std::size_t> leads;
 };
 
 /**
@@ -87,6 +110,21 @@ struct CampaignOutcome {
  * axes) and defines the cell order of runCampaign.
  */
 std::vector<CampaignCell> expandCampaign(const CampaignSpec &spec);
+
+/**
+ * Expand the grid and probe @p cache: hits land in their cells, misses
+ * are grouped by key into the plan's pending map.
+ */
+CampaignPlan planCampaign(const CampaignSpec &spec,
+                          const report::ResultCache &cache);
+
+/**
+ * Copy every pending lead cell's result to its duplicate cells (cells
+ * that share the lead's cache key).
+ */
+void fanOutDuplicates(CampaignOutcome &outcome,
+                      const std::map<std::string,
+                                     std::vector<std::size_t>> &pending);
 
 /**
  * Expand and run a campaign: probe the result cache, simulate the

@@ -1,0 +1,538 @@
+#include "sim/farm.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/parse.hh"
+#include "report/result_cache.hh"
+#include "report/serialize.hh"
+#include "report/wire.hh"
+
+namespace rat::sim {
+
+namespace {
+
+/** JSON frame sent coordinator -> worker for one grid cell. */
+std::string
+jobFrame(const CampaignCell &cell, std::size_t index)
+{
+    report::Json job = report::Json::object();
+    job["index"] = report::Json(static_cast<std::uint64_t>(index));
+    job["key"] = report::Json(cell.key);
+    job["config"] = report::toJson(cell.config);
+    report::Json progs = report::Json::array();
+    for (const std::string &p : cell.programs)
+        progs.push(report::Json(p));
+    job["programs"] = std::move(progs);
+    return job.dump();
+}
+
+/** Resolve the running executable (worker re-exec target). */
+std::string
+selfExePath()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return {};
+    buf[n] = '\0';
+    return buf;
+}
+
+/** Scoped SIGPIPE suppression: a worker dying between poll()s must
+ * surface as a write error, not kill the coordinator. */
+class IgnoreSigpipe
+{
+  public:
+    IgnoreSigpipe()
+    {
+        struct sigaction ign = {};
+        ign.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ign, &old_);
+    }
+    ~IgnoreSigpipe() { ::sigaction(SIGPIPE, &old_, nullptr); }
+
+  private:
+    struct sigaction old_ = {};
+};
+
+/** One worker process as the coordinator sees it. */
+struct WorkerProc {
+    pid_t pid = -1;
+    int jobFd = -1; ///< coordinator writes job frames here
+    int resFd = -1; ///< coordinator reads result frames here (nonblock)
+    report::FrameBuffer buf;
+    std::optional<std::size_t> inflight; ///< lead cell index
+    std::size_t shard = 0;               ///< shard currently drained
+    bool alive = false;
+    bool writable = false;
+};
+
+struct Coordinator {
+    const CampaignSpec &spec;
+    const FarmOptions &options;
+    CampaignOutcome &outcome;
+    const report::ResultCache &cache;
+
+    std::vector<std::deque<std::size_t>> shards;
+    std::vector<WorkerProc> workers;
+    FarmOutcome *farm = nullptr;
+
+    std::uint64_t jobsDone = 0;  ///< results + failures landed
+    std::uint64_t jobsTotal = 0;
+    std::uint64_t simulated = 0;
+    std::uint64_t failedStores = 0;
+
+    bool spawnWorker(unsigned index, const std::string &binary,
+                     std::uint64_t kill_after);
+    bool feedWorker(std::size_t w);
+    void drainWorker(std::size_t w);
+    void handleFrame(std::size_t w, const std::string &payload);
+    void workerGone(std::size_t w);
+    void run();
+};
+
+bool
+Coordinator::spawnWorker(unsigned index, const std::string &binary,
+                         std::uint64_t kill_after)
+{
+    int job_pipe[2], res_pipe[2];
+    if (::pipe(job_pipe) != 0)
+        return false;
+    if (::pipe(res_pipe) != 0) {
+        ::close(job_pipe[0]);
+        ::close(job_pipe[1]);
+        return false;
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        for (const int fd : {job_pipe[0], job_pipe[1], res_pipe[0],
+                             res_pipe[1]})
+            ::close(fd);
+        return false;
+    }
+    if (pid == 0) {
+        // Child: jobs arrive on stdin, results leave on stdout.
+        ::dup2(job_pipe[0], STDIN_FILENO);
+        ::dup2(res_pipe[1], STDOUT_FILENO);
+        for (const int fd : {job_pipe[0], job_pipe[1], res_pipe[0],
+                             res_pipe[1]})
+            ::close(fd);
+        std::vector<const char *> argv = {binary.c_str(),
+                                          "--farm-worker"};
+        if (!spec.cacheDir.empty()) {
+            argv.push_back("--cache");
+            argv.push_back(spec.cacheDir.c_str());
+        }
+        std::string kill_text;
+        if (kill_after > 0) {
+            kill_text = std::to_string(kill_after);
+            argv.push_back("--test-kill-after");
+            argv.push_back(kill_text.c_str());
+        }
+        argv.push_back(nullptr);
+        ::execv(binary.c_str(),
+                const_cast<char *const *>(argv.data()));
+        ::_exit(127);
+    }
+
+    // Parent.
+    ::close(job_pipe[0]);
+    ::close(res_pipe[1]);
+    ::fcntl(res_pipe[0], F_SETFL, O_NONBLOCK);
+    // Keep farm pipes out of later-forked siblings.
+    ::fcntl(job_pipe[1], F_SETFD, FD_CLOEXEC);
+    ::fcntl(res_pipe[0], F_SETFD, FD_CLOEXEC);
+
+    WorkerProc w;
+    w.pid = pid;
+    w.jobFd = job_pipe[1];
+    w.resFd = res_pipe[0];
+    w.shard = index % shards.size();
+    w.alive = true;
+    w.writable = true;
+    workers.push_back(std::move(w));
+    return true;
+}
+
+bool
+Coordinator::feedWorker(std::size_t wi)
+{
+    WorkerProc &w = workers[wi];
+    if (!w.alive || !w.writable || w.inflight)
+        return false;
+
+    // Drain the worker's own shards first (round-robin ownership),
+    // then steal from the largest remaining shard so stragglers drain
+    // onto idle workers.
+    const std::size_t nshards = shards.size();
+    const std::size_t nworkers = workers.size();
+    std::size_t pick = nshards;
+    if (!shards[w.shard].empty()) {
+        pick = w.shard;
+    } else {
+        for (std::size_t s = wi; s < nshards; s += nworkers) {
+            if (!shards[s].empty()) {
+                pick = s;
+                break;
+            }
+        }
+        if (pick == nshards) {
+            std::size_t best_size = 0;
+            for (std::size_t s = 0; s < nshards; ++s) {
+                if (shards[s].size() > best_size) {
+                    best_size = shards[s].size();
+                    pick = s;
+                }
+            }
+            if (pick < nshards)
+                ++farm->jobsStolen;
+        }
+    }
+    if (pick >= nshards)
+        return false; // no work left anywhere
+
+    const std::size_t lead = shards[pick].front();
+    shards[pick].pop_front();
+    w.shard = pick;
+
+    if (!report::writeFrame(w.jobFd,
+                            jobFrame(outcome.cells[lead], lead))) {
+        // Peer is dead (EPIPE): put the job back; the EOF on the read
+        // side will finish the bookkeeping.
+        shards[pick].push_front(lead);
+        w.writable = false;
+        return false;
+    }
+    w.inflight = lead;
+    return true;
+}
+
+void
+Coordinator::handleFrame(std::size_t wi, const std::string &payload)
+{
+    WorkerProc &w = workers[wi];
+    const auto doc = report::Json::parse(payload);
+    const report::Json *index_json = doc ? doc->find("index") : nullptr;
+    if (!doc || !index_json || !index_json->isU64()) {
+        warn("farm: dropping malformed frame from worker %d",
+             static_cast<int>(w.pid));
+        return;
+    }
+    const std::size_t lead =
+        static_cast<std::size_t>(index_json->asU64());
+    if (lead >= outcome.cells.size()) {
+        warn("farm: result index %zu out of range", lead);
+        return;
+    }
+    if (w.inflight && *w.inflight == lead)
+        w.inflight.reset();
+
+    if (const report::Json *err = doc->find("error")) {
+        ++farm->failedCells;
+        if (farm->error.empty() && err->isString())
+            farm->error = "cell '" + outcome.cells[lead].key +
+                          "' failed: " + err->asString();
+        ++jobsDone;
+        return;
+    }
+    const report::Json *result_json = doc->find("result");
+    SimResult result;
+    if (!result_json || !fromJson(*result_json, result)) {
+        warn("farm: unparseable result for cell %zu", lead);
+        ++farm->failedCells;
+        ++jobsDone;
+        return;
+    }
+    outcome.cells[lead].result = std::move(result);
+    ++simulated;
+    const report::Json *stored = doc->find("stored");
+    if (cache.enabled() && (!stored || !stored->isBool() ||
+                            !stored->asBool()))
+        ++failedStores;
+    ++jobsDone;
+}
+
+void
+Coordinator::workerGone(std::size_t wi)
+{
+    WorkerProc &w = workers[wi];
+    if (!w.alive)
+        return;
+    w.alive = false;
+    w.writable = false;
+    ::close(w.jobFd);
+    ::close(w.resFd);
+    w.jobFd = w.resFd = -1;
+
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    const bool abnormal =
+        WIFSIGNALED(status) ||
+        (WIFEXITED(status) && WEXITSTATUS(status) != 0);
+
+    if (w.inflight) {
+        // Mid-job death: the cell is lost from this worker but not
+        // from the campaign — requeue it for the survivors.
+        shards[w.shard].push_front(*w.inflight);
+        ++farm->jobsRequeued;
+        w.inflight.reset();
+        ++farm->workerDeaths;
+    } else if (abnormal) {
+        ++farm->workerDeaths;
+    }
+}
+
+void
+Coordinator::run()
+{
+    while (jobsDone < jobsTotal) {
+        bool any_alive = false;
+        for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+            if (workers[wi].alive) {
+                any_alive = true;
+                feedWorker(wi);
+            }
+        }
+        if (!any_alive)
+            break;
+
+        std::vector<struct pollfd> fds;
+        std::vector<std::size_t> owner;
+        for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+            if (!workers[wi].alive)
+                continue;
+            fds.push_back({workers[wi].resFd, POLLIN, 0});
+            owner.push_back(wi);
+        }
+        const int ready = ::poll(fds.data(),
+                                 static_cast<nfds_t>(fds.size()), 10000);
+        if (ready < 0 && errno != EINTR)
+            break;
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                drainWorker(owner[i]);
+        }
+    }
+}
+
+void
+Coordinator::drainWorker(std::size_t wi)
+{
+    WorkerProc &w = workers[wi];
+    char chunk[65536];
+    for (;;) {
+        const ssize_t n = ::read(w.resFd, chunk, sizeof(chunk));
+        if (n > 0) {
+            w.buf.feed(chunk, static_cast<std::size_t>(n));
+            while (auto frame = w.buf.pop())
+                handleFrame(wi, *frame);
+            if (w.buf.corrupt()) {
+                warn("farm: corrupt result stream from worker %d",
+                     static_cast<int>(w.pid));
+                workerGone(wi);
+                return;
+            }
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;
+        if (n < 0 && errno == EINTR)
+            continue;
+        // EOF or hard error: the worker is gone. Bytes of a torn
+        // frame (pendingBytes) are simply dropped — the cell was
+        // never landed, so the requeue/resume path re-simulates it.
+        workerGone(wi);
+        return;
+    }
+}
+
+} // namespace
+
+FarmOutcome
+runFarm(const CampaignSpec &spec, const FarmOptions &options)
+{
+    FarmOutcome farm;
+    const report::ResultCache cache(spec.cacheDir);
+    CampaignPlan plan = planCampaign(spec, cache);
+    farm.campaign = std::move(plan.outcome);
+
+    const std::vector<std::size_t> &jobs = plan.leads;
+    if (jobs.empty()) {
+        // Everything was cached: nothing to spawn.
+        fanOutDuplicates(farm.campaign, plan.pending);
+        farm.completed = true;
+        return farm;
+    }
+
+    std::string binary = options.workerBinary;
+    if (binary.empty())
+        binary = selfExePath();
+    if (binary.empty()) {
+        farm.error = "cannot resolve worker binary path";
+        return farm;
+    }
+
+    unsigned nworkers = options.workers;
+    if (!nworkers) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        nworkers = hw ? hw : 4;
+    }
+    nworkers = std::min<unsigned>(
+        nworkers, static_cast<unsigned>(jobs.size()));
+
+    unsigned nshards = options.shards ? options.shards : nworkers * 4;
+    nshards = std::min<unsigned>(
+        std::max<unsigned>(nshards, 1),
+        static_cast<unsigned>(jobs.size()));
+
+    IgnoreSigpipe sigpipe_guard;
+    Coordinator coord{spec, options, farm.campaign, cache,
+                      {}, {}, &farm, 0, 0, 0, 0};
+    coord.jobsTotal = jobs.size();
+
+    // Contiguous shards over the deduped job list (grid order).
+    coord.shards.assign(nshards, {});
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        coord.shards[i * nshards / jobs.size()].push_back(jobs[i]);
+    farm.shardCount = nshards;
+
+    // Test hook: deterministically SIGKILL the first worker after N
+    // cells, standing in for an operator's kill -9 mid-campaign.
+    std::uint64_t kill_after = 0;
+    if (const char *env = std::getenv("RATSIM_FARM_TEST_KILL_AFTER"))
+        kill_after = parseU64(env, "RATSIM_FARM_TEST_KILL_AFTER");
+
+    coord.workers.reserve(nworkers);
+    for (unsigned w = 0; w < nworkers; ++w) {
+        if (!coord.spawnWorker(w, binary, w == 0 ? kill_after : 0))
+            break;
+    }
+    farm.workersSpawned = static_cast<unsigned>(coord.workers.size());
+    if (coord.workers.empty()) {
+        farm.error = "could not spawn any farm worker";
+        return farm;
+    }
+
+    coord.run();
+
+    // Retire the pool: close job pipes (workers exit on EOF) and reap.
+    for (std::size_t wi = 0; wi < coord.workers.size(); ++wi) {
+        WorkerProc &w = coord.workers[wi];
+        if (!w.alive)
+            continue;
+        ::close(w.jobFd);
+        w.jobFd = -1;
+        // Collect any result frames still in flight before reaping.
+        ::fcntl(w.resFd, F_SETFL, 0); // back to blocking for the tail
+        report::FrameReader tail(w.resFd);
+        while (auto frame = tail.next())
+            coord.handleFrame(wi, *frame);
+        ::close(w.resFd);
+        w.resFd = -1;
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        w.alive = false;
+        // A worker that died before its EOF was seen in the run loop
+        // (e.g. the grid finished first) still counts as a death.
+        if (WIFSIGNALED(status) ||
+            (WIFEXITED(status) && WEXITSTATUS(status) != 0))
+            ++farm.workerDeaths;
+    }
+
+    farm.campaign.simulated = coord.simulated;
+    farm.campaign.failedStores = coord.failedStores;
+    farm.completed =
+        coord.jobsDone >= coord.jobsTotal && farm.failedCells == 0;
+    if (!farm.completed && farm.error.empty())
+        farm.error = "all workers died before the grid finished; "
+                     "completed cells are in the result cache — "
+                     "re-run to resume";
+    fanOutDuplicates(farm.campaign, plan.pending);
+    return farm;
+}
+
+int
+farmWorkerMain(const std::string &cache_dir, std::uint64_t kill_after)
+{
+    // Frames go to a private dup of stdout; stdout itself is pointed
+    // at stderr so any stray printf cannot corrupt the frame stream.
+    const int result_fd = ::dup(STDOUT_FILENO);
+    if (result_fd < 0)
+        return 1;
+    ::dup2(STDERR_FILENO, STDOUT_FILENO);
+
+    const report::ResultCache cache(cache_dir);
+    report::FrameReader job_stream(STDIN_FILENO);
+    std::uint64_t completed = 0;
+
+    while (auto frame = job_stream.next()) {
+        // Test hook: die like kill -9 *between* receiving a job and
+        // simulating it, so the coordinator observes a worker with an
+        // in-flight job — the deterministic worst case for requeue.
+        if (kill_after > 0 && completed >= kill_after)
+            ::raise(SIGKILL);
+        const auto doc = report::Json::parse(*frame);
+        if (!doc || !doc->isObject()) {
+            warn("farm worker: malformed job frame");
+            return 1;
+        }
+        const report::Json *index = doc->find("index");
+        const report::Json *key = doc->find("key");
+        const report::Json *config_json = doc->find("config");
+        const report::Json *programs_json = doc->find("programs");
+        if (!index || !index->isU64() || !key || !key->isString() ||
+            !config_json || !programs_json ||
+            !programs_json->isArray()) {
+            warn("farm worker: job frame missing fields");
+            return 1;
+        }
+
+        report::Json reply = report::Json::object();
+        reply["index"] = report::Json(index->asU64());
+
+        SimConfig config;
+        std::vector<std::string> programs;
+        bool ok = fromJson(*config_json, config);
+        for (std::size_t i = 0; ok && i < programs_json->size(); ++i) {
+            const report::Json &p = programs_json->at(i);
+            ok = p.isString();
+            if (ok)
+                programs.push_back(p.asString());
+        }
+        if (!ok) {
+            reply["error"] = report::Json("undecodable job config");
+        } else {
+            try {
+                Simulator sim(config, programs);
+                const SimResult result = sim.run();
+                if (cache.enabled())
+                    reply["stored"] = report::Json(
+                        cache.store(key->asString(), result));
+                reply["result"] = report::toJson(result);
+            } catch (const std::exception &e) {
+                reply["error"] = report::Json(std::string(e.what()));
+            }
+        }
+        if (!report::writeFrame(result_fd, reply.dump()))
+            return 1; // coordinator went away
+        ++completed;
+    }
+    return job_stream.truncated() ? 1 : 0;
+}
+
+} // namespace rat::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Multi-process campaign farm: shards a campaign's pending grid cells
+ * across worker *processes* (fork/exec of the ratsim binary in
+ * `--farm-worker` mode) and streams completed cells back to the
+ * coordinator over pipes as length-prefixed JSON (report/wire.hh).
+ *
+ * Execution model:
+ *  - The coordinator expands the grid and probes the shared on-disk
+ *    ResultCache; only missing cells become jobs (so a re-run after
+ *    any crash — coordinator or worker, kill -9 included — resumes
+ *    from whatever earlier runs already landed in the cache).
+ *  - Jobs are partitioned into shards; every worker pulls jobs one at
+ *    a time from its own shards and, once those drain, steals from the
+ *    largest remaining shard, so straggler shards drain onto idle
+ *    workers.
+ *  - Each worker simulates a cell, lands it in the shared cache with
+ *    a crash-safe atomic store, and streams the result frame back.
+ *  - A worker death mid-job is detected as EOF on its pipe: the
+ *    in-flight job is requeued onto the surviving workers. Only when
+ *    every worker is gone does the farm give up — with all completed
+ *    cells already durable in the cache.
+ *
+ * The merged report of a completed farm run is byte-identical to a
+ * single-process `runCampaign` of the same spec: both produce the
+ * same grid order and the result JSON round-trips exactly
+ * (report/json.hh).
+ */
+
+#ifndef RAT_SIM_FARM_HH
+#define RAT_SIM_FARM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/campaign.hh"
+
+namespace rat::sim {
+
+/** Farm-specific knobs on top of a CampaignSpec. */
+struct FarmOptions {
+    /** Worker processes; 0 = hardware concurrency. Clamped to the
+     * number of pending jobs. */
+    unsigned workers = 0;
+    /** Job shards; 0 = auto (4x workers). Clamped to [1, jobs]. */
+    unsigned shards = 0;
+    /**
+     * Path of the binary to exec with `--farm-worker`. Empty = this
+     * process's own executable (/proc/self/exe).
+     */
+    std::string workerBinary;
+};
+
+/** A finished (or aborted) farm run. */
+struct FarmOutcome {
+    CampaignOutcome campaign;
+    unsigned workersSpawned = 0;
+    unsigned shardCount = 0;
+    /** Workers that died before draining their work (EOF mid-shard,
+     * abnormal exit, or exit on a signal). */
+    std::uint64_t workerDeaths = 0;
+    /** Jobs requeued from dead workers onto survivors. */
+    std::uint64_t jobsRequeued = 0;
+    /** Jobs a worker pulled from another worker's shard. */
+    std::uint64_t jobsStolen = 0;
+    /** Cells whose simulation failed inside a worker (reported as an
+     * error frame; not retried). */
+    std::uint64_t failedCells = 0;
+    /** True when every grid cell has a result. */
+    bool completed = false;
+    /** Diagnostic when !completed (or failedCells > 0). */
+    std::string error;
+};
+
+/**
+ * Run @p spec as a sharded multi-process farm. Requires fork/exec;
+ * the campaign inside the returned outcome is in grid order, exactly
+ * like runCampaign's.
+ */
+FarmOutcome runFarm(const CampaignSpec &spec, const FarmOptions &options);
+
+/**
+ * Worker-process entry point (`ratsim --farm-worker`): reads job
+ * frames from stdin, simulates each cell, stores it into @p cache_dir
+ * (when non-empty) and writes a result frame per cell. Returns the
+ * process exit code. @p kill_after is a test hook: raise SIGKILL after
+ * that many completed cells (0 = never), simulating a mid-campaign
+ * kill -9 deterministically.
+ */
+int farmWorkerMain(const std::string &cache_dir,
+                   std::uint64_t kill_after);
+
+} // namespace rat::sim
+
+#endif // RAT_SIM_FARM_HH

@@ -7,6 +7,13 @@
  *   ratsim report [options]   same run, structured JSON/CSV output
  *   ratsim sweep  [options]   declarative campaign over a config grid
  *                             with an optional on-disk result cache
+ *   ratsim farm   [options]   the same campaign grid, sharded across
+ *                             worker processes with a shared cache;
+ *                             crash-safe and resumable
+ *
+ * `ratsim --farm-worker` is the internal worker-process entry point
+ * the farm coordinator fork/execs; it speaks length-prefixed JSON on
+ * stdin/stdout and is not meant for interactive use.
  *
  * Bare `ratsim [options]` is kept as an alias of `ratsim run` for
  * backward compatibility.
@@ -33,6 +40,7 @@
 #include "runahead/variant.hh"
 #include "sim/campaign.hh"
 #include "sim/experiment.hh"
+#include "sim/farm.hh"
 #include "sim/metrics.hh"
 #include "sim/simulator.hh"
 #include "sim/workloads.hh"
@@ -48,7 +56,7 @@ usage()
     std::printf(
         "ratsim — Runahead Threads SMT simulator (HPCA 2008 reproduction)\n"
         "\n"
-        "usage: ratsim [run|report|sweep] [options]\n"
+        "usage: ratsim [run|report|sweep|farm] [options]\n"
         "\n"
         "run/report options:\n"
         "  --workload P1,P2[,P3,P4]  programs to co-run (default art,mcf)\n"
@@ -95,6 +103,13 @@ usage()
         "  --jobs N                  worker threads (default: hardware)\n"
         "  --json PATH / --csv PATH  structured output ('-' = stdout)\n"
         "  --no-cycle-skip           tick every cycle in all cells\n"
+        "\n"
+        "farm options (all sweep options, plus):\n"
+        "  --workers N               worker processes (default: hardware)\n"
+        "  --shards N                job shards (default: 4x workers);\n"
+        "                            idle workers steal straggler shards\n"
+        "                            (use --cache to make the campaign\n"
+        "                            resumable after a crash or kill -9)\n"
         "\n"
         "discovery:\n"
         "  --list-programs           print modelled SPEC2000 programs\n"
@@ -395,11 +410,16 @@ runCommand(const std::vector<std::string> &args, bool structured)
     return 0;
 }
 
-/** `ratsim sweep`: declarative campaign over a configuration grid. */
+/**
+ * `ratsim sweep` (in-process worker threads) and `ratsim farm`
+ * (sharded worker processes): the same declarative campaign grid; a
+ * completed farm produces byte-identical JSON/CSV to the sweep.
+ */
 int
-sweepCommand(const std::vector<std::string> &args)
+sweepCommand(const std::vector<std::string> &args, bool farm_mode)
 {
     sim::CampaignSpec spec;
+    sim::FarmOptions farm_options;
     std::string policies = "ICOUNT,RaT";
     std::string groups;
     std::string workloads;
@@ -467,6 +487,10 @@ sweepCommand(const std::vector<std::string> &args)
             spec.cacheDir = next();
         } else if (arg == "--jobs") {
             spec.parallelism = parseUnsigned(next(), "--jobs");
+        } else if (farm_mode && arg == "--workers") {
+            farm_options.workers = parseUnsigned(next(), "--workers");
+        } else if (farm_mode && arg == "--shards") {
+            farm_options.shards = parseUnsigned(next(), "--shards");
         } else if (arg == "--json") {
             json_path = next();
         } else if (arg == "--csv") {
@@ -513,12 +537,40 @@ sweepCommand(const std::vector<std::string> &args)
     if (spec.groups.empty() && spec.workloads.empty())
         spec.workloads = splitWorkloads("art,mcf");
 
-    const sim::CampaignOutcome outcome = sim::runCampaign(spec);
-
-    std::printf("sweep: %zu cells (%llu simulated, %llu from cache)\n",
-                outcome.cells.size(),
-                static_cast<unsigned long long>(outcome.simulated),
-                static_cast<unsigned long long>(outcome.cacheHits));
+    sim::CampaignOutcome outcome;
+    if (farm_mode) {
+        const sim::FarmOutcome farm = sim::runFarm(spec, farm_options);
+        outcome = std::move(farm.campaign);
+        std::printf("farm: %zu cells (%llu simulated, %llu from cache, "
+                    "%llu failed stores)\n",
+                    outcome.cells.size(),
+                    static_cast<unsigned long long>(outcome.simulated),
+                    static_cast<unsigned long long>(outcome.cacheHits),
+                    static_cast<unsigned long long>(
+                        outcome.failedStores));
+        std::printf("farm: %u workers, %u shards, %llu worker deaths, "
+                    "%llu requeued, %llu stolen\n",
+                    farm.workersSpawned, farm.shardCount,
+                    static_cast<unsigned long long>(farm.workerDeaths),
+                    static_cast<unsigned long long>(farm.jobsRequeued),
+                    static_cast<unsigned long long>(farm.jobsStolen));
+        if (!farm.completed) {
+            warn("farm did not complete: %s", farm.error.c_str());
+            // Completed cells are durable in the cache; a re-run of
+            // the same command resumes from them. No report files:
+            // partial grids must never masquerade as finished ones.
+            return 1;
+        }
+    } else {
+        outcome = sim::runCampaign(spec);
+        std::printf("sweep: %zu cells (%llu simulated, %llu from "
+                    "cache, %llu failed stores)\n",
+                    outcome.cells.size(),
+                    static_cast<unsigned long long>(outcome.simulated),
+                    static_cast<unsigned long long>(outcome.cacheHits),
+                    static_cast<unsigned long long>(
+                        outcome.failedStores));
+    }
     std::printf("%-14s %-6s %-28s %-14s %5s %5s %10s %8s\n",
                 "technique", "group", "workload", "ra-variant", "regs",
                 "rob", "seed", "thrpt");
@@ -539,6 +591,32 @@ sweepCommand(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * `ratsim --farm-worker [--cache DIR] [--test-kill-after N]`: the
+ * exec target of the farm coordinator.
+ */
+int
+farmWorkerCommand(const std::vector<std::string> &args)
+{
+    std::string cache_dir;
+    std::uint64_t kill_after = 0;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= args.size())
+                fatal("option %s needs a value", arg.c_str());
+            return args[++i].c_str();
+        };
+        if (arg == "--cache")
+            cache_dir = next();
+        else if (arg == "--test-kill-after")
+            kill_after = parseU64(next(), "--test-kill-after");
+        else
+            fatal("farm worker: unknown option '%s'", arg.c_str());
+    }
+    return sim::farmWorkerMain(cache_dir, kill_after);
+}
+
 } // namespace
 
 int
@@ -551,7 +629,11 @@ main(int argc, char **argv)
     if (!args.empty() && args[0] == "report")
         return runCommand({args.begin() + 1, args.end()}, true);
     if (!args.empty() && args[0] == "sweep")
-        return sweepCommand({args.begin() + 1, args.end()});
+        return sweepCommand({args.begin() + 1, args.end()}, false);
+    if (!args.empty() && args[0] == "farm")
+        return sweepCommand({args.begin() + 1, args.end()}, true);
+    if (!args.empty() && args[0] == "--farm-worker")
+        return farmWorkerCommand({args.begin() + 1, args.end()});
     if (!args.empty() && !args[0].empty() && args[0][0] != '-') {
         usage();
         fatal("unknown subcommand '%s'", args[0].c_str());

@@ -249,6 +249,33 @@ TEST(CliSmoke, SweepGridsOverRaVariants)
         << r.output;
 }
 
+TEST(CliSmoke, FarmSubcommandRunsGridAcrossWorkerProcesses)
+{
+    const CliResult r = runCli(
+        "farm --policies ICOUNT,RaT --workloads art,mcf --seeds 1,2 "
+        "--measure 1000 --warmup 200 --prewarm 5000 --workers 2");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("farm: 4 cells"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("workers"), std::string::npos) << r.output;
+}
+
+TEST(CliSmoke, FarmWorkersFlagRejectedOutsideFarmMode)
+{
+    const CliResult r = runCli("sweep --workloads art,mcf --workers 2");
+    EXPECT_NE(r.exitCode, 0);
+    EXPECT_NE(r.output.find("--workers"), std::string::npos) << r.output;
+}
+
+TEST(CliSmoke, FarmWorkerModeRequiresItsPrivateProtocol)
+{
+    // The worker entry point speaks length-prefixed frames on stdin;
+    // invoked from a terminal-style empty stdin it must exit cleanly
+    // without simulating anything.
+    const CliResult r = runCli("--farm-worker < /dev/null");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
 TEST(CliSmoke, UnknownSubcommandFailsWithDiagnostic)
 {
     const CliResult r = runCli("frobnicate");

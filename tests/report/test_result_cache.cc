@@ -1,0 +1,219 @@
+/**
+ * @file
+ * ResultCache crash-safety tests: the failure paths a multi-process
+ * farm hits in steady state. A cell file must either hold a complete,
+ * key-verified write or not exist; nothing here may ever surface a
+ * torn cell as a valid result.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "report/result_cache.hh"
+#include "report/serialize.hh"
+
+namespace rat::report {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+
+    explicit TempDir(const char *name)
+        : path(fs::path(testing::TempDir()) / name)
+    {
+        fs::remove_all(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+sim::SimResult
+sampleResult(const char *program, double ipc)
+{
+    sim::SimResult r;
+    r.cycles = 4242;
+    sim::ThreadResult t;
+    t.program = program;
+    t.ipc = ipc;
+    r.threads.push_back(t);
+    return r;
+}
+
+std::string
+sampleKey(std::uint64_t seed)
+{
+    sim::SimConfig cfg;
+    cfg.seed = seed;
+    return ResultCache::keyFor(cfg, {"art", "mcf"});
+}
+
+TEST(ResultCacheFailure, SuccessfulStoreReturnsTrueAndLeavesNoTmp)
+{
+    TempDir dir("rc_store_ok");
+    const ResultCache cache(dir.path.string());
+    EXPECT_TRUE(cache.store(sampleKey(1), sampleResult("art", 0.5)));
+    EXPECT_EQ(cache.storeFailures(), 0u);
+
+    std::size_t cells = 0, tmps = 0;
+    for (const auto &e : fs::directory_iterator(dir.path)) {
+        if (e.path().extension() == ".tmp")
+            ++tmps;
+        else
+            ++cells;
+    }
+    EXPECT_EQ(cells, 1u);
+    EXPECT_EQ(tmps, 0u); // renamed, not lingering
+}
+
+TEST(ResultCacheFailure, TruncatedCellFileIsAMissNotACrash)
+{
+    TempDir dir("rc_truncated");
+    const ResultCache cache(dir.path.string());
+    const std::string key = sampleKey(2);
+    ASSERT_TRUE(cache.store(key, sampleResult("art", 0.5)));
+    ASSERT_TRUE(cache.load(key));
+
+    // Chop the tail off the stored cell — the short-write shape a
+    // crashed writer without stream checking used to publish.
+    const fs::path cell = dir.path / ResultCache::fileNameFor(key);
+    const auto size = fs::file_size(cell);
+    fs::resize_file(cell, size / 2);
+    EXPECT_FALSE(cache.load(key));
+
+    // Zero-byte cell (open() succeeded, nothing was flushed).
+    fs::resize_file(cell, 0);
+    EXPECT_FALSE(cache.load(key));
+}
+
+TEST(ResultCacheFailure, KeyCollisionMismatchIsAMiss)
+{
+    TempDir dir("rc_collision");
+    const ResultCache cache(dir.path.string());
+    const std::string key_a = sampleKey(3);
+    const std::string key_b = sampleKey(4);
+    ASSERT_TRUE(cache.store(key_a, sampleResult("art", 0.5)));
+
+    // Simulate FNV collision: key_b's file name holds key_a's cell.
+    fs::copy_file(dir.path / ResultCache::fileNameFor(key_a),
+                  dir.path / ResultCache::fileNameFor(key_b));
+    EXPECT_FALSE(cache.load(key_b));
+    EXPECT_TRUE(cache.load(key_a)); // the real cell still hits
+}
+
+TEST(ResultCacheFailure, UnwritableCacheDirFailsStoreWithoutGarbage)
+{
+    // Parent path is a regular *file*, so the cache directory can
+    // never be created: every store must fail cleanly.
+    TempDir dir("rc_unwritable");
+    fs::create_directories(dir.path);
+    std::ofstream(dir.path / "blocker") << "x";
+    const ResultCache cache((dir.path / "blocker" / "cache").string());
+
+    EXPECT_FALSE(cache.store(sampleKey(5), sampleResult("art", 0.5)));
+    EXPECT_EQ(cache.storeFailures(), 1u);
+    EXPECT_FALSE(cache.load(sampleKey(5)));
+}
+
+TEST(ResultCacheFailure, ConcurrentSameKeyStoresFromThreadsStayWhole)
+{
+    // Two same-pid threads storing the same key used to share one tmp
+    // path and interleave writes; the sequence-unique tmp names make
+    // every published cell one writer's complete bytes.
+    TempDir dir("rc_threads");
+    const ResultCache cache(dir.path.string());
+    const std::string key = sampleKey(6);
+    const sim::SimResult a = sampleResult("art", 0.25);
+    const sim::SimResult b = sampleResult("art", 0.75);
+
+    for (int round = 0; round < 16; ++round) {
+        std::thread ta([&] { cache.store(key, a); });
+        std::thread tb([&] { cache.store(key, b); });
+        ta.join();
+        tb.join();
+        const auto hit = cache.load(key);
+        ASSERT_TRUE(hit) << "round " << round
+                         << ": published cell unreadable";
+        const double ipc = hit->threads.at(0).ipc;
+        EXPECT_TRUE(ipc == 0.25 || ipc == 0.75) << ipc;
+    }
+    EXPECT_EQ(cache.storeFailures(), 0u);
+}
+
+TEST(ResultCacheFailure, ConcurrentTwoProcessStoreOnSameKey)
+{
+    // The farm's steady state: two worker *processes* land the same
+    // key in one shared directory. Whatever the interleaving, the
+    // published cell must parse and carry one of the two payloads.
+    TempDir dir("rc_processes");
+    const std::string cache_dir = dir.path.string();
+    const std::string key = sampleKey(7);
+
+    std::vector<pid_t> kids;
+    for (int child = 0; child < 2; ++child) {
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            const ResultCache mine(cache_dir);
+            const auto payload =
+                sampleResult("art", child == 0 ? 0.25 : 0.75);
+            bool ok = true;
+            for (int i = 0; i < 32; ++i)
+                ok = mine.store(key, payload) && ok;
+            _exit(ok ? 0 : 1);
+        }
+        kids.push_back(pid);
+    }
+    for (const pid_t pid : kids) {
+        int status = 0;
+        ASSERT_EQ(waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+
+    const ResultCache cache(cache_dir);
+    const auto hit = cache.load(key);
+    ASSERT_TRUE(hit);
+    const double ipc = hit->threads.at(0).ipc;
+    EXPECT_TRUE(ipc == 0.25 || ipc == 0.75) << ipc;
+
+    // No temp litter once both writers exited cleanly.
+    for (const auto &e : fs::directory_iterator(dir.path))
+        EXPECT_NE(e.path().extension(), ".tmp") << e.path();
+}
+
+TEST(ResultCacheFailure, StaleTmpFilesAreReapedOnOpenFreshOnesKept)
+{
+    TempDir dir("rc_gc");
+    fs::create_directories(dir.path);
+
+    // A tmp orphaned by a kill -9 long ago...
+    const fs::path stale = dir.path / "deadbeef.json.999.0.tmp";
+    std::ofstream(stale) << "{ torn";
+    fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(2));
+    // ...and one a live writer created moments ago.
+    const fs::path fresh = dir.path / "cafef00d.json.998.0.tmp";
+    std::ofstream(fresh) << "{ in-flight";
+
+    const ResultCache cache(dir.path.string());
+    EXPECT_EQ(cache.reapedTmpFiles(), 1u);
+    EXPECT_FALSE(fs::exists(stale));
+    EXPECT_TRUE(fs::exists(fresh)); // age-gated: never reap the living
+
+    // Real cells are never GC candidates.
+    const std::string key = sampleKey(8);
+    ASSERT_TRUE(cache.store(key, sampleResult("art", 0.5)));
+    const ResultCache reopened(dir.path.string());
+    EXPECT_TRUE(reopened.load(key));
+}
+
+} // namespace
+} // namespace rat::report

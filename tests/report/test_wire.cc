@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Frame-transport tests: the length-prefixed JSON protocol between
+ * the farm coordinator and its workers must round-trip arbitrary
+ * payloads, survive byte-at-a-time delivery, and detect truncation
+ * and corruption instead of mis-framing.
+ */
+
+#include <unistd.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "report/wire.hh"
+
+namespace rat::report {
+namespace {
+
+struct Pipe {
+    int rd = -1;
+    int wr = -1;
+
+    Pipe()
+    {
+        int fds[2];
+        EXPECT_EQ(::pipe(fds), 0);
+        rd = fds[0];
+        wr = fds[1];
+    }
+    ~Pipe()
+    {
+        closeWrite();
+        if (rd >= 0)
+            ::close(rd);
+    }
+    void closeWrite()
+    {
+        if (wr >= 0)
+            ::close(wr);
+        wr = -1;
+    }
+};
+
+TEST(Wire, FramesRoundTripInOrderAcrossAPipe)
+{
+    Pipe pipe;
+    // Total stays under the 64 KiB pipe capacity: the writer must not
+    // block, because nothing drains the pipe until all frames are sent.
+    const std::string msgs[] = {"", "a", std::string(50000, 'x'),
+                                "{\"index\":7}"};
+    for (const std::string &m : msgs)
+        ASSERT_TRUE(writeFrame(pipe.wr, m));
+    pipe.closeWrite();
+
+    FrameReader reader(pipe.rd);
+    for (const std::string &m : msgs) {
+        const auto got = reader.next();
+        ASSERT_TRUE(got);
+        EXPECT_EQ(*got, m);
+    }
+    EXPECT_FALSE(reader.next()); // clean EOF at a frame boundary
+    EXPECT_FALSE(reader.truncated());
+}
+
+TEST(Wire, ReaderFlagsEofInsideAFrameAsTruncation)
+{
+    Pipe pipe;
+    // A length prefix promising 100 bytes, but the writer died after 3.
+    const char torn[] = {100, 0, 0, 0, 'a', 'b', 'c'};
+    ASSERT_EQ(::write(pipe.wr, torn, sizeof(torn)),
+              static_cast<ssize_t>(sizeof(torn)));
+    pipe.closeWrite();
+
+    FrameReader reader(pipe.rd);
+    EXPECT_FALSE(reader.next());
+    EXPECT_TRUE(reader.truncated());
+}
+
+TEST(Wire, WriteFrameRejectsOversizedPayloadAndDeadPeer)
+{
+    Pipe pipe;
+    std::string huge;
+    huge.resize(kMaxFramePayload + 1);
+    EXPECT_FALSE(writeFrame(pipe.wr, huge));
+
+    // Closing the read side makes further writes fail (EPIPE) instead
+    // of crashing the writer — the coordinator ignores SIGPIPE.
+    ::close(pipe.rd);
+    pipe.rd = -1;
+    signal(SIGPIPE, SIG_IGN);
+    EXPECT_FALSE(writeFrame(pipe.wr, "late"));
+    signal(SIGPIPE, SIG_DFL);
+}
+
+TEST(Wire, BufferReassemblesFramesFromSingleByteFeeds)
+{
+    std::string stream;
+    Pipe pipe;
+    ASSERT_TRUE(writeFrame(pipe.wr, "first"));
+    ASSERT_TRUE(writeFrame(pipe.wr, "second frame"));
+    pipe.closeWrite();
+    char c;
+    while (::read(pipe.rd, &c, 1) == 1)
+        stream.push_back(c);
+
+    FrameBuffer buf;
+    std::vector<std::string> got;
+    for (const char byte : stream) {
+        buf.feed(&byte, 1);
+        while (auto frame = buf.pop())
+            got.push_back(*frame);
+    }
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], "first");
+    EXPECT_EQ(got[1], "second frame");
+    EXPECT_EQ(buf.pendingBytes(), 0u);
+    EXPECT_FALSE(buf.corrupt());
+}
+
+TEST(Wire, BufferReportsPendingBytesOfATornFrame)
+{
+    FrameBuffer buf;
+    const char torn[] = {50, 0, 0, 0, 'p', 'a', 'r', 't'};
+    buf.feed(torn, sizeof(torn));
+    EXPECT_FALSE(buf.pop());
+    EXPECT_EQ(buf.pendingBytes(), sizeof(torn));
+}
+
+TEST(Wire, BufferFlagsInsaneLengthPrefixAsCorrupt)
+{
+    FrameBuffer buf;
+    const char bad[] = {'\xff', '\xff', '\xff', '\xff', 'x'};
+    buf.feed(bad, sizeof(bad));
+    EXPECT_FALSE(buf.pop());
+    EXPECT_TRUE(buf.corrupt());
+    // Corruption is sticky: later valid bytes cannot resync a framed
+    // stream, so pop() must keep refusing.
+    const char more[] = {1, 0, 0, 0, 'y'};
+    buf.feed(more, sizeof(more));
+    EXPECT_FALSE(buf.pop());
+}
+
+} // namespace
+} // namespace rat::report

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -123,6 +124,52 @@ TEST(RunParallel, SingleWorkerAndEmptyJobListAreSafe)
     EXPECT_EQ(count.load(), 1);
     jobs.clear();
     runParallel(jobs, 4); // must not hang or crash
+}
+
+TEST(RunParallel, ThrowingJobRethrowsInsteadOfTerminating)
+{
+    // Before the fix, the exception escaped the std::thread body and
+    // called std::terminate — the whole test process would abort here.
+    std::vector<std::function<void()>> jobs;
+    jobs.push_back([] { throw std::runtime_error("cell exploded"); });
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back([] {});
+    EXPECT_THROW(runParallel(jobs, 4), std::runtime_error);
+
+    // The exception message survives the hop across threads.
+    try {
+        std::vector<std::function<void()>> one{
+            [] { throw std::runtime_error("cell exploded"); }};
+        runParallel(one, 2);
+        FAIL() << "runParallel swallowed the job's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "cell exploded");
+    }
+}
+
+TEST(RunParallel, FirstOfSeveralExceptionsWinsAndWorkersJoin)
+{
+    // Every job throws; exactly one exception must surface, all
+    // threads must be joined (ASan/TSan would flag a leaked thread),
+    // and the pool must stop handing out work after the failure.
+    std::atomic<int> started{0};
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 64; ++i) {
+        jobs.push_back([&started] {
+            ++started;
+            throw std::logic_error("boom");
+        });
+    }
+    EXPECT_THROW(runParallel(jobs, 4), std::logic_error);
+    // Failure short-circuits: nowhere near all 64 jobs should start
+    // (at most one in-flight job per worker when the flag flipped).
+    EXPECT_LE(started.load(), 8);
+
+    // The process is still perfectly usable afterwards.
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> ok{[&count] { ++count; }};
+    runParallel(ok, 2);
+    EXPECT_EQ(count.load(), 1);
 }
 
 } // namespace
