@@ -18,6 +18,10 @@
  *     ticked. These are the workloads whose dead cycles skipping
  *     elides; per-phase skipped-cycle counts are reported alongside
  *     the speedup.
+ *  3. Event-tracer overhead: the fastest mode with tracing off vs all
+ *     categories streaming to /dev/null. The off row guards the
+ *     zero-cost-when-off claim; traced runs must serialize identical
+ *     results (observation only) or the bench aborts.
  *
  * Output: the usual tables on stdout plus BENCH_simspeed.json through
  * BenchReport (per-cell series and the headline speedups).
@@ -25,6 +29,7 @@
  * Extra env knobs (on top of bench_util.hh):
  *   RATSIM_SPEED_WORKLOADS  cap on MIX4 workloads timed (default: all 8)
  *   RATSIM_SKIP_WORKLOADS   cap on MEM2 workloads timed (default: all 10)
+ *   RATSIM_TRACE_WORKLOADS  cap on tracer-overhead workloads (default 2)
  */
 
 #include <map>
@@ -32,6 +37,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "report/serialize.hh"
 #include "sim/simulator.hh"
 
@@ -51,12 +57,14 @@ struct ModeSample {
 
 ModeSample
 timeOne(const sim::SimConfig &base, const sim::Workload &w,
-        core::PolicyKind policy, bool broadcast, bool skip)
+        core::PolicyKind policy, bool broadcast, bool skip,
+        const std::string &trace_out = {})
 {
     sim::SimConfig cfg = base;
     cfg.core.policy = policy;
     cfg.core.broadcastScheduler = broadcast;
     cfg.core.cycleSkipping = skip;
+    cfg.traceOut = trace_out;
 
     sim::Simulator simulator(cfg, w.programs);
     sim::PhaseTiming t;
@@ -90,6 +98,10 @@ int
 main()
 {
     using namespace rat;
+
+    // The tracing sweep's "wrote trace" inform lines would interleave
+    // with the tables on a merged stdout/stderr capture.
+    setLogLevel(LogLevel::Warn);
 
     bench::banner(
         "perf_simspeed: scheduler x cycle-skip execution-mode grid",
@@ -252,6 +264,75 @@ main()
                     core::policyName(policy), tick_mips, skip_mips,
                     tick_mips > 0.0 ? skip_mips / tick_mips : 0.0);
     }
+
+    // ---- sweep 3: event-tracer overhead, off vs on -----------------------
+    //
+    // "Off" is the shipping configuration: the instrumentation sites
+    // are compiled in but gated on a cached zero mask, so this row
+    // doubles as the zero-cost-when-off guard (it must track the
+    // ev+skip grid numbers above within noise, target < 1%). "On"
+    // streams every category into the ring buffers and exports to
+    // /dev/null; target < 15% overhead.
+    const std::size_t trace_count =
+        cappedCount("RATSIM_TRACE_WORKLOADS", std::min<std::size_t>(
+                                                  mix4_count, 2));
+    const std::vector<std::string> trace_labels = {
+        "off MIPS", "on MIPS", "overhead%"};
+    std::map<std::string, std::vector<double>> trace_rows;
+    std::vector<std::string> trace_order;
+    double trace_off_sec = 0.0, trace_on_sec = 0.0;
+    std::uint64_t trace_committed = 0;
+
+    for (std::size_t i = 0; i < trace_count; ++i) {
+        const sim::Workload &w = mix4[i];
+        const ModeSample off =
+            timeOne(base, w, core::PolicyKind::Rat, false, true);
+        const ModeSample on = timeOne(base, w, core::PolicyKind::Rat,
+                                      false, true, "/dev/null");
+        // Observation only: a traced run must serialize the exact same
+        // result as the untraced one.
+        if (on.resultJson != off.resultJson)
+            fatal("tracing perturbed the result on workload '%s'",
+                  w.name.c_str());
+        const double overhead =
+            on.mips > 0.0 ? 100.0 * (off.mips / on.mips - 1.0) : 0.0;
+        trace_rows[w.name] = {off.mips, on.mips, overhead};
+        trace_order.push_back(w.name);
+        trace_off_sec += off.seconds;
+        trace_on_sec += on.seconds;
+        trace_committed += off.committed;
+    }
+    bench::printGroupTable(
+        "RaT on MIX4: event-tracer overhead (ev+skip, all categories, "
+        "export to /dev/null)",
+        trace_labels, trace_rows, trace_order);
+    bench_report.addGroupTable(
+        "RaT on MIX4: event-tracer overhead (ev+skip, all categories, "
+        "export to /dev/null)",
+        trace_labels, trace_rows, trace_order);
+    const double trace_off_mips =
+        trace_off_sec > 0.0
+            ? static_cast<double>(trace_committed) / 1e6 / trace_off_sec
+            : 0.0;
+    const double trace_on_mips =
+        trace_on_sec > 0.0
+            ? static_cast<double>(trace_committed) / 1e6 / trace_on_sec
+            : 0.0;
+    bench_report.addHeadline("simulated MIPS, tracing off (ev+skip)",
+                             trace_off_mips);
+    bench_report.addHeadline("simulated MIPS, tracing on (ev+skip)",
+                             trace_on_mips);
+    bench_report.addHeadline(
+        "tracing overhead % (target < 15)",
+        trace_on_mips > 0.0
+            ? 100.0 * (trace_off_mips / trace_on_mips - 1.0)
+            : 0.0);
+    std::printf("tracing overhead: off %.3f MIPS -> on %.3f MIPS "
+                "(%.1f%%)\n\n",
+                trace_off_mips, trace_on_mips,
+                trace_on_mips > 0.0
+                    ? 100.0 * (trace_off_mips / trace_on_mips - 1.0)
+                    : 0.0);
 
     // ---- totals ----------------------------------------------------------
     const double total_mips_bcast =

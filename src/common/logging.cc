@@ -2,21 +2,62 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace rat {
 
 namespace {
 
+LogLevel g_level = LogLevel::Info;
+std::string g_prefix;
+
 void
-vreport(const char *prefix, const char *fmt, va_list args)
+vreport(const char *severity, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", prefix);
+    std::fprintf(stderr, "%s%s: ", g_prefix.c_str(), severity);
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");
     std::fflush(stderr);
 }
 
 } // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevelFromEnv()
+{
+    const char *value = std::getenv("RATSIM_LOG_LEVEL");
+    if (!value || value[0] == '\0')
+        return;
+    if (std::strcmp(value, "error") == 0) {
+        g_level = LogLevel::Error;
+    } else if (std::strcmp(value, "warn") == 0) {
+        g_level = LogLevel::Warn;
+    } else if (std::strcmp(value, "info") == 0) {
+        g_level = LogLevel::Info;
+    } else {
+        warn("RATSIM_LOG_LEVEL: unknown level '%s' "
+             "(expected error|warn|info)",
+             value);
+    }
+}
+
+void
+setLogPrefix(const std::string &prefix)
+{
+    g_prefix = prefix;
+}
 
 void
 panic(const char *fmt, ...)
@@ -41,6 +82,8 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (g_level < LogLevel::Warn)
+        return;
     va_list args;
     va_start(args, fmt);
     vreport("warn", fmt, args);
@@ -50,6 +93,8 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
+    if (g_level < LogLevel::Info)
+        return;
     va_list args;
     va_start(args, fmt);
     vreport("info", fmt, args);
@@ -60,8 +105,8 @@ void
 panicAssert(const char *cond, const char *file, int line,
             const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d",
-                 cond, file, line);
+    std::fprintf(stderr, "%spanic: assertion '%s' failed at %s:%d",
+                 g_prefix.c_str(), cond, file, line);
     if (fmt && fmt[0] != '\0') {
         std::fprintf(stderr, ": ");
         va_list args;

@@ -11,8 +11,40 @@
 #define RAT_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <string>
 
 namespace rat {
+
+/**
+ * Verbosity of the advisory channels. `panic`/`fatal`/assertions
+ * always print — only `warn()` and `inform()` are gated.
+ */
+enum class LogLevel {
+    Error = 0, ///< advisory output off
+    Warn = 1,  ///< warn() only
+    Info = 2,  ///< warn() + inform() (the default)
+};
+
+/** Set the advisory verbosity. */
+void setLogLevel(LogLevel level);
+/** Current advisory verbosity. */
+LogLevel logLevel();
+
+/**
+ * Read RATSIM_LOG_LEVEL ("error" | "warn" | "info") from the
+ * environment, if set. Unknown values warn and keep the default. The
+ * farm worker entry point calls this so `RATSIM_LOG_LEVEL=warn ratsim
+ * farm ...` quiets every forked worker (the environment is inherited
+ * across fork/exec).
+ */
+void setLogLevelFromEnv();
+
+/**
+ * Prefix prepended to every log line (before the severity tag), e.g.
+ * "[w3] " so interleaved farm-worker stderr is attributable. Empty by
+ * default.
+ */
+void setLogPrefix(const std::string &prefix);
 
 /** Print a formatted bug message and abort(). Never returns. */
 [[noreturn]] void panic(const char *fmt, ...)

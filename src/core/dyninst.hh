@@ -123,6 +123,7 @@ struct DynInst {
     // Timing.
     Cycle fetchedAt = 0;
     Cycle renameReadyAt = 0; ///< when it may leave the fetch queue
+    Cycle issuedAt = 0;      ///< when it started executing (telemetry)
     Cycle completeAt = kNoCycle;
 
     /** Current slot in the owning issue queue (O(1) removal). */
@@ -226,6 +227,7 @@ struct DynInst {
         mispredicted = false;
         fetchedAt = 0;
         renameReadyAt = 0;
+        issuedAt = 0;
         completeAt = kNoCycle;
         schedLinkMask = 0;
     }

@@ -248,6 +248,16 @@ SmtCore::skipTo(Cycle target)
 
     policy_.onCyclesSkipped(*this, span);
 
+    // Window boundaries crossed by the span: every counter and
+    // occupancy the sampler reads is constant while quiescent, so the
+    // samples a ticked run would have taken at each boundary are
+    // exactly the current values.
+    while (sampler_ && sampler_->nextAt() <= target)
+        takeTelemetrySample();
+
+    if (traceMask_ & obs::kCatSched)
+        tracer_->recordCore(obs::EventKind::CycleSkip, cycle_, target);
+
     skip_.skippedCycles += span;
     ++skip_.skipSpans;
     cycle_ = target;
@@ -753,6 +763,11 @@ SmtCore::enterRunahead(ThreadId tid, DynInst &blocking_load)
                         mem_.threadStats(tid).raL2Prefetches);
     ++stats_[tid].runaheadEntries;
 
+    // Episode-entry record for the exit-time span event and the
+    // episode-length histogram (cheap enough to keep unconditionally).
+    raTrace_[tid] = {cycle_, blocking_load.op.pc,
+                     stats_[tid].pseudoRetired};
+
     // The blocking load's destination becomes INV (bogus value); the
     // load pseudo-retires from the ROB head on the next commit pass.
     foldInst(blocking_load);
@@ -840,6 +855,23 @@ SmtCore::exitRunahead(ThreadId tid)
     if (out.useless)
         ++stats_[tid].uselessRunaheadEpisodes;
     predictor_.restoreHistory(tid, out.histCheckpoint);
+
+    // Observability: the finished episode as an annotated span plus a
+    // length-histogram sample. Entry during warmup is fine: cycle_ is
+    // monotonic across the stats reset, so the length stays exact.
+    if (sampler_)
+        sampler_->noteEpisode(cycle_ - raTrace_[tid].enteredAt);
+    if (traceMask_ & obs::kCatRunahead) {
+        // Saturate: the stats reset at the warmup->measure boundary can
+        // land inside an episode, making the entry snapshot larger.
+        const std::uint64_t entry = raTrace_[tid].pseudoRetiredAtEntry;
+        const std::uint64_t now = stats_[tid].pseudoRetired;
+        tracer_->record(tid, obs::EventKind::RunaheadEpisode,
+                        raTrace_[tid].enteredAt, cycle_,
+                        raTrace_[tid].triggerPc,
+                        now >= entry ? now - entry : now,
+                        out.useless ? 1 : 0);
+    }
 
     t.waitingBranch = false;
     t.nextSeq = out.resumeSeq;
@@ -1018,6 +1050,12 @@ SmtCore::retireHead(ThreadId tid)
                 return false;
             }
         }
+        if (sampler_ && head->issuedAt)
+            sampler_->noteIssueToRetire(cycle_ - head->issuedAt);
+        if (traceMask_ & obs::kCatSched) {
+            tracer_->record(tid, obs::EventKind::Retire, cycle_, cycle_,
+                            head->op.pc);
+        }
         releaseDest(*head, /*make_inv=*/false);
         if (trace::isMemOp(head->op.op))
             lsq_.remove(*head);
@@ -1079,6 +1117,11 @@ SmtCore::tryIssueInst(DynInst &inst)
         RAT_ASSERT(t.icount > 0, "icount underflow on issue");
         --t.icount;
         inst.status = InstStatus::Executing;
+        inst.issuedAt = cycle_;
+        if (traceMask_ & obs::kCatSched) {
+            tracer_->record(inst.tid, obs::EventKind::Issue, cycle_,
+                            complete_at, inst.op.pc);
+        }
         inst.completeAt = complete_at;
         completions_.push({complete_at, inst.handle()});
     };
@@ -1176,6 +1219,8 @@ SmtCore::tryIssueInst(DynInst &inst)
         }
         start_execution(res.completeAt);
         if (!in_ra && inst.longLatency) {
+            if (sampler_)
+                sampler_->noteMissLatency(res.completeAt - cycle_);
             inst.countedL2Miss = true;
             ++t.pendingL2Misses;
             l2Detections_.push(
@@ -1363,6 +1408,10 @@ SmtCore::renameOne(ThreadId tid)
     inst->renamed = true;
     inst->runahead = in_ra;
     inst->dstIsFp = inst->op.dstIsFp;
+    if (traceMask_ & obs::kCatSched) {
+        tracer_->record(tid, obs::EventKind::Rename, cycle_, cycle_,
+                        inst->op.pc);
+    }
 
     if (fold) {
         inst->inv = true;
@@ -1479,6 +1528,8 @@ void
 SmtCore::fetchThread(ThreadId tid, unsigned &budget)
 {
     ThreadState &t = threads_[tid];
+    Addr group_pc = 0;
+    unsigned group_ops = 0;
     while (budget > 0 &&
            t.fetchQueue.size() < config_.fetchQueueEntries) {
         const trace::MicroOp op = traceAt(t, t.nextSeq);
@@ -1552,8 +1603,14 @@ SmtCore::fetchThread(ThreadId tid, unsigned &budget)
         ++stats_[tid].fetchedInsts;
         ++t.nextSeq;
         --budget;
+        if (group_ops++ == 0)
+            group_pc = op.pc;
         if (stop)
             break;
+    }
+    if ((traceMask_ & obs::kCatFetch) && group_ops) {
+        tracer_->record(tid, obs::EventKind::FetchGroup, cycle_, cycle_,
+                        group_pc, group_ops);
     }
 }
 
@@ -1608,6 +1665,30 @@ SmtCore::sampleCycle()
             s.normalRegCycles += held;
         }
     }
+
+    // Telemetry window boundary: cycle_ + 1 == nextAt means the window
+    // ending at nextAt is fully simulated once this tick retires.
+    if (sampler_ && cycle_ + 1 >= sampler_->nextAt())
+        takeTelemetrySample();
+}
+
+void
+SmtCore::takeTelemetrySample()
+{
+    std::uint64_t committed = 0, executed = 0;
+    std::uint64_t rob = 0, iq = 0, lsq = 0;
+    for (unsigned t = 0; t < config_.numThreads; ++t) {
+        const auto tid = static_cast<ThreadId>(t);
+        committed += stats_[t].committedInsts;
+        executed += stats_[t].executedInsts;
+        rob += robOccupancy(tid);
+        lsq += lsqOccupancy(tid);
+        for (unsigned cls = 0; cls < kNumIqClasses; ++cls)
+            iq += iqOccupancy(static_cast<IqClass>(cls), tid);
+    }
+    sampler_->sampleAt(committed, executed,
+                       raEngine_.stats().executedInRunahead, rob, iq,
+                       lsq);
 }
 
 } // namespace rat::core

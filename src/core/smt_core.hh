@@ -54,6 +54,8 @@
 #include "core/stats.hh"
 #include "core/structures.hh"
 #include "mem/hierarchy.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "runahead/engine.hh"
 #include "trace/generator.hh"
 #include "trace/source.hh"
@@ -198,6 +200,29 @@ class SmtCore
         std::uint64_t skipSpans = 0;
     };
     const SkipStats &skipStats() const { return skip_; }
+
+    // --- observability (obs/): observation only, never feedback ----------
+
+    /**
+     * Attach/detach the event tracer (nullptr = off). The enabled
+     * category mask is cached in `traceMask_`, so every disabled
+     * instrumentation site costs one always-not-taken test of a hot
+     * register — attaching no tracer is the branch-predicted no-op the
+     * perf_simspeed tracing guard pins.
+     */
+    void
+    setTracer(obs::Tracer *tracer)
+    {
+        tracer_ = tracer;
+        traceMask_ = tracer ? tracer->mask() : 0;
+    }
+
+    /** Attach/detach the windowed counter sampler (nullptr = off). */
+    void
+    setSampler(obs::WindowSampler *sampler)
+    {
+        sampler_ = sampler;
+    }
 
     /**
      * Print a one-line diagnostic description of a thread's ROB head to
@@ -395,6 +420,17 @@ class SmtCore
     static unsigned fuOccupancy(trace::OpClass op);
     FuncUnitPool &poolOf(trace::OpClass op);
 
+    // --- observability plumbing (obs/) ------------------------------------
+
+    /**
+     * Feed the sampler the window sample due at its current boundary:
+     * cumulative committed/executed/RA-executed counters plus the
+     * instantaneous ROB/IQ/LSQ occupancies (summed over threads).
+     * Values are read-only snapshots — sampling cannot perturb the
+     * simulation.
+     */
+    void takeTelemetrySample();
+
     // --- members ----------------------------------------------------------
     CoreConfig config_;
     mem::MemoryHierarchy &mem_;
@@ -439,6 +475,19 @@ class SmtCore
 
     unsigned renameRR_ = 0;
     unsigned commitRR_ = 0;
+
+    // Observability (obs/). traceMask_ is 0 when no tracer is attached,
+    // making every instrumentation site a single predictable branch.
+    obs::Tracer *tracer_ = nullptr;
+    unsigned traceMask_ = 0;
+    obs::WindowSampler *sampler_ = nullptr;
+    /** Episode-entry records for runahead span events + histograms. */
+    struct EpisodeTraceEntry {
+        Cycle enteredAt = 0;
+        Addr triggerPc = 0;
+        std::uint64_t pseudoRetiredAtEntry = 0;
+    };
+    std::array<EpisodeTraceEntry, kMaxThreads> raTrace_{};
 
     std::vector<ThreadId> fetchOrder_; // scratch
     std::vector<InstHandle> readyScratch_; // broadcast-mode scratch

@@ -84,6 +84,20 @@ MemoryHierarchy::accessThrough(Cache &l1, MshrFile &mshr1, Addr addr,
     return res;
 }
 
+void
+MemoryHierarchy::traceMiss(ThreadId tid, Addr addr, Cycle now,
+                           const AccessResult &result)
+{
+    // Called only on the (already rare) miss path with the mask known
+    // non-zero; the duration event spans access to fill completion.
+    tracer_->record(tid, obs::EventKind::MemMiss, now, result.completeAt,
+                    l1d_.lineAlign(addr),
+                    static_cast<std::uint64_t>(result.level));
+    tracer_->recordCore(obs::EventKind::MshrOccupancy, now, now,
+                        l1iMshrs_.occupancy(now), l1dMshrs_.occupancy(now),
+                        l2Mshrs_.occupancy(now));
+}
+
 AccessResult
 MemoryHierarchy::readData(ThreadId tid, Addr addr, Cycle now,
                           bool speculative)
@@ -92,6 +106,8 @@ MemoryHierarchy::readData(ThreadId tid, Addr addr, Cycle now,
     AccessResult res = accessThrough(l1d_, l1dMshrs_, addr, now);
     if (res.rejected)
         return res;
+    if (traceMask_ && res.level != HitLevel::L1)
+        traceMiss(tid, addr, now, res);
 
     ThreadMemStats &s = stats_[tid];
     if (speculative) {
@@ -116,6 +132,8 @@ MemoryHierarchy::writeData(ThreadId tid, Addr addr, Cycle now)
     AccessResult res = accessThrough(l1d_, l1dMshrs_, addr, now);
     if (res.rejected)
         return res;
+    if (traceMask_ && res.level != HitLevel::L1)
+        traceMiss(tid, addr, now, res);
     ThreadMemStats &s = stats_[tid];
     ++s.stores;
     if (res.level != HitLevel::L1)
@@ -132,6 +150,8 @@ MemoryHierarchy::fetchInst(ThreadId tid, Addr pc, Cycle now)
     AccessResult res = accessThrough(l1i_, l1iMshrs_, pc, now);
     if (res.rejected)
         return res;
+    if (traceMask_ && res.level != HitLevel::L1)
+        traceMiss(tid, pc, now, res);
     ThreadMemStats &s = stats_[tid];
     if (res.level != HitLevel::L1)
         ++s.ifetchL1Misses;

@@ -19,6 +19,7 @@
 
 #include "common/types.hh"
 #include "mem/cache.hh"
+#include "obs/trace.hh"
 
 namespace rat::mem {
 
@@ -128,7 +129,25 @@ class MemoryHierarchy
     /** Configured full-miss latency. */
     unsigned memLatency() const { return memLatency_; }
 
+    /**
+     * Attach/detach the event tracer (nullptr = off). Observation
+     * only: misses are recorded as duration events and MSHR occupancy
+     * as counters, with no effect on access outcomes. The enabled
+     * category mask is cached so the detached fast path is a single
+     * register test.
+     */
+    void
+    setTracer(obs::Tracer *tracer)
+    {
+        tracer_ = tracer;
+        traceMask_ = tracer ? (tracer->mask() & obs::kCatMem) : 0;
+    }
+
   private:
+    /** Record a miss-duration event plus the MSHR occupancy counter. */
+    void traceMiss(ThreadId tid, Addr addr, Cycle now,
+                   const AccessResult &result);
+
     /**
      * Common access path through one L1 plus the shared L2.
      * @param l1    Which L1 to use.
@@ -144,6 +163,8 @@ class MemoryHierarchy
     MshrFile l1dMshrs_;
     MshrFile l2Mshrs_;
     unsigned memLatency_;
+    obs::Tracer *tracer_ = nullptr;
+    unsigned traceMask_ = 0;
 
     std::array<ThreadMemStats, kMaxThreads> stats_{};
 };

@@ -1,0 +1,257 @@
+#include "obs/trace.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace rat::obs {
+
+bool
+parseTraceCategories(const std::string &text, unsigned &mask)
+{
+    unsigned out = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string name = text.substr(pos, comma - pos);
+        if (name == "fetch") {
+            out |= kCatFetch;
+        } else if (name == "sched") {
+            out |= kCatSched;
+        } else if (name == "mem") {
+            out |= kCatMem;
+        } else if (name == "runahead") {
+            out |= kCatRunahead;
+        } else if (name == "all") {
+            out |= kCatAll;
+        } else {
+            return false;
+        }
+        pos = comma + 1;
+    }
+    mask = out;
+    return true;
+}
+
+const char *
+traceCategoryNames()
+{
+    return "fetch,sched,mem,runahead,all";
+}
+
+Tracer::Tracer(unsigned categories, unsigned num_threads,
+               std::size_t ring_capacity)
+    : mask_(categories), coreRing_(ring_capacity)
+{
+    threadRings_.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t)
+        threadRings_.emplace_back(ring_capacity);
+}
+
+void
+Tracer::clear()
+{
+    for (EventRing &ring : threadRings_)
+        ring.clear();
+    coreRing_.clear();
+}
+
+std::uint64_t
+Tracer::droppedEvents() const
+{
+    std::uint64_t sum = coreRing_.dropped();
+    for (const EventRing &ring : threadRings_)
+        sum += ring.dropped();
+    return sum;
+}
+
+std::uint64_t
+Tracer::retainedEvents() const
+{
+    std::uint64_t sum = coreRing_.size();
+    for (const EventRing &ring : threadRings_)
+        sum += ring.size();
+    return sum;
+}
+
+namespace {
+
+// Track ids in the exported trace: hardware threads are 0..N-1; the
+// core-level tracks sit far above any thread id.
+constexpr unsigned kMshrTrack = 100;
+constexpr unsigned kSkipTrack = 101;
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    if (n > 0)
+        out.append(buf, static_cast<std::size_t>(
+                            n < static_cast<int>(sizeof(buf))
+                                ? n
+                                : static_cast<int>(sizeof(buf)) - 1));
+}
+
+void
+appendMeta(std::string &out, unsigned track, const char *name)
+{
+    appendf(out,
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+            "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+            track, name);
+}
+
+const char *
+levelName(std::uint64_t level)
+{
+    switch (level) {
+      case 1:
+        return "L2";
+      case 2:
+        return "Memory";
+      default:
+        return "L1";
+    }
+}
+
+void
+appendEvent(std::string &out, const TraceEvent &e)
+{
+    const unsigned long long ts = e.begin;
+    const unsigned long long dur = e.end > e.begin ? e.end - e.begin : 1;
+    switch (e.kind) {
+      case EventKind::FetchGroup:
+        appendf(out,
+                "{\"name\":\"fetch\",\"cat\":\"fetch\",\"ph\":\"X\","
+                "\"pid\":0,\"tid\":%u,\"ts\":%llu,\"dur\":%llu,"
+                "\"args\":{\"pc\":\"0x%llx\",\"ops\":%llu}}",
+                e.tid, ts, dur, (unsigned long long)e.a,
+                (unsigned long long)e.b);
+        break;
+      case EventKind::Rename:
+        appendf(out,
+                "{\"name\":\"rename\",\"cat\":\"sched\",\"ph\":\"i\","
+                "\"s\":\"t\",\"pid\":0,\"tid\":%u,\"ts\":%llu,"
+                "\"args\":{\"pc\":\"0x%llx\"}}",
+                e.tid, ts, (unsigned long long)e.a);
+        break;
+      case EventKind::Issue:
+        appendf(out,
+                "{\"name\":\"issue\",\"cat\":\"sched\",\"ph\":\"X\","
+                "\"pid\":0,\"tid\":%u,\"ts\":%llu,\"dur\":%llu,"
+                "\"args\":{\"pc\":\"0x%llx\"}}",
+                e.tid, ts, dur, (unsigned long long)e.a);
+        break;
+      case EventKind::Retire:
+        appendf(out,
+                "{\"name\":\"retire\",\"cat\":\"sched\",\"ph\":\"i\","
+                "\"s\":\"t\",\"pid\":0,\"tid\":%u,\"ts\":%llu,"
+                "\"args\":{\"pc\":\"0x%llx\"}}",
+                e.tid, ts, (unsigned long long)e.a);
+        break;
+      case EventKind::MemMiss:
+        appendf(out,
+                "{\"name\":\"miss\",\"cat\":\"mem\",\"ph\":\"X\","
+                "\"pid\":0,\"tid\":%u,\"ts\":%llu,\"dur\":%llu,"
+                "\"args\":{\"line\":\"0x%llx\",\"level\":\"%s\"}}",
+                e.tid, ts, dur, (unsigned long long)e.a,
+                levelName(e.b));
+        break;
+      case EventKind::MshrOccupancy:
+        appendf(out,
+                "{\"name\":\"mshr\",\"cat\":\"mem\",\"ph\":\"C\","
+                "\"pid\":0,\"tid\":%u,\"ts\":%llu,"
+                "\"args\":{\"l1i\":%llu,\"l1d\":%llu,\"l2\":%llu}}",
+                kMshrTrack, ts, (unsigned long long)e.a,
+                (unsigned long long)e.b, (unsigned long long)e.c);
+        break;
+      case EventKind::RunaheadEpisode:
+        appendf(out,
+                "{\"name\":\"runahead episode\",\"cat\":\"runahead\","
+                "\"ph\":\"X\",\"pid\":0,\"tid\":%u,\"ts\":%llu,"
+                "\"dur\":%llu,\"args\":{\"triggerPc\":\"0x%llx\","
+                "\"pseudoRetired\":%llu,\"useless\":%s}}",
+                e.tid, ts, dur, (unsigned long long)e.a,
+                (unsigned long long)e.b, e.c ? "true" : "false");
+        break;
+      case EventKind::CycleSkip:
+        appendf(out,
+                "{\"name\":\"cycle skip\",\"cat\":\"sched\","
+                "\"ph\":\"X\",\"pid\":0,\"tid\":%u,\"ts\":%llu,"
+                "\"dur\":%llu,\"args\":{\"cycles\":%llu}}",
+                kSkipTrack, ts, dur, dur);
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+Tracer::toChromeJson() const
+{
+    std::string out;
+    out.reserve(128 * (retainedEvents() + 8));
+    out += "{\"traceEvents\":[";
+
+    appendMeta(out, kMshrTrack, "MSHR occupancy");
+    out += ",";
+    appendMeta(out, kSkipTrack, "cycle skip");
+    for (unsigned t = 0; t < numThreads(); ++t) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "hw thread %u", t);
+        out += ",";
+        appendMeta(out, t, name);
+    }
+
+    for (unsigned t = 0; t < numThreads(); ++t) {
+        const EventRing &ring = threadRings_[t];
+        for (std::size_t i = 0; i < ring.size(); ++i) {
+            out += ",";
+            appendEvent(out, ring.at(i));
+        }
+    }
+    for (std::size_t i = 0; i < coreRing_.size(); ++i) {
+        out += ",";
+        appendEvent(out, coreRing_.at(i));
+    }
+
+    appendf(out,
+            "],\"displayTimeUnit\":\"ms\","
+            "\"otherData\":{\"droppedEvents\":%llu}}\n",
+            (unsigned long long)droppedEvents());
+    return out;
+}
+
+bool
+Tracer::writeTo(const std::string &path, std::string *error) const
+{
+    const std::string text = toChromeJson();
+    if (path == "-") {
+        std::cout << text;
+        return true;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+        if (error)
+            *error = "short write to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace rat::obs

@@ -268,6 +268,11 @@ toJson(const sim::SimConfig &config)
     j["warmupCycles"] = Json(config.warmupCycles);
     j["measureCycles"] = Json(config.measureCycles);
     j["seed"] = Json(config.seed);
+    // Telemetry sampling changes SimResult content, so it is part of
+    // the cache key — but only when enabled, keeping every existing
+    // default-config key (and golden file) byte-identical.
+    if (config.sampleWindow)
+        j["sampleWindow"] = Json(std::uint64_t{config.sampleWindow});
     return j;
 }
 
@@ -276,6 +281,9 @@ fromJson(const Json &json, sim::SimConfig &config)
 {
     const Json *core = json.find("core");
     const Json *mem = json.find("mem");
+    // sampleWindow is optional (absent = off) — see toJson above.
+    config.sampleWindow = 0;
+    getU64(json, "sampleWindow", config.sampleWindow);
     return core && fromJson(*core, config.core) && mem &&
            fromJson(*mem, config.mem) &&
            getU64(json, "prewarmInsts", config.prewarmInsts) &&
@@ -356,6 +364,122 @@ fromJson(const Json &json, mem::ThreadMemStats &stats)
 }
 
 Json
+toJson(const obs::Log2Histogram &hist)
+{
+    Json j = Json::object();
+    j["total"] = Json(hist.total_);
+    j["sum"] = Json(hist.sum_);
+    // Trailing zero buckets are elided; the reader zero-fills.
+    unsigned used = obs::Log2Histogram::kBuckets;
+    while (used > 0 && hist.buckets_[used - 1] == 0)
+        --used;
+    Json buckets = Json::array();
+    for (unsigned i = 0; i < used; ++i)
+        buckets.push(Json(hist.buckets_[i]));
+    j["buckets"] = std::move(buckets);
+    return j;
+}
+
+bool
+fromJson(const Json &json, obs::Log2Histogram &hist)
+{
+    hist = obs::Log2Histogram{};
+    if (!getU64(json, "total", hist.total_) ||
+        !getU64(json, "sum", hist.sum_))
+        return false;
+    const Json *buckets = json.find("buckets");
+    if (!buckets || !buckets->isArray())
+        return false;
+    const auto &elems = buckets->elements();
+    if (elems.size() > obs::Log2Histogram::kBuckets)
+        return false;
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+        if (!elems[i].isU64())
+            return false;
+        hist.buckets_[i] = elems[i].asU64();
+    }
+    return true;
+}
+
+Json
+toJson(const obs::TelemetryResult &telemetry)
+{
+    Json j = Json::object();
+    j["window"] = Json(std::uint64_t{telemetry.window});
+    // Each sample is a fixed-shape 7-tuple
+    // [cycle, committed, executed, raExecuted, rob, iq, lsq]; the array
+    // form keeps long time-series compact in sweep caches.
+    Json samples = Json::array();
+    for (const obs::WindowSample &s : telemetry.samples) {
+        Json row = Json::array();
+        row.push(Json(std::uint64_t{s.cycle}))
+            .push(Json(s.committed))
+            .push(Json(s.executed))
+            .push(Json(s.raExecuted))
+            .push(Json(s.rob))
+            .push(Json(s.iq))
+            .push(Json(s.lsq));
+        samples.push(std::move(row));
+    }
+    j["samples"] = std::move(samples);
+    j["episodeCycles"] = toJson(telemetry.episodeCycles);
+    j["missLatency"] = toJson(telemetry.missLatency);
+    j["issueToRetire"] = toJson(telemetry.issueToRetire);
+    return j;
+}
+
+bool
+fromJson(const Json &json, obs::TelemetryResult &telemetry)
+{
+    telemetry = obs::TelemetryResult{};
+    telemetry.enabled = true;
+    std::uint64_t window = 0;
+    if (!getU64(json, "window", window))
+        return false;
+    telemetry.window = window;
+    const Json *samples = json.find("samples");
+    if (!samples || !samples->isArray())
+        return false;
+    for (const Json &row : samples->elements()) {
+        if (!row.isArray() || row.elements().size() != 7)
+            return false;
+        const auto &e = row.elements();
+        for (const Json &v : e) {
+            if (!v.isU64())
+                return false;
+        }
+        obs::WindowSample s;
+        s.cycle = e[0].asU64();
+        s.committed = e[1].asU64();
+        s.executed = e[2].asU64();
+        s.raExecuted = e[3].asU64();
+        s.rob = e[4].asU64();
+        s.iq = e[5].asU64();
+        s.lsq = e[6].asU64();
+        telemetry.samples.push_back(s);
+    }
+    const Json *episode = json.find("episodeCycles");
+    const Json *miss = json.find("missLatency");
+    const Json *i2r = json.find("issueToRetire");
+    return episode && fromJson(*episode, telemetry.episodeCycles) &&
+           miss && fromJson(*miss, telemetry.missLatency) && i2r &&
+           fromJson(*i2r, telemetry.issueToRetire);
+}
+
+Json
+engineStatsJson(const runahead::EngineStats &stats)
+{
+    Json j = Json::object();
+    j["episodes"] = Json(stats.episodes);
+    j["uselessEpisodes"] = Json(stats.uselessEpisodes);
+    j["suppressedEntries"] = Json(stats.suppressedEntries);
+    j["drainEpisodes"] = Json(stats.drainEpisodes);
+    j["cappedExits"] = Json(stats.cappedExits);
+    j["executedInRunahead"] = Json(stats.executedInRunahead);
+    return j;
+}
+
+Json
 toJson(const sim::ThreadResult &thread)
 {
     Json j = Json::object();
@@ -388,6 +512,10 @@ toJson(const sim::SimResult &result)
     for (const sim::ThreadResult &t : result.threads)
         threads.push(toJson(t));
     j["threads"] = std::move(threads);
+    // Emitted only for telemetry-enabled runs: default-config results
+    // (goldens, existing cache cells) serialize exactly as before.
+    if (result.telemetry.enabled)
+        j["telemetry"] = toJson(result.telemetry);
     return j;
 }
 
@@ -406,6 +534,12 @@ fromJson(const Json &json, sim::SimResult &result)
             return false;
         result.threads.push_back(std::move(thread));
     }
+    result.telemetry = obs::TelemetryResult{};
+    const Json *telemetry = json.find("telemetry");
+    if (telemetry &&
+        (!telemetry->isObject() ||
+         !fromJson(*telemetry, result.telemetry)))
+        return false;
     return true;
 }
 
@@ -471,7 +605,8 @@ threadResultsCsv(const sim::SimResult &result)
     CsvTable csv;
     csv.setHeader({"thread", "program", "ipc", "committedInsts",
                    "l2Mpki", "branches", "branchMispredicts",
-                   "runaheadEntries", "runaheadCycles"});
+                   "runaheadEntries", "runaheadCycles",
+                   "pseudoRetired"});
     for (std::size_t i = 0; i < result.threads.size(); ++i) {
         const sim::ThreadResult &t = result.threads[i];
         CsvTable::Row row;
@@ -483,7 +618,8 @@ threadResultsCsv(const sim::SimResult &result)
             .add(t.core.branches)
             .add(t.core.branchMispredicts)
             .add(t.core.runaheadEntries)
-            .add(t.core.runaheadCycles);
+            .add(t.core.runaheadCycles)
+            .add(t.core.pseudoRetired);
         csv.addRow(row.take());
     }
     return csv;

@@ -38,15 +38,27 @@ bool fromJson(const Json &json, sim::SimConfig &config);
 // --- Results ---
 Json toJson(const core::ThreadStats &stats);
 Json toJson(const mem::ThreadMemStats &stats);
+Json toJson(const obs::Log2Histogram &hist);
+Json toJson(const obs::TelemetryResult &telemetry);
 Json toJson(const sim::ThreadResult &thread);
 Json toJson(const sim::SimResult &result);
 Json toJson(const sim::GroupMetrics &metrics);
 
 bool fromJson(const Json &json, core::ThreadStats &stats);
 bool fromJson(const Json &json, mem::ThreadMemStats &stats);
+bool fromJson(const Json &json, obs::Log2Histogram &hist);
+bool fromJson(const Json &json, obs::TelemetryResult &telemetry);
 bool fromJson(const Json &json, sim::ThreadResult &thread);
 bool fromJson(const Json &json, sim::SimResult &result);
 bool fromJson(const Json &json, sim::GroupMetrics &metrics);
+
+/**
+ * Runahead-engine statistics as a JSON block. One-way: `SimResult` does
+ * not serialize these (goldens and cache cells stay unchanged), but
+ * always-fresh paths — `ratsim report` structured output — surface them
+ * through this helper.
+ */
+Json engineStatsJson(const runahead::EngineStats &stats);
 
 /** Derived headline metrics (Eq. 1/Eq. 2-less summary) of one run. */
 Json resultMetricsJson(const sim::SimResult &result);

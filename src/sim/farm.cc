@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -79,6 +81,8 @@ struct WorkerProc {
     std::size_t shard = 0;               ///< shard currently drained
     bool alive = false;
     bool writable = false;
+    /** Last heartbeat/result frame seen (liveness telemetry). */
+    std::chrono::steady_clock::time_point lastFrameAt{};
 };
 
 struct Coordinator {
@@ -96,12 +100,16 @@ struct Coordinator {
     std::uint64_t simulated = 0;
     std::uint64_t failedStores = 0;
 
+    /** Wall-clock start of the farm run (for the --progress ETA). */
+    std::chrono::steady_clock::time_point startedAt{};
+
     bool spawnWorker(unsigned index, const std::string &binary,
                      std::uint64_t kill_after);
     bool feedWorker(std::size_t w);
     void drainWorker(std::size_t w);
     void handleFrame(std::size_t w, const std::string &payload);
     void workerGone(std::size_t w);
+    void printProgress();
     void run();
 };
 
@@ -134,6 +142,9 @@ Coordinator::spawnWorker(unsigned index, const std::string &binary,
             ::close(fd);
         std::vector<const char *> argv = {binary.c_str(),
                                           "--farm-worker"};
+        const std::string id_text = std::to_string(index);
+        argv.push_back("--worker-id");
+        argv.push_back(id_text.c_str());
         if (!spec.cacheDir.empty()) {
             argv.push_back("--cache");
             argv.push_back(spec.cacheDir.c_str());
@@ -226,7 +237,23 @@ void
 Coordinator::handleFrame(std::size_t wi, const std::string &payload)
 {
     WorkerProc &w = workers[wi];
+    w.lastFrameAt = std::chrono::steady_clock::now();
     const auto doc = report::Json::parse(payload);
+    // Typed frames first: anything with a "type" member is telemetry,
+    // never a result. Result/error frames stay untyped (legacy shape).
+    if (const report::Json *type = doc ? doc->find("type") : nullptr) {
+        if (type->isString() && type->asString() == "progress") {
+            // Heartbeat: the worker just picked up a cell. The frame
+            // itself is the liveness signal; refresh the live line so
+            // long cells still show a moving display.
+            if (options.progress)
+                printProgress();
+        } else {
+            warn("farm: dropping unknown frame type from worker %d",
+                 static_cast<int>(w.pid));
+        }
+        return;
+    }
     const report::Json *index_json = doc ? doc->find("index") : nullptr;
     if (!doc || !index_json || !index_json->isU64()) {
         warn("farm: dropping malformed frame from worker %d",
@@ -248,6 +275,8 @@ Coordinator::handleFrame(std::size_t wi, const std::string &payload)
             farm->error = "cell '" + outcome.cells[lead].key +
                           "' failed: " + err->asString();
         ++jobsDone;
+        if (options.progress)
+            printProgress();
         return;
     }
     const report::Json *result_json = doc->find("result");
@@ -256,6 +285,8 @@ Coordinator::handleFrame(std::size_t wi, const std::string &payload)
         warn("farm: unparseable result for cell %zu", lead);
         ++farm->failedCells;
         ++jobsDone;
+        if (options.progress)
+            printProgress();
         return;
     }
     outcome.cells[lead].result = std::move(result);
@@ -265,6 +296,36 @@ Coordinator::handleFrame(std::size_t wi, const std::string &payload)
                             !stored->asBool()))
         ++failedStores;
     ++jobsDone;
+    if (options.progress)
+        printProgress();
+}
+
+void
+Coordinator::printProgress()
+{
+    using namespace std::chrono;
+    const double elapsed =
+        duration_cast<duration<double>>(steady_clock::now() - startedAt)
+            .count();
+    char eta[32];
+    if (jobsDone > 0 && jobsDone < jobsTotal) {
+        const double remaining =
+            elapsed * static_cast<double>(jobsTotal - jobsDone) /
+            static_cast<double>(jobsDone);
+        std::snprintf(eta, sizeof(eta), "ETA %.0fs", remaining);
+    } else {
+        std::snprintf(eta, sizeof(eta), "ETA --");
+    }
+    // \r + no newline: the line repaints in place on a terminal.
+    std::fprintf(stderr,
+                 "\rfarm: %llu/%llu cells, %llu stolen, %llu deaths, "
+                 "%s   ",
+                 static_cast<unsigned long long>(jobsDone),
+                 static_cast<unsigned long long>(jobsTotal),
+                 static_cast<unsigned long long>(farm->jobsStolen),
+                 static_cast<unsigned long long>(farm->workerDeaths),
+                 eta);
+    std::fflush(stderr);
 }
 
 void
@@ -300,6 +361,9 @@ Coordinator::workerGone(std::size_t wi)
 void
 Coordinator::run()
 {
+    startedAt = std::chrono::steady_clock::now();
+    if (options.progress)
+        printProgress();
     while (jobsDone < jobsTotal) {
         bool any_alive = false;
         for (std::size_t wi = 0; wi < workers.size(); ++wi) {
@@ -328,6 +392,9 @@ Coordinator::run()
                 drainWorker(owner[i]);
         }
     }
+    // Terminate the in-place line before normal stdout reporting.
+    if (options.progress)
+        std::fprintf(stderr, "\n");
 }
 
 void
@@ -467,7 +534,8 @@ runFarm(const CampaignSpec &spec, const FarmOptions &options)
 }
 
 int
-farmWorkerMain(const std::string &cache_dir, std::uint64_t kill_after)
+farmWorkerMain(const std::string &cache_dir, unsigned worker_id,
+               std::uint64_t kill_after)
 {
     // Frames go to a private dup of stdout; stdout itself is pointed
     // at stderr so any stray printf cannot corrupt the frame stream.
@@ -475,6 +543,13 @@ farmWorkerMain(const std::string &cache_dir, std::uint64_t kill_after)
     if (result_fd < 0)
         return 1;
     ::dup2(STDERR_FILENO, STDOUT_FILENO);
+
+    // Attribute interleaved worker stderr, and honour the verbosity
+    // the operator set on the coordinator (env survives fork/exec).
+    setLogPrefix("[w" + std::to_string(worker_id) + "] ");
+    setLogLevelFromEnv();
+    inform("worker %u up (pid %d)", worker_id,
+           static_cast<int>(::getpid()));
 
     const report::ResultCache cache(cache_dir);
     report::FrameReader job_stream(STDIN_FILENO);
@@ -501,6 +576,17 @@ farmWorkerMain(const std::string &cache_dir, std::uint64_t kill_after)
             warn("farm worker: job frame missing fields");
             return 1;
         }
+
+        // Typed progress frame before the (long) simulation: tells the
+        // coordinator which cell this worker is busy on and doubles as
+        // a liveness heartbeat. Older-style result frames carry no
+        // "type" member, so the dispatch stays backward compatible.
+        report::Json progress = report::Json::object();
+        progress["type"] = report::Json("progress");
+        progress["worker"] = report::Json(std::uint64_t{worker_id});
+        progress["index"] = report::Json(index->asU64());
+        if (!report::writeFrame(result_fd, progress.dump()))
+            return 1; // coordinator went away
 
         report::Json reply = report::Json::object();
         reply["index"] = report::Json(index->asU64());

@@ -49,6 +49,12 @@ struct FarmOptions {
      * process's own executable (/proc/self/exe).
      */
     std::string workerBinary;
+    /**
+     * Live progress line on stderr: cells done/total, steals, deaths
+     * and an ETA, refreshed as workers report in. Off by default so
+     * scripted captures of stderr stay stable.
+     */
+    bool progress = false;
 };
 
 /** A finished (or aborted) farm run. */
@@ -82,12 +88,16 @@ FarmOutcome runFarm(const CampaignSpec &spec, const FarmOptions &options);
 /**
  * Worker-process entry point (`ratsim --farm-worker`): reads job
  * frames from stdin, simulates each cell, stores it into @p cache_dir
- * (when non-empty) and writes a result frame per cell. Returns the
+ * (when non-empty) and writes a result frame per cell, preceded by a
+ * typed progress frame that doubles as a liveness heartbeat. Log lines
+ * carry a `[w<worker_id>]` prefix so interleaved worker stderr stays
+ * attributable; verbosity follows the RATSIM_LOG_LEVEL environment
+ * variable (inherited across the coordinator's fork/exec). Returns the
  * process exit code. @p kill_after is a test hook: raise SIGKILL after
  * that many completed cells (0 = never), simulating a mid-campaign
  * kill -9 deterministically.
  */
-int farmWorkerMain(const std::string &cache_dir,
+int farmWorkerMain(const std::string &cache_dir, unsigned worker_id,
                    std::uint64_t kill_after);
 
 } // namespace rat::sim

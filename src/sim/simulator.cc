@@ -79,6 +79,19 @@ Simulator::run(PhaseTiming *timing)
         return std::chrono::duration<double>(Clock::now() - t0).count();
     };
 
+    // Observation only: the tracer and sampler receive copies of core
+    // state but never feed anything back, so attaching them cannot
+    // change the simulation (pinned by the TraceSmoke identity test).
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!config_.traceOut.empty()) {
+        tracer = std::make_unique<obs::Tracer>(
+            config_.traceCategories,
+            static_cast<unsigned>(programs_.size()),
+            config_.traceBufferCapacity);
+        core_->setTracer(tracer.get());
+        mem_->setTracer(tracer.get());
+    }
+
     auto t0 = Clock::now();
     core_->prewarm(config_.prewarmInsts);
     if (timing)
@@ -95,6 +108,14 @@ Simulator::run(PhaseTiming *timing)
     // requested cycle count, so this boundary lands exactly.
     core_->resetStats();
     mem_->resetStats();
+    // The trace covers exactly the measured window, like the stats.
+    if (tracer)
+        tracer->clear();
+    obs::WindowSampler sampler(config_.sampleWindow);
+    if (config_.sampleWindow) {
+        sampler.reset(core_->cycle());
+        core_->setSampler(&sampler);
+    }
 
     t0 = Clock::now();
     const Cycle start = core_->cycle();
@@ -105,9 +126,13 @@ Simulator::run(PhaseTiming *timing)
         timing->measureSkippedCycles = core_->skipStats().skippedCycles;
         timing->measureSkipSpans = core_->skipStats().skipSpans;
     }
+    core_->setSampler(nullptr);
 
     SimResult result;
     result.cycles = elapsed;
+    result.engine = core_->runaheadEngine().stats();
+    if (config_.sampleWindow)
+        result.telemetry = sampler.result();
     for (std::size_t i = 0; i < programs_.size(); ++i) {
         const auto tid = static_cast<ThreadId>(i);
         ThreadResult tr;
@@ -123,6 +148,19 @@ Simulator::run(PhaseTiming *timing)
                       static_cast<double>(tr.core.committedInsts)
                 : 0.0;
         result.threads.push_back(std::move(tr));
+    }
+
+    if (tracer) {
+        core_->setTracer(nullptr);
+        mem_->setTracer(nullptr);
+        std::string error;
+        if (!tracer->writeTo(config_.traceOut, &error))
+            warn("trace export failed: %s", error.c_str());
+        else
+            inform("wrote trace %s (%llu events, %llu dropped)",
+                   config_.traceOut.c_str(),
+                   (unsigned long long)tracer->retainedEvents(),
+                   (unsigned long long)tracer->droppedEvents());
     }
     return result;
 }

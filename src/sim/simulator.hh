@@ -22,6 +22,9 @@
 #include "core/smt_core.hh"
 #include "core/stats.hh"
 #include "mem/hierarchy.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
+#include "runahead/engine.hh"
 #include "trace/generator.hh"
 
 namespace rat::sim {
@@ -41,6 +44,26 @@ struct SimConfig {
     Cycle measureCycles = 100000;
     /** Workload seed (varies trace instances). */
     std::uint64_t seed = 1;
+    /**
+     * Telemetry sampling window in cycles; 0 = off. Non-zero windows
+     * add a `telemetry` block to the SimResult, so this field *is*
+     * serialized (only when non-zero — default configs keep their
+     * cache keys and golden serializations unchanged).
+     */
+    Cycle sampleWindow = 0;
+
+    // ---- host-side observability; cannot affect results ------------
+    // Like CoreConfig::broadcastScheduler and cycleSkipping, the
+    // tracer settings are deliberately NOT part of the serialized
+    // configuration: tracing only observes the simulation (pinned by
+    // the TraceSmoke byte-identity test), so it must not change
+    // result-cache keys.
+    /** Chrome trace-event JSON output path ("" = tracing off). */
+    std::string traceOut;
+    /** obs::Category mask of event classes to record. */
+    unsigned traceCategories = obs::kCatAll;
+    /** Events retained per trace track (ring capacity). */
+    std::size_t traceBufferCapacity = obs::Tracer::kDefaultRingCapacity;
 };
 
 /** Measured results for one hardware thread. */
@@ -57,6 +80,20 @@ struct ThreadResult {
 struct SimResult {
     Cycle cycles = 0;
     std::vector<ThreadResult> threads;
+    /**
+     * Windowed time-series + latency histograms, populated when
+     * SimConfig::sampleWindow is non-zero. Serialized (and cached)
+     * only when enabled, so default results are byte-identical to
+     * pre-telemetry ones.
+     */
+    obs::TelemetryResult telemetry;
+    /**
+     * Engine-level runahead counters over the measured window.
+     * Deliberately NOT serialized in toJson(SimResult) — goldens and
+     * cache cells stay unchanged; `ratsim report` surfaces it as a
+     * separate `engine` block on always-fresh runs.
+     */
+    runahead::EngineStats engine;
 
     /** Sum of per-thread IPC. */
     double totalIpc() const;

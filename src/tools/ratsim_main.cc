@@ -35,6 +35,7 @@
 
 #include "common/logging.hh"
 #include "common/parse.hh"
+#include "obs/trace.hh"
 #include "policy/factory.hh"
 #include "report/serialize.hh"
 #include "runahead/variant.hh"
@@ -85,6 +86,13 @@ usage()
         "  --no-ra-fetch             Fig. 4 ablation: no fetch in runahead\n"
         "  --no-cycle-skip           tick every cycle (disable the\n"
         "                            bit-identical quiescence fast-forward)\n"
+        "  --trace-out PATH          write a Chrome trace-event JSON of\n"
+        "                            the measured window ('-' = stdout);\n"
+        "                            load it in Perfetto / chrome://tracing\n"
+        "  --trace-categories LIST   comma list of fetch,sched,mem,\n"
+        "                            runahead,all (default all)\n"
+        "  --sample-window N         record windowed telemetry every N\n"
+        "                            cycles into the result (default off)\n"
         "  --json PATH               (report) write JSON ('-' = stdout)\n"
         "  --csv PATH                (report) write CSV ('-' = stdout)\n"
         "\n"
@@ -103,6 +111,7 @@ usage()
         "  --jobs N                  worker threads (default: hardware)\n"
         "  --json PATH / --csv PATH  structured output ('-' = stdout)\n"
         "  --no-cycle-skip           tick every cycle in all cells\n"
+        "  --sample-window N         windowed telemetry in every cell\n"
         "\n"
         "farm options (all sweep options, plus):\n"
         "  --workers N               worker processes (default: hardware)\n"
@@ -110,6 +119,8 @@ usage()
         "                            idle workers steal straggler shards\n"
         "                            (use --cache to make the campaign\n"
         "                            resumable after a crash or kill -9)\n"
+        "  --progress                live progress line on stderr (cells\n"
+        "                            done/total, steals, deaths, ETA)\n"
         "\n"
         "discovery:\n"
         "  --list-programs           print modelled SPEC2000 programs\n"
@@ -307,6 +318,16 @@ parseRunOption(const std::vector<std::string> &args, std::size_t &i,
         opt.cfg.core.rat.noFetchInRunahead = true;
     } else if (arg == "--no-cycle-skip") {
         opt.cfg.core.cycleSkipping = false;
+    } else if (arg == "--trace-out") {
+        opt.cfg.traceOut = next();
+    } else if (arg == "--trace-categories") {
+        const char *list = next();
+        if (!obs::parseTraceCategories(list, opt.cfg.traceCategories))
+            fatal("--trace-categories: unknown category in '%s' "
+                  "(expected %s)",
+                  list, obs::traceCategoryNames());
+    } else if (arg == "--sample-window") {
+        opt.cfg.sampleWindow = parseU64(next(), "--sample-window");
     } else if (structured && arg == "--json") {
         opt.jsonPath = next();
     } else if (structured && arg == "--csv") {
@@ -390,6 +411,9 @@ runCommand(const std::vector<std::string> &args, bool structured)
                                  static_cast<unsigned>(
                                      w.programs.size())));
             j["metrics"] = report::resultMetricsJson(r);
+            // Engine stats ride only on this always-fresh path; they
+            // are not part of toJson(SimResult) (see serialize.hh).
+            j["engine"] = report::engineStatsJson(r.engine);
             if (opt.withFairness) {
                 j["fairness"] = report::Json(
                     sim::fairness(r, runner.baselinesFor(w)));
@@ -505,6 +529,11 @@ sweepCommand(const std::vector<std::string> &args, bool farm_mode)
             rat_flags.noFetchInRunahead = true;
         } else if (arg == "--no-cycle-skip") {
             spec.base.core.cycleSkipping = false;
+        } else if (arg == "--sample-window") {
+            spec.base.sampleWindow =
+                parseU64(next(), "--sample-window");
+        } else if (farm_mode && arg == "--progress") {
+            farm_options.progress = true;
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());
@@ -592,14 +621,15 @@ sweepCommand(const std::vector<std::string> &args, bool farm_mode)
 }
 
 /**
- * `ratsim --farm-worker [--cache DIR] [--test-kill-after N]`: the
- * exec target of the farm coordinator.
+ * `ratsim --farm-worker [--cache DIR] [--worker-id N]
+ * [--test-kill-after N]`: the exec target of the farm coordinator.
  */
 int
 farmWorkerCommand(const std::vector<std::string> &args)
 {
     std::string cache_dir;
     std::uint64_t kill_after = 0;
+    unsigned worker_id = 0;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         auto next = [&]() -> const char * {
@@ -609,12 +639,14 @@ farmWorkerCommand(const std::vector<std::string> &args)
         };
         if (arg == "--cache")
             cache_dir = next();
+        else if (arg == "--worker-id")
+            worker_id = parseUnsigned(next(), "--worker-id");
         else if (arg == "--test-kill-after")
             kill_after = parseU64(next(), "--test-kill-after");
         else
             fatal("farm worker: unknown option '%s'", arg.c_str());
     }
-    return sim::farmWorkerMain(cache_dir, kill_after);
+    return sim::farmWorkerMain(cache_dir, worker_id, kill_after);
 }
 
 } // namespace

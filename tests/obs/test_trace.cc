@@ -1,0 +1,139 @@
+/** @file Tests for the event tracer: rings, categories, Chrome JSON. */
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+#include "report/json.hh"
+
+namespace rat::obs {
+namespace {
+
+TEST(EventRing, FillsThenOverwritesOldest)
+{
+    EventRing ring(4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        ring.push(TraceEvent{i, i, EventKind::Rename, 0, i, 0, 0});
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_EQ(ring.at(0).a, 0u);
+    EXPECT_EQ(ring.at(3).a, 3u);
+
+    // Two more pushes evict the two oldest events.
+    for (std::uint64_t i = 4; i < 6; ++i)
+        ring.push(TraceEvent{i, i, EventKind::Rename, 0, i, 0, 0});
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.pushed(), 6u);
+    EXPECT_EQ(ring.dropped(), 2u);
+    // Oldest surviving is event 2; order is preserved.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ring.at(i).a, i + 2);
+}
+
+TEST(EventRing, ClearResetsEverything)
+{
+    EventRing ring(2);
+    ring.push(TraceEvent{});
+    ring.push(TraceEvent{});
+    ring.push(TraceEvent{});
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.pushed(), 0u);
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceCategories, ParsesNamesAndAll)
+{
+    unsigned mask = 0;
+    EXPECT_TRUE(parseTraceCategories("fetch", mask));
+    EXPECT_EQ(mask, kCatFetch);
+    EXPECT_TRUE(parseTraceCategories("mem,runahead", mask));
+    EXPECT_EQ(mask, kCatMem | kCatRunahead);
+    EXPECT_TRUE(parseTraceCategories("all", mask));
+    EXPECT_EQ(mask, kCatAll);
+    EXPECT_TRUE(parseTraceCategories("sched,fetch", mask));
+    EXPECT_EQ(mask, kCatSched | kCatFetch);
+}
+
+TEST(TraceCategories, RejectsUnknownNameLeavingMask)
+{
+    unsigned mask = kCatMem;
+    EXPECT_FALSE(parseTraceCategories("fetch,bogus", mask));
+    EXPECT_EQ(mask, kCatMem);
+    EXPECT_FALSE(parseTraceCategories("", mask));
+}
+
+TEST(Tracer, RoutesToPerThreadAndCoreRings)
+{
+    Tracer tracer(kCatAll, 2, 8);
+    tracer.record(0, EventKind::Issue, 10, 15, 0x400);
+    tracer.record(1, EventKind::Retire, 20, 20, 0x404);
+    tracer.recordCore(EventKind::MshrOccupancy, 12, 12, 1, 2, 3);
+    EXPECT_EQ(tracer.threadRing(0).size(), 1u);
+    EXPECT_EQ(tracer.threadRing(1).size(), 1u);
+    EXPECT_EQ(tracer.coreRing().size(), 1u);
+    EXPECT_EQ(tracer.retainedEvents(), 3u);
+    EXPECT_EQ(tracer.droppedEvents(), 0u);
+    tracer.clear();
+    EXPECT_EQ(tracer.retainedEvents(), 0u);
+}
+
+TEST(Tracer, ChromeJsonIsValidAndCarriesEvents)
+{
+    Tracer tracer(kCatAll, 2, 8);
+    tracer.record(0, EventKind::FetchGroup, 5, 5, 0x1000, 4);
+    tracer.record(0, EventKind::Issue, 10, 42, 0x1004);
+    tracer.record(1, EventKind::MemMiss, 7, 407, 0x2000, 2);
+    tracer.record(1, EventKind::RunaheadEpisode, 50, 450, 0x1010, 33, 1);
+    tracer.recordCore(EventKind::MshrOccupancy, 7, 7, 0, 1, 1);
+    tracer.recordCore(EventKind::CycleSkip, 500, 900);
+
+    const std::string text = tracer.toChromeJson();
+    const auto doc = report::Json::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    const report::Json *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    unsigned spans = 0, counters = 0, metadata = 0;
+    bool saw_episode = false, saw_miss = false;
+    for (const report::Json &e : events->elements()) {
+        const report::Json *ph = e.find("ph");
+        ASSERT_NE(ph, nullptr);
+        const std::string phase = ph->asString();
+        if (phase == "X")
+            ++spans;
+        else if (phase == "C")
+            ++counters;
+        else if (phase == "M")
+            ++metadata;
+        const report::Json *name = e.find("name");
+        ASSERT_NE(name, nullptr);
+        if (name->asString() == "runahead episode") {
+            saw_episode = true;
+            const report::Json *args = e.find("args");
+            ASSERT_NE(args, nullptr);
+            EXPECT_NE(args->find("pseudoRetired"), nullptr);
+            EXPECT_NE(args->find("useless"), nullptr);
+        }
+        if (name->asString() == "miss")
+            saw_miss = true;
+    }
+    EXPECT_TRUE(saw_episode);
+    EXPECT_TRUE(saw_miss);
+    EXPECT_GE(spans, 4u);    // fetch, issue, miss, episode, skip
+    EXPECT_EQ(counters, 1u); // MSHR occupancy
+    EXPECT_GE(metadata, 4u); // two threads + mshr + skip track names
+}
+
+TEST(Tracer, ZeroLengthSpansGetMinimumDuration)
+{
+    // Perfetto drops zero-duration "X" events; the exporter widens
+    // them to 1 µs.
+    Tracer tracer(kCatAll, 1, 4);
+    tracer.record(0, EventKind::Issue, 10, 10, 0x1);
+    const std::string text = tracer.toChromeJson();
+    EXPECT_NE(text.find("\"dur\":1"), std::string::npos);
+}
+
+} // namespace
+} // namespace rat::obs

@@ -1,0 +1,130 @@
+/** @file Serialization tests for telemetry and engine-stat blocks. */
+
+#include <gtest/gtest.h>
+
+#include "report/serialize.hh"
+
+namespace rat::report {
+namespace {
+
+obs::TelemetryResult
+makeTelemetry()
+{
+    obs::TelemetryResult t;
+    t.enabled = true;
+    t.window = 5000;
+    obs::WindowSample s;
+    s.cycle = 25000;
+    s.committed = 4200;
+    s.executed = 5100;
+    s.raExecuted = 300;
+    s.rob = 96;
+    s.iq = 20;
+    s.lsq = 14;
+    t.samples.push_back(s);
+    s.cycle = 30000;
+    s.committed = 3900;
+    t.samples.push_back(s);
+    t.episodeCycles.sample(410);
+    t.episodeCycles.sample(388);
+    t.missLatency.sample(423);
+    t.issueToRetire.sample(1);
+    t.issueToRetire.sample(7);
+    return t;
+}
+
+TEST(TelemetrySerialize, DisabledResultHasNoTelemetryKey)
+{
+    sim::SimResult r;
+    r.cycles = 1000;
+    const Json j = toJson(r);
+    EXPECT_EQ(j.find("telemetry"), nullptr);
+
+    // And the default config serializes without a sampleWindow member,
+    // keeping existing cache keys and goldens byte-identical.
+    const Json cfg = toJson(sim::SimConfig{});
+    EXPECT_EQ(cfg.find("sampleWindow"), nullptr);
+}
+
+TEST(TelemetrySerialize, EnabledTelemetryRoundTripsExactly)
+{
+    sim::SimResult r;
+    r.cycles = 30000;
+    r.telemetry = makeTelemetry();
+
+    const std::string text = toJson(r).dump(2);
+    const auto doc = Json::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    sim::SimResult back;
+    ASSERT_TRUE(fromJson(*doc, back));
+    EXPECT_TRUE(back.telemetry == r.telemetry);
+    // Serialization is also a fixed point (cache replay produces the
+    // same bytes a fresh run would).
+    EXPECT_EQ(toJson(back).dump(2), text);
+}
+
+TEST(TelemetrySerialize, HistogramRoundTripElidesTrailingZeros)
+{
+    obs::Log2Histogram h;
+    h.sample(5);
+    const Json j = toJson(h);
+    const Json *buckets = j.find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    EXPECT_EQ(buckets->elements().size(), 3u); // buckets 0..2
+    obs::Log2Histogram back;
+    ASSERT_TRUE(fromJson(j, back));
+    EXPECT_TRUE(back == h);
+}
+
+TEST(TelemetrySerialize, SampleWindowRoundTripsInConfig)
+{
+    sim::SimConfig cfg;
+    cfg.sampleWindow = 2500;
+    const Json j = toJson(cfg);
+    const Json *window = j.find("sampleWindow");
+    ASSERT_NE(window, nullptr);
+    EXPECT_EQ(window->asU64(), 2500u);
+    sim::SimConfig back;
+    ASSERT_TRUE(fromJson(j, back));
+    EXPECT_EQ(back.sampleWindow, 2500u);
+
+    // Absent member reads back as disabled.
+    cfg.sampleWindow = 0;
+    sim::SimConfig off;
+    off.sampleWindow = 99; // must be overwritten
+    ASSERT_TRUE(fromJson(toJson(cfg), off));
+    EXPECT_EQ(off.sampleWindow, 0u);
+}
+
+TEST(TelemetrySerialize, EngineStatsJsonCarriesAllCounters)
+{
+    runahead::EngineStats stats;
+    stats.episodes = 12;
+    stats.uselessEpisodes = 3;
+    stats.suppressedEntries = 7;
+    stats.drainEpisodes = 2;
+    stats.cappedExits = 5;
+    stats.executedInRunahead = 991;
+    const Json j = engineStatsJson(stats);
+    EXPECT_EQ(j.find("episodes")->asU64(), 12u);
+    EXPECT_EQ(j.find("uselessEpisodes")->asU64(), 3u);
+    EXPECT_EQ(j.find("suppressedEntries")->asU64(), 7u);
+    EXPECT_EQ(j.find("drainEpisodes")->asU64(), 2u);
+    EXPECT_EQ(j.find("cappedExits")->asU64(), 5u);
+    EXPECT_EQ(j.find("executedInRunahead")->asU64(), 991u);
+}
+
+TEST(TelemetrySerialize, MalformedTelemetryRejected)
+{
+    const auto doc = Json::parse(
+        R"({"cycles":10,"threads":[],"telemetry":{"window":5,)"
+        R"("samples":[[1,2,3]],"episodeCycles":{"total":0,"sum":0,)"
+        R"("buckets":[]},"missLatency":{"total":0,"sum":0,"buckets":[]},)"
+        R"("issueToRetire":{"total":0,"sum":0,"buckets":[]}}})");
+    ASSERT_TRUE(doc.has_value());
+    sim::SimResult r;
+    EXPECT_FALSE(fromJson(*doc, r)); // samples rows must be 7-tuples
+}
+
+} // namespace
+} // namespace rat::report

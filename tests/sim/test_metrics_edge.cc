@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Edge-case tests for the report-facing metrics: degenerate groups
+ * (empty, single-thread) and zero-IPC threads must yield finite,
+ * well-defined values — never a division by zero or a NaN that would
+ * poison a JSON report or a sweep-cache cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+#include "sim/metrics.hh"
+
+namespace rat::sim {
+namespace {
+
+SimResult
+makeResult(std::vector<std::pair<std::string, double>> ipcs, Cycle cycles)
+{
+    SimResult r;
+    r.cycles = cycles;
+    for (auto &[prog, ipc] : ipcs) {
+        ThreadResult t;
+        t.program = prog;
+        t.ipc = ipc;
+        t.core.committedInsts =
+            static_cast<std::uint64_t>(ipc * static_cast<double>(cycles));
+        t.core.executedInsts = t.core.committedInsts;
+        r.threads.push_back(t);
+    }
+    return r;
+}
+
+TEST(MetricsEdge, HarmonicMeanHandlesDegenerateSets)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({0.0, 1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({-1.0, 1.0}), 0.0);
+    // A single positive ratio is its own harmonic mean.
+    EXPECT_DOUBLE_EQ(harmonicMean({0.75}), 0.75);
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0}), 2.0);
+}
+
+TEST(MetricsEdge, EmptyResultYieldsFiniteZeroMetrics)
+{
+    const SimResult r = makeResult({}, 1000);
+    EXPECT_DOUBLE_EQ(throughput(r), 0.0);
+    EXPECT_DOUBLE_EQ(r.totalIpc(), 0.0);
+    EXPECT_DOUBLE_EQ(fairness(r, BaselineIpcMap{}), 0.0);
+    EXPECT_DOUBLE_EQ(ed2(r), 0.0);
+    EXPECT_TRUE(std::isfinite(throughput(r)));
+    EXPECT_TRUE(std::isfinite(ed2(r)));
+}
+
+TEST(MetricsEdge, ZeroIpcThreadDoesNotPoisonGroupMetrics)
+{
+    // A starved thread: every metric must stay finite, and fairness
+    // (harmonic mean of speedups) collapses to 0 rather than dividing
+    // by the zero IPC.
+    const SimResult r = makeResult({{"a", 0.0}, {"b", 1.5}}, 1000);
+    const BaselineIpcMap base = {{"a", 2.0}, {"b", 2.0}};
+    EXPECT_DOUBLE_EQ(fairness(r, base), 0.0);
+    EXPECT_DOUBLE_EQ(throughput(r), 0.75);
+    EXPECT_TRUE(std::isfinite(ed2(r)));
+    EXPECT_GT(ed2(r), 0.0);
+}
+
+TEST(MetricsEdge, SingleThreadGroupIsWellDefined)
+{
+    const SimResult r = makeResult({{"a", 1.0}}, 1000);
+    const BaselineIpcMap base = {{"a", 2.0}};
+    EXPECT_DOUBLE_EQ(throughput(r), 1.0);
+    EXPECT_DOUBLE_EQ(fairness(r, base), 0.5);
+    EXPECT_TRUE(std::isfinite(ed2(r)));
+}
+
+TEST(MetricsEdge, AllZeroIpcResultKeepsEd2Finite)
+{
+    const SimResult r = makeResult({{"a", 0.0}, {"b", 0.0}}, 1000);
+    EXPECT_DOUBLE_EQ(throughput(r), 0.0);
+    EXPECT_DOUBLE_EQ(ed2(r), 0.0); // zero throughput short-circuits
+    EXPECT_TRUE(std::isfinite(ed2(r)));
+}
+
+TEST(MetricsEdge, MeanOfEmptySetIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_TRUE(std::isfinite(mean({})));
+}
+
+} // namespace
+} // namespace rat::sim
