@@ -1,0 +1,276 @@
+#include "common/fault.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/parse.hh"
+#include "common/rng.hh"
+
+namespace rat {
+
+namespace {
+
+const char *const kKindNames[kFaultKindCount] = {
+    "kill", "hang", "garbage-frame", "torn-store", "slow", "spawn",
+};
+
+/** Per-kind salt so e.g. kill and hang decisions at the same
+ * coordinates are independent draws. */
+std::uint64_t
+kindSalt(FaultKind kind)
+{
+    return splitmix64(0xfa17c0deULL + static_cast<unsigned>(kind));
+}
+
+std::uint64_t
+decisionHash(std::uint64_t seed, FaultKind kind, std::uint64_t cell,
+             std::uint64_t attempt, std::uint64_t subseq)
+{
+    std::uint64_t h = hashCombine(seed, kindSalt(kind));
+    h = hashCombine(h, cell);
+    h = hashCombine(h, attempt);
+    h = hashCombine(h, subseq);
+    return h;
+}
+
+std::optional<FaultKind>
+kindFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kFaultKindCount; ++i)
+        if (name == kKindNames[i])
+            return static_cast<FaultKind>(i);
+    return std::nullopt;
+}
+
+bool
+parseProbability(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || !end || *end != '\0')
+        return false;
+    if (value < 0.0 || value > 1.0)
+        return false;
+    *out = value;
+    return true;
+}
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+bool
+parseInto(FaultSchedule &sched, const std::string &text,
+          std::string *error)
+{
+    sched.spec = text;
+    // Mandatory leading "seed=<u64>".
+    const std::size_t colon = text.find(':');
+    const std::string head = text.substr(0, colon);
+    if (head.rfind("seed=", 0) != 0)
+        return fail(error, "fault spec must start with 'seed=<N>'");
+    const auto seed = tryParseU64(head.c_str() + 5);
+    if (!seed)
+        return fail(error,
+                    "fault spec: bad seed '" + head.substr(5) + "'");
+    sched.seed = *seed;
+    if (colon == std::string::npos)
+        return true; // "seed=N" alone: armed but no rules
+    for (const std::string &item :
+         splitList(text.substr(colon + 1), ',')) {
+        const std::size_t at = item.find('@');
+        if (at == std::string::npos || at == 0 ||
+            at + 1 >= item.size())
+            return fail(error, "fault rule '" + item +
+                                   "': expected <kind>@<form>");
+        const auto kind = kindFromName(item.substr(0, at));
+        if (!kind)
+            return fail(error, "fault rule '" + item +
+                                   "': unknown kind '" +
+                                   item.substr(0, at) + "'");
+        FaultRule &rule = sched.rules[static_cast<unsigned>(*kind)];
+        if (rule.form != FaultRule::Form::None)
+            return fail(error, "fault rule '" + item +
+                                   "': kind scheduled twice");
+        const char form = item[at + 1];
+        const std::string arg = item.substr(at + 2);
+        switch (form) {
+          case 'p':
+            if (!parseProbability(arg, &rule.probability))
+                return fail(error,
+                            "fault rule '" + item +
+                                "': expected p<float in [0,1]>");
+            rule.form = FaultRule::Form::Probability;
+            break;
+          case 'c': {
+            const auto n = tryParseU64(arg.c_str());
+            if (!n || *n == 0)
+                return fail(error, "fault rule '" + item +
+                                       "': expected c<N>, N >= 1");
+            rule.form = FaultRule::Form::Nth;
+            rule.n = *n;
+            break;
+          }
+          case 'x': {
+            const auto n = tryParseU64(arg.c_str());
+            if (!n)
+                return fail(error,
+                            "fault rule '" + item + "': expected x<N>");
+            rule.form = FaultRule::Form::Cell;
+            rule.n = *n;
+            break;
+          }
+          default:
+            return fail(error, "fault rule '" + item +
+                                   "': form must be p/c/x");
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    return kKindNames[static_cast<unsigned>(kind)];
+}
+
+bool
+FaultSchedule::wouldFire(FaultKind kind, std::uint64_t cell,
+                         std::uint64_t attempt,
+                         std::uint64_t subseq) const
+{
+    const FaultRule &rule = rules[static_cast<unsigned>(kind)];
+    switch (rule.form) {
+      case FaultRule::Form::Probability: {
+        if (rule.probability >= 1.0)
+            return true;
+        const std::uint64_t h =
+            decisionHash(seed, kind, cell, attempt, subseq);
+        // Compare against the threshold in the integer domain so the
+        // predicate is bit-exact across compilers.
+        const auto threshold = static_cast<std::uint64_t>(
+            rule.probability * 18446744073709551615.0);
+        return h < threshold;
+      }
+      case FaultRule::Form::Cell:
+        return cell == rule.n;
+      case FaultRule::Form::Nth: // process-sequence dependent
+      case FaultRule::Form::None:
+        return false;
+    }
+    return false;
+}
+
+std::uint64_t
+FaultSchedule::parameterDraw(FaultKind kind, std::uint64_t cell,
+                             std::uint64_t attempt) const
+{
+    // Offset the subseq space so parameters never correlate with the
+    // firing decisions at the same coordinates.
+    return decisionHash(seed, kind, cell, attempt,
+                        0x9a7aULL /* 'para' */);
+}
+
+std::optional<FaultSchedule>
+FaultSchedule::parse(const std::string &text, std::string *error)
+{
+    FaultSchedule sched;
+    if (!parseInto(sched, text, error))
+        return std::nullopt;
+    return sched;
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(const FaultSchedule &schedule)
+{
+    schedule_ = schedule;
+    armed_ = true;
+    hasContext_ = false;
+    subseq_.fill(0);
+    decisions_.fill(0);
+}
+
+void
+FaultInjector::disarm()
+{
+    armed_ = false;
+    hasContext_ = false;
+}
+
+bool
+FaultInjector::armFromEnv()
+{
+    const char *spec = std::getenv("RATSIM_FAULT");
+    if (!spec || !*spec) {
+        disarm();
+        return false;
+    }
+    std::string error;
+    const auto sched = FaultSchedule::parse(spec, &error);
+    if (!sched)
+        fatal("RATSIM_FAULT: %s", error.c_str());
+    arm(*sched);
+    return true;
+}
+
+void
+FaultInjector::setContext(std::uint64_t cell, std::uint64_t attempt)
+{
+    cell_ = cell;
+    attempt_ = attempt;
+    hasContext_ = true;
+    subseq_.fill(0);
+}
+
+void
+FaultInjector::clearContext()
+{
+    hasContext_ = false;
+}
+
+bool
+FaultInjector::fire(FaultKind kind)
+{
+    if (!armed_ || !hasContext_)
+        return false;
+    const unsigned k = static_cast<unsigned>(kind);
+    const FaultRule &rule = schedule_.rules[k];
+    if (rule.form == FaultRule::Form::None)
+        return false;
+    const std::uint64_t subseq = subseq_[k]++;
+    if (rule.form == FaultRule::Form::Nth)
+        return ++decisions_[k] == rule.n;
+    return schedule_.wouldFire(kind, cell_, attempt_, subseq);
+}
+
+std::chrono::milliseconds
+FaultInjector::slowDelay() const
+{
+    const std::uint64_t draw =
+        schedule_.parameterDraw(FaultKind::Slow, cell_, attempt_);
+    return std::chrono::milliseconds(1 + draw % 50);
+}
+
+std::uint64_t
+FaultInjector::parameterDraw(FaultKind kind) const
+{
+    return schedule_.parameterDraw(kind, cell_, attempt_);
+}
+
+} // namespace rat

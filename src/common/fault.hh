@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for chaos testing.
+ *
+ * A fault schedule is an operator-supplied spec (the `RATSIM_FAULT`
+ * environment variable) of the shape
+ *
+ *     seed=7:kill@p0.02,hang@p0.01,garbage-frame@p0.005,
+ *            torn-store@p0.01,slow@p0.05,spawn@c1
+ *
+ * Each rule names a fault kind and a firing form:
+ *
+ *   - `p<float>`  fire with that probability per decision, derived by
+ *                 hashing (seed, kind, cell, attempt, subsequence) —
+ *                 NOT by a stateful RNG — so whether a given decision
+ *                 fires is a pure function of the schedule and the
+ *                 decision's coordinates, independent of scheduling
+ *                 races. A chaos failure is therefore replayable from
+ *                 the seed alone, and tests can *predict* the exact
+ *                 firing pattern (FaultSchedule::wouldFire).
+ *   - `c<N>`      fire exactly on the Nth decision of that kind in
+ *                 this process (1-based), once. Sequence-dependent;
+ *                 meant for targeted single-worker tests.
+ *   - `x<N>`      fire on every decision whose context cell is N —
+ *                 the "poisoned cell" form: cell N misbehaves on every
+ *                 attempt, which is what the farm's retry budget and
+ *                 quarantine exist to contain.
+ *
+ * Fault kinds and their injection points:
+ *
+ *   kill          worker loop: raise SIGKILL on job receipt
+ *   hang          worker loop: sleep forever (exercises --job-timeout)
+ *   garbage-frame report::writeFrame: emit an unframeable byte burst
+ *                 instead of the real frame, then report success
+ *   torn-store    ResultCache::store: publish a truncated cell as if
+ *                 the write had succeeded (bit-rot in place)
+ *   slow          worker loop: sleep a deterministic 1-50 ms
+ *   spawn         farm coordinator: fail the fork of a worker slot
+ *
+ * Decisions only fire while a *context* is set (setContext). Worker
+ * processes set the context to (cell index, attempt) around each job;
+ * the coordinator sets it to (slot, respawn count) around each spawn
+ * and never otherwise, so e.g. job frames written by the coordinator
+ * are never garbage-framed. An unset RATSIM_FAULT disarms everything;
+ * all fire() paths then cost one branch.
+ */
+
+#ifndef RAT_COMMON_FAULT_HH
+#define RAT_COMMON_FAULT_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace rat {
+
+enum class FaultKind : unsigned {
+    Kill = 0,
+    Hang,
+    GarbageFrame,
+    TornStore,
+    Slow,
+    SpawnFail,
+};
+constexpr std::size_t kFaultKindCount = 6;
+
+/** Spec spelling of a kind ("kill", "garbage-frame", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One kind's firing rule. */
+struct FaultRule {
+    enum class Form : unsigned {
+        None = 0,    ///< not scheduled
+        Probability, ///< p<float>: hash-thresholded per decision
+        Nth,         ///< c<N>: the Nth decision of this kind, once
+        Cell,        ///< x<N>: every decision with context cell == N
+    };
+    Form form = Form::None;
+    double probability = 0.0; ///< Probability form
+    std::uint64_t n = 0;      ///< Nth / Cell forms
+};
+
+/** A parsed fault schedule. */
+struct FaultSchedule {
+    std::uint64_t seed = 0;
+    std::string spec; ///< original text, for diagnostics
+    std::array<FaultRule, kFaultKindCount> rules{};
+
+    bool scheduled(FaultKind kind) const
+    {
+        return rules[static_cast<unsigned>(kind)].form !=
+               FaultRule::Form::None;
+    }
+
+    /**
+     * Pure firing predicate for the Probability and Cell forms: would
+     * the decision at (cell, attempt, subseq) fire? `subseq` numbers
+     * the decisions of one kind within one context, starting at 0
+     * (e.g. a worker's progress frame is garbage-frame decision 0 and
+     * its reply frame decision 1). Nth-form rules depend on a process-
+     * local counter and always return false here.
+     */
+    bool wouldFire(FaultKind kind, std::uint64_t cell,
+                   std::uint64_t attempt, std::uint64_t subseq) const;
+
+    /** Deterministic 64-bit draw for fault *parameters* (slow delay,
+     * torn-store shape), independent of the firing decisions. */
+    std::uint64_t parameterDraw(FaultKind kind, std::uint64_t cell,
+                                std::uint64_t attempt) const;
+
+    /**
+     * Parse a spec. Returns std::nullopt on malformed input with a
+     * diagnostic in @p error (when non-null). The leading `seed=N` is
+     * mandatory; rules are optional (`seed=7` alone arms a no-op
+     * schedule).
+     */
+    static std::optional<FaultSchedule>
+    parse(const std::string &text, std::string *error = nullptr);
+};
+
+/**
+ * Process-wide injector: a schedule plus the mutable decision state
+ * (context, per-kind subsequence and absolute counters). Not thread-
+ * safe while a context is set — contexts are only ever set by the
+ * single-threaded farm worker loop and coordinator spawn path; fire()
+ * from other threads (e.g. in-process sweep workers hitting
+ * ResultCache::store) is safe because it returns before touching any
+ * state when no context is set.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &global();
+
+    void arm(const FaultSchedule &schedule);
+    void disarm();
+
+    /**
+     * Arm from the RATSIM_FAULT environment variable, replacing any
+     * previous schedule; unset/empty disarms. fatal()s on a malformed
+     * spec. Returns armed().
+     */
+    bool armFromEnv();
+
+    bool armed() const { return armed_; }
+    const FaultSchedule &schedule() const { return schedule_; }
+
+    /** Enter a decision context; resets the per-context subsequence
+     * counters. Workers use (cell, attempt); the coordinator uses
+     * (slot, respawn count) around spawns. */
+    void setContext(std::uint64_t cell, std::uint64_t attempt);
+    void clearContext();
+    bool hasContext() const { return hasContext_; }
+
+    /**
+     * Take one firing decision for @p kind. False when disarmed, when
+     * no context is set, or when the kind is unscheduled; otherwise
+     * per the rule's form. Advances this kind's subsequence counter.
+     */
+    bool fire(FaultKind kind);
+
+    /** Deterministic slow-fault delay for the current context. */
+    std::chrono::milliseconds slowDelay() const;
+
+    /** Deterministic 64-bit parameter draw for the current context
+     * (e.g. the torn-store corruption shape). */
+    std::uint64_t parameterDraw(FaultKind kind) const;
+
+  private:
+    bool armed_ = false;
+    FaultSchedule schedule_{};
+    bool hasContext_ = false;
+    std::uint64_t cell_ = 0;
+    std::uint64_t attempt_ = 0;
+    std::array<std::uint64_t, kFaultKindCount> subseq_{};
+    std::array<std::uint64_t, kFaultKindCount> decisions_{};
+};
+
+} // namespace rat
+
+#endif // RAT_COMMON_FAULT_HH

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "report/serialize.hh"
 
@@ -21,8 +22,11 @@ namespace {
  * Cache format version, folded into every key: bump it whenever the
  * serialization or simulation semantics change in a way the config
  * alone cannot express, and every stale cell turns into a miss.
+ * v2 added the result-payload checksum; because the version lives in
+ * the key string, v1 cells hash to different file names and simply
+ * never match — they are plain misses, not quarantine candidates.
  */
-constexpr unsigned kCacheFormatVersion = 1;
+constexpr unsigned kCacheFormatVersion = 2;
 
 /**
  * A `*.tmp` file this old cannot belong to a live writer (one cell
@@ -126,6 +130,43 @@ ResultCache::fileNameFor(const std::string &key)
     return std::string(buf) + ".json";
 }
 
+namespace {
+
+/** Checksum of a result payload: FNV-1a over its *compact* dump.
+ * The Json layer guarantees exact numeric round-trips (uint64s print
+ * as decimals, doubles as shortest-round-trip), so re-dumping a
+ * parsed cell's result reproduces the stored-time bytes exactly. */
+std::string
+checksumHex(const std::string &payload)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(payload)));
+    return buf;
+}
+
+} // namespace
+
+void
+ResultCache::quarantineCell(const std::string &path,
+                            const char *why) const
+{
+    // <name>.json -> <name>.json.bad, preserving the damaged bytes
+    // for post-mortem while guaranteeing the next load is a clean
+    // miss (and the next store heals the slot).
+    std::error_code ec;
+    const DirLock lock(dir_);
+    std::filesystem::rename(path, path + ".bad", ec);
+    if (ec) {
+        // Racing quarantiners, or an unwritable directory: fall back
+        // to unlinking so the damage cannot be re-read forever.
+        std::error_code ec2;
+        std::filesystem::remove(path, ec2);
+    }
+    quarantined_.fetch_add(1);
+    warn("result cache: quarantined %s (%s)", path.c_str(), why);
+}
+
 std::optional<sim::SimResult>
 ResultCache::load(const std::string &key) const
 {
@@ -144,24 +185,42 @@ ResultCache::load(const std::string &key) const
 
     const auto doc = Json::parse(text.str());
     if (!doc || !doc->isObject()) {
-        warn("result cache: ignoring unparseable cell %s",
-             path.c_str());
+        // Torn write or bit-rot: the file exists under this key's
+        // name but its bytes are not a cell. Quarantine so it costs
+        // exactly one re-simulation.
+        quarantineCell(path.string(), "unparseable");
         misses_.fetch_add(1);
         return std::nullopt;
     }
     const Json *stored_key = doc->find("key");
-    if (!stored_key || !stored_key->isString() ||
-        stored_key->asString() != key) {
-        // Hash collision or key-format drift: treat as a miss.
+    if (!stored_key || !stored_key->isString()) {
+        quarantineCell(path.string(), "key field missing");
         misses_.fetch_add(1);
         return std::nullopt;
     }
+    if (stored_key->asString() != key) {
+        // Hash collision or key-format drift: a *valid* cell for a
+        // different key. Miss, never quarantine — it may be somebody
+        // else's good data.
+        misses_.fetch_add(1);
+        return std::nullopt;
+    }
+    const Json *checksum = doc->find("checksum");
     const Json *result_json = doc->find("result");
+    if (!checksum || !checksum->isString() || !result_json ||
+        !result_json->isObject()) {
+        quarantineCell(path.string(), "checksum or result missing");
+        misses_.fetch_add(1);
+        return std::nullopt;
+    }
+    if (checksum->asString() != checksumHex(result_json->dump())) {
+        quarantineCell(path.string(), "checksum mismatch");
+        misses_.fetch_add(1);
+        return std::nullopt;
+    }
     sim::SimResult result;
-    if (!result_json || !result_json->isObject() ||
-        !fromJson(*result_json, result)) {
-        warn("result cache: ignoring malformed result in %s",
-             path.c_str());
+    if (!fromJson(*result_json, result)) {
+        quarantineCell(path.string(), "malformed result");
         misses_.fetch_add(1);
         return std::nullopt;
     }
@@ -184,9 +243,21 @@ ResultCache::store(const std::string &key,
         return false;
     }
 
+    Json result_json = toJson(result);
     Json cell = Json::object();
     cell["key"] = Json(key);
-    cell["result"] = toJson(result);
+    cell["checksum"] = Json(checksumHex(result_json.dump()));
+    cell["result"] = std::move(result_json);
+    std::string payload = cell.dump(2);
+
+    // Chaos injection: a torn store publishes a truncated cell *as if
+    // it succeeded* — modelling a write torn by power loss or bit-rot
+    // past the rename barrier, exactly the damage the load-time
+    // checksum/quarantine path exists to absorb. Truncating to 2/3
+    // guarantees the top-level object never closes, so the cell is
+    // structurally unparseable, not just checksum-stale.
+    if (FaultInjector::global().fire(FaultKind::TornStore))
+        payload.resize(payload.size() * 2 / 3);
 
     const std::filesystem::path path =
         std::filesystem::path(dir_) / fileNameFor(key);
@@ -205,7 +276,7 @@ ResultCache::store(const std::string &key,
             storeFailures_.fetch_add(1);
             return false;
         }
-        out << cell.dump(2);
+        out << payload;
         out.flush();
         // A short write (ENOSPC, closed fd) must never be renamed into
         // place as a "valid" cell: verify the stream, and drop the

@@ -20,6 +20,15 @@
  * sharing one directory. Temp files orphaned by killed writers are
  * garbage-collected on open once they are old enough to be provably
  * dead.
+ *
+ * Self-healing contract (format v2): every cell carries an FNV-1a
+ * checksum of its result payload, verified on load. A cell that fails
+ * to parse, lacks its key, or fails verification is *quarantined* —
+ * renamed to `<name>.bad` under the directory lock and counted in
+ * CacheStats — so bit-rot and torn writes cost one re-simulation
+ * instead of a warning on every open forever. v1 cells (no checksum)
+ * have a different key string and therefore different file names;
+ * they are plain misses, never quarantined.
  */
 
 #ifndef RAT_REPORT_RESULT_CACHE_HH
@@ -37,6 +46,15 @@ namespace rat::report {
 
 /** 64-bit FNV-1a over a byte string. */
 std::uint64_t fnv1a64(const std::string &text);
+
+/** Point-in-time counters of one cache instance. */
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t storeFailures = 0;
+    std::uint64_t quarantined = 0; ///< cells renamed to *.bad
+    std::uint64_t reapedTmpFiles = 0;
+};
 
 class ResultCache
 {
@@ -61,8 +79,12 @@ class ResultCache
 
     /**
      * Look up a cell. Returns std::nullopt when disabled, absent,
-     * unparseable, from a different format version, or when the stored
-     * key differs from @p key (collision). Thread-safe.
+     * from a different format version, or when the stored key differs
+     * from @p key (collision). A cell that is present under the right
+     * name but damaged — unparseable, key field missing, checksum
+     * absent or mismatched, result malformed — is quarantined (renamed
+     * to `<name>.bad`) and reported as a miss, so the caller
+     * re-simulates and the next store heals the slot. Thread-safe.
      */
     std::optional<sim::SimResult> load(const std::string &key) const;
 
@@ -83,17 +105,27 @@ class ResultCache
     std::uint64_t misses() const { return misses_.load(); }
     /** store() calls that failed since construction. */
     std::uint64_t storeFailures() const { return storeFailures_.load(); }
+    /** Damaged cells quarantined to *.bad since construction. */
+    std::uint64_t quarantined() const { return quarantined_.load(); }
     /** Stale temp files removed by the open-time GC. */
     std::uint64_t reapedTmpFiles() const { return reapedTmp_; }
+    /** All counters in one snapshot. */
+    CacheStats stats() const
+    {
+        return {hits(), misses(), storeFailures(), quarantined(),
+                reapedTmpFiles()};
+    }
 
   private:
     void gcStaleTmpFiles();
+    void quarantineCell(const std::string &path, const char *why) const;
 
     std::string dir_;
     std::uint64_t reapedTmp_ = 0;
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};
     mutable std::atomic<std::uint64_t> storeFailures_{0};
+    mutable std::atomic<std::uint64_t> quarantined_{0};
 };
 
 } // namespace rat::report

@@ -5,6 +5,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault.hh"
+
 namespace rat::report {
 
 namespace {
@@ -52,6 +54,19 @@ writeFrame(int fd, const std::string &payload)
 {
     if (payload.size() > kMaxFramePayload)
         return false;
+
+    // Chaos injection: replace the frame with an unframeable burst —
+    // an oversize length prefix plus junk — and report success, as a
+    // worker with corrupted buffers would. The oversize prefix
+    // guarantees the receiving FrameBuffer latches corrupt()
+    // immediately instead of waiting for bytes that never come.
+    if (FaultInjector::global().fire(FaultKind::GarbageFrame)) {
+        char junk[12];
+        std::memset(junk, 0xff, sizeof(junk));
+        writeAll(fd, junk, sizeof(junk));
+        return true;
+    }
+
     const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
     char header[4];
     header[0] = static_cast<char>(len & 0xff);

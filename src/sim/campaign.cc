@@ -128,6 +128,7 @@ planCampaign(const CampaignSpec &spec, const report::ResultCache &cache)
     }
     plan.outcome.cacheHits = cache.hits();
     plan.outcome.cacheMisses = cache.misses();
+    plan.outcome.cacheQuarantined = cache.quarantined();
 
     plan.leads.reserve(plan.pending.size());
     for (const auto &[key, indices] : plan.pending)

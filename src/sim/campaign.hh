@@ -87,6 +87,9 @@ struct CampaignOutcome {
     /** Completed cells whose cache store failed (cell re-simulates on
      * the next run instead of silently counting as cached). */
     std::uint64_t failedStores = 0;
+    /** Damaged cache cells quarantined to *.bad while probing; each
+     * cost this run exactly one re-simulation. */
+    std::uint64_t cacheQuarantined = 0;
 };
 
 /**

@@ -13,10 +13,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/parse.hh"
 #include "report/result_cache.hh"
@@ -27,12 +29,17 @@ namespace rat::sim {
 
 namespace {
 
-/** JSON frame sent coordinator -> worker for one grid cell. */
+/** JSON frame sent coordinator -> worker for one grid cell. The
+ * attempt number (how many workers already died holding this cell)
+ * rides along so the worker's fault-injection draws are independent
+ * per retry — a cell that drew "kill" on attempt 0 redraws on attempt
+ * 1 instead of dying identically forever. */
 std::string
-jobFrame(const CampaignCell &cell, std::size_t index)
+jobFrame(const CampaignCell &cell, std::size_t index, unsigned attempt)
 {
     report::Json job = report::Json::object();
     job["index"] = report::Json(static_cast<std::uint64_t>(index));
+    job["attempt"] = report::Json(std::uint64_t{attempt});
     job["key"] = report::Json(cell.key);
     job["config"] = report::toJson(cell.config);
     report::Json progs = report::Json::array();
@@ -71,7 +78,9 @@ class IgnoreSigpipe
     struct sigaction old_ = {};
 };
 
-/** One worker process as the coordinator sees it. */
+/** One worker slot as the coordinator sees it. A slot outlives any
+ * single worker process: when respawning is on, a dead slot is
+ * refilled (after backoff) by a fresh process with the same slot id. */
 struct WorkerProc {
     pid_t pid = -1;
     int jobFd = -1; ///< coordinator writes job frames here
@@ -79,10 +88,16 @@ struct WorkerProc {
     report::FrameBuffer buf;
     std::optional<std::size_t> inflight; ///< lead cell index
     std::size_t shard = 0;               ///< shard currently drained
+    unsigned slot = 0;                   ///< stable slot id
+    unsigned respawnCount = 0; ///< processes this slot has consumed - 1
     bool alive = false;
     bool writable = false;
-    /** Last heartbeat/result frame seen (liveness telemetry). */
-    std::chrono::steady_clock::time_point lastFrameAt{};
+    /** Dead slot scheduled for a respawn attempt at respawnAt. */
+    bool respawnPending = false;
+    std::chrono::steady_clock::time_point respawnAt{};
+    /** Liveness watermark: last job sent to — or frame seen from —
+     * this worker. The --job-timeout watchdog measures from here. */
+    std::chrono::steady_clock::time_point lastActivity{};
 };
 
 struct Coordinator {
@@ -91,32 +106,59 @@ struct Coordinator {
     CampaignOutcome &outcome;
     const report::ResultCache &cache;
 
-    std::vector<std::deque<std::size_t>> shards;
-    std::vector<WorkerProc> workers;
+    std::vector<std::deque<std::size_t>> shards = {};
+    std::vector<WorkerProc> workers = {};
     FarmOutcome *farm = nullptr;
+    std::string binary = {}; ///< worker exec target (for respawns)
 
-    std::uint64_t jobsDone = 0;  ///< results + failures landed
+    std::uint64_t jobsDone = 0; ///< results + failures + quarantines
     std::uint64_t jobsTotal = 0;
     std::uint64_t simulated = 0;
     std::uint64_t failedStores = 0;
 
-    /** Wall-clock start of the farm run (for the --progress ETA). */
-    std::chrono::steady_clock::time_point startedAt{};
+    /** Worker deaths per lead cell — the retry budget's ledger and
+     * the attempt number sent with each job. */
+    std::map<std::size_t, unsigned> attempts = {};
+    /** Crash-loop breaker: respawns since the last completed job.
+     * When every respawned worker dies without landing anything,
+     * respawning stops and the farm fails over to the resume path. */
+    std::uint64_t respawnsSinceProgress = 0;
 
-    bool spawnWorker(unsigned index, const std::string &binary,
-                     std::uint64_t kill_after);
+    bool spawnWorker(unsigned slot, std::uint64_t kill_after);
     bool feedWorker(std::size_t w);
     void drainWorker(std::size_t w);
     void handleFrame(std::size_t w, const std::string &payload);
     void workerGone(std::size_t w);
+    void checkLiveness();
+    void maybeRespawn();
+    bool workAvailable() const;
+    bool respawnViable() const;
+    std::uint64_t respawnBudget() const;
+    int pollTimeoutMs() const;
+    void noteJobDone();
     void printProgress();
     void run();
+
+    /** Wall-clock start of the farm run (for the --progress ETA). */
+    std::chrono::steady_clock::time_point startedAt{};
 };
 
 bool
-Coordinator::spawnWorker(unsigned index, const std::string &binary,
-                         std::uint64_t kill_after)
+Coordinator::spawnWorker(unsigned slot, std::uint64_t kill_after)
 {
+    // Chaos injection: a spawn failure at (slot, respawn count) —
+    // models fork() failing under memory/pid pressure. The context is
+    // scoped to this call so no other coordinator-side code path can
+    // ever take a fault decision.
+    auto &injector = FaultInjector::global();
+    injector.setContext(slot, workers[slot].respawnCount);
+    const bool spawn_fault = injector.fire(FaultKind::SpawnFail);
+    injector.clearContext();
+    if (spawn_fault) {
+        warn("farm: injected spawn failure for worker slot %u", slot);
+        return false;
+    }
+
     int job_pipe[2], res_pipe[2];
     if (::pipe(job_pipe) != 0)
         return false;
@@ -142,7 +184,7 @@ Coordinator::spawnWorker(unsigned index, const std::string &binary,
             ::close(fd);
         std::vector<const char *> argv = {binary.c_str(),
                                           "--farm-worker"};
-        const std::string id_text = std::to_string(index);
+        const std::string id_text = std::to_string(slot);
         argv.push_back("--worker-id");
         argv.push_back(id_text.c_str());
         if (!spec.cacheDir.empty()) {
@@ -169,14 +211,21 @@ Coordinator::spawnWorker(unsigned index, const std::string &binary,
     ::fcntl(job_pipe[1], F_SETFD, FD_CLOEXEC);
     ::fcntl(res_pipe[0], F_SETFD, FD_CLOEXEC);
 
+    // Fill the slot in place (the vector is pre-sized to the worker
+    // count): a respawned process inherits the slot's shard and
+    // respawn counter but starts with a fresh frame buffer and a
+    // clean inflight state.
     WorkerProc w;
     w.pid = pid;
     w.jobFd = job_pipe[1];
     w.resFd = res_pipe[0];
-    w.shard = index % shards.size();
+    w.shard = workers[slot].shard;
+    w.slot = slot;
+    w.respawnCount = workers[slot].respawnCount;
     w.alive = true;
     w.writable = true;
-    workers.push_back(std::move(w));
+    w.lastActivity = std::chrono::steady_clock::now();
+    workers[slot] = std::move(w);
     return true;
 }
 
@@ -221,8 +270,11 @@ Coordinator::feedWorker(std::size_t wi)
     shards[pick].pop_front();
     w.shard = pick;
 
-    if (!report::writeFrame(w.jobFd,
-                            jobFrame(outcome.cells[lead], lead))) {
+    const auto attempt_it = attempts.find(lead);
+    const unsigned attempt =
+        attempt_it == attempts.end() ? 0 : attempt_it->second;
+    if (!report::writeFrame(
+            w.jobFd, jobFrame(outcome.cells[lead], lead, attempt))) {
         // Peer is dead (EPIPE): put the job back; the EOF on the read
         // side will finish the bookkeeping.
         shards[pick].push_front(lead);
@@ -230,6 +282,9 @@ Coordinator::feedWorker(std::size_t wi)
         return false;
     }
     w.inflight = lead;
+    // The watchdog clock starts at job handoff: a worker that never
+    // even heartbeats is just as wedged as one that stops mid-cell.
+    w.lastActivity = std::chrono::steady_clock::now();
     return true;
 }
 
@@ -237,7 +292,7 @@ void
 Coordinator::handleFrame(std::size_t wi, const std::string &payload)
 {
     WorkerProc &w = workers[wi];
-    w.lastFrameAt = std::chrono::steady_clock::now();
+    w.lastActivity = std::chrono::steady_clock::now();
     const auto doc = report::Json::parse(payload);
     // Typed frames first: anything with a "type" member is telemetry,
     // never a result. Result/error frames stay untyped (legacy shape).
@@ -274,9 +329,7 @@ Coordinator::handleFrame(std::size_t wi, const std::string &payload)
         if (farm->error.empty() && err->isString())
             farm->error = "cell '" + outcome.cells[lead].key +
                           "' failed: " + err->asString();
-        ++jobsDone;
-        if (options.progress)
-            printProgress();
+        noteJobDone();
         return;
     }
     const report::Json *result_json = doc->find("result");
@@ -284,9 +337,7 @@ Coordinator::handleFrame(std::size_t wi, const std::string &payload)
     if (!result_json || !fromJson(*result_json, result)) {
         warn("farm: unparseable result for cell %zu", lead);
         ++farm->failedCells;
-        ++jobsDone;
-        if (options.progress)
-            printProgress();
+        noteJobDone();
         return;
     }
     outcome.cells[lead].result = std::move(result);
@@ -295,7 +346,17 @@ Coordinator::handleFrame(std::size_t wi, const std::string &payload)
     if (cache.enabled() && (!stored || !stored->isBool() ||
                             !stored->asBool()))
         ++failedStores;
+    noteJobDone();
+}
+
+/** One grid job retired (result, failure or quarantine): advance the
+ * campaign and re-arm the crash-loop breaker — the farm made
+ * progress, so respawning is paying off again. */
+void
+Coordinator::noteJobDone()
+{
     ++jobsDone;
+    respawnsSinceProgress = 0;
     if (options.progress)
         printProgress();
 }
@@ -328,6 +389,16 @@ Coordinator::printProgress()
     std::fflush(stderr);
 }
 
+/** Per-slot respawn backoff: 100ms doubling per consumed process,
+ * capped at 3.2s — fast enough that a blip costs almost nothing, slow
+ * enough that a crash-looping slot cannot fork-bomb the host. */
+std::chrono::milliseconds
+respawnBackoff(unsigned respawn_count)
+{
+    const unsigned shift = std::min(respawn_count, 5u);
+    return std::chrono::milliseconds(100u << shift);
+}
+
 void
 Coordinator::workerGone(std::size_t wi)
 {
@@ -340,22 +411,191 @@ Coordinator::workerGone(std::size_t wi)
     ::close(w.resFd);
     w.jobFd = w.resFd = -1;
 
+    // This path is reached for workers that are *gone* (EOF) but also
+    // for workers that are very much alive — the corrupt-stream case
+    // and the hung-worker watchdog. A plain blocking waitpid() would
+    // deadlock the whole farm on a live child, so: SIGKILL first
+    // (harmless to a zombie), then reap without blocking. SIGKILL
+    // cannot be caught, so the WNOHANG loop converges in practice
+    // immediately; the deadline only guards against a child stuck in
+    // uninterruptible I/O, where leaking a zombie beats hanging the
+    // coordinator.
+    ::kill(w.pid, SIGKILL);
     int status = 0;
-    ::waitpid(w.pid, &status, 0);
+    bool reaped = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    for (;;) {
+        const pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+        if (got == w.pid || (got < 0 && errno != EINTR)) {
+            reaped = got == w.pid;
+            break;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+            warn("farm: worker %d unreapable after SIGKILL",
+                 static_cast<int>(w.pid));
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     const bool abnormal =
-        WIFSIGNALED(status) ||
+        !reaped || WIFSIGNALED(status) ||
         (WIFEXITED(status) && WEXITSTATUS(status) != 0);
 
     if (w.inflight) {
         // Mid-job death: the cell is lost from this worker but not
-        // from the campaign — requeue it for the survivors.
-        shards[w.shard].push_front(*w.inflight);
-        ++farm->jobsRequeued;
+        // from the campaign. Requeue it while its retry budget lasts;
+        // past the budget the cell has now killed maxRetries + 1
+        // workers and is presumed poisoned — quarantine it so it
+        // cannot murder the rest of the pool.
+        const std::size_t lead = *w.inflight;
         w.inflight.reset();
         ++farm->workerDeaths;
+        const unsigned attempt = ++attempts[lead];
+        if (attempt > options.maxRetries) {
+            farm->quarantinedCells.push_back(outcome.cells[lead].key);
+            warn("farm: quarantining cell '%s' after %u worker deaths",
+                 outcome.cells[lead].key.c_str(), attempt);
+            noteJobDone();
+        } else {
+            shards[w.shard].push_front(lead);
+            ++farm->jobsRequeued;
+        }
     } else if (abnormal) {
         ++farm->workerDeaths;
     }
+
+    if (options.respawn) {
+        w.respawnPending = true;
+        w.respawnAt = std::chrono::steady_clock::now() +
+                      respawnBackoff(w.respawnCount);
+    }
+}
+
+/** Undone work that a fresh worker could pick up. */
+bool
+Coordinator::workAvailable() const
+{
+    for (const auto &shard : shards)
+        if (!shard.empty())
+            return true;
+    for (const WorkerProc &w : workers)
+        if (w.alive && w.inflight)
+            return true;
+    return false;
+}
+
+std::uint64_t
+Coordinator::respawnBudget() const
+{
+    // Crash-loop breaker: allow every slot a couple of fruitless
+    // respawns, then conclude the failure is systemic (bad binary,
+    // poisoned environment) and stop burning processes. Any completed
+    // job resets the counter via noteJobDone().
+    return 2 * workers.size() + 4;
+}
+
+bool
+Coordinator::respawnViable() const
+{
+    if (!options.respawn || respawnsSinceProgress >= respawnBudget())
+        return false;
+    for (const WorkerProc &w : workers)
+        if (!w.alive && w.respawnPending)
+            return true;
+    return false;
+}
+
+/** Refill dead slots whose backoff has elapsed, while there is still
+ * work a fresh worker could do. */
+void
+Coordinator::maybeRespawn()
+{
+    if (!options.respawn || !workAvailable())
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    for (WorkerProc &w : workers) {
+        if (w.alive || !w.respawnPending || now < w.respawnAt)
+            continue;
+        if (respawnsSinceProgress >= respawnBudget()) {
+            warn("farm: %llu respawns without progress — "
+                 "giving up on respawning",
+                 static_cast<unsigned long long>(
+                     respawnsSinceProgress));
+            for (WorkerProc &dead : workers)
+                if (!dead.alive)
+                    dead.respawnPending = false;
+            return;
+        }
+        w.respawnPending = false;
+        ++w.respawnCount;
+        ++respawnsSinceProgress;
+        // Respawns never re-arm the kill_after test hook: it models a
+        // single operator kill -9, not a crash loop.
+        if (spawnWorker(w.slot, 0)) {
+            ++farm->workersRespawned;
+            inform("farm: respawned worker slot %u (respawn %u)",
+                   w.slot, workers[w.slot].respawnCount);
+        } else {
+            w.respawnPending = true;
+            w.respawnAt = now + respawnBackoff(w.respawnCount);
+        }
+    }
+}
+
+/** SIGKILL alive workers whose in-flight job has outlived the
+ * --job-timeout watchdog; workerGone() then requeues or quarantines
+ * the job and schedules the slot for respawn. */
+void
+Coordinator::checkLiveness()
+{
+    if (!options.jobTimeoutSec)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    const auto timeout = std::chrono::seconds(options.jobTimeoutSec);
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+        WorkerProc &w = workers[wi];
+        if (!w.alive || !w.inflight || now - w.lastActivity < timeout)
+            continue;
+        warn("farm: worker %d hung on cell %zu for over %us — killing",
+             static_cast<int>(w.pid), *w.inflight,
+             options.jobTimeoutSec);
+        ++farm->workersTimedOut;
+        workerGone(wi);
+    }
+}
+
+/** Next poll() deadline: the earliest watchdog expiry or pending
+ * respawn, clamped to [20ms, 10s]. The clamp floor keeps a just-
+ * expired deadline from busy-spinning; the ceiling keeps the
+ * coordinator responsive even with nothing scheduled (satellite fix:
+ * a pure timeout tick now runs the liveness check instead of being a
+ * no-op). */
+int
+Coordinator::pollTimeoutMs() const
+{
+    using namespace std::chrono;
+    const auto now = steady_clock::now();
+    milliseconds next{10000};
+    if (options.jobTimeoutSec) {
+        const auto timeout = seconds(options.jobTimeoutSec);
+        for (const WorkerProc &w : workers) {
+            if (!w.alive || !w.inflight)
+                continue;
+            const auto due =
+                duration_cast<milliseconds>(w.lastActivity + timeout -
+                                            now);
+            next = std::min(next, due);
+        }
+    }
+    for (const WorkerProc &w : workers) {
+        if (w.alive || !w.respawnPending)
+            continue;
+        next = std::min(
+            next, duration_cast<milliseconds>(w.respawnAt - now));
+    }
+    return static_cast<int>(
+        std::clamp<long long>(next.count(), 20, 10000));
 }
 
 void
@@ -365,6 +605,7 @@ Coordinator::run()
     if (options.progress)
         printProgress();
     while (jobsDone < jobsTotal) {
+        maybeRespawn();
         bool any_alive = false;
         for (std::size_t wi = 0; wi < workers.size(); ++wi) {
             if (workers[wi].alive) {
@@ -372,8 +613,18 @@ Coordinator::run()
                 feedWorker(wi);
             }
         }
-        if (!any_alive)
+        if (!any_alive) {
+            // Every process is dead, but a pending respawn may still
+            // save the campaign: wait out the earliest backoff rather
+            // than aborting a recoverable situation.
+            if (respawnViable()) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        std::min(pollTimeoutMs(), 100)));
+                continue;
+            }
             break;
+        }
 
         std::vector<struct pollfd> fds;
         std::vector<std::size_t> owner;
@@ -383,14 +634,19 @@ Coordinator::run()
             fds.push_back({workers[wi].resFd, POLLIN, 0});
             owner.push_back(wi);
         }
-        const int ready = ::poll(fds.data(),
-                                 static_cast<nfds_t>(fds.size()), 10000);
+        const int ready =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   pollTimeoutMs());
         if (ready < 0 && errno != EINTR)
             break;
         for (std::size_t i = 0; i < fds.size(); ++i) {
             if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
                 drainWorker(owner[i]);
         }
+        // Runs on *every* wakeup — including a poll() that timed out
+        // with no readable fds, which previously looped silently and
+        // made the watchdog dead code.
+        checkLiveness();
     }
     // Terminate the in-place line before normal stdout reporting.
     if (options.progress)
@@ -467,9 +723,15 @@ runFarm(const CampaignSpec &spec, const FarmOptions &options)
         std::max<unsigned>(nshards, 1),
         static_cast<unsigned>(jobs.size()));
 
+    // Arm the fault injector in the coordinator too: only the spawn
+    // path ever sets a context here, so the sole coordinator-side
+    // fault is SpawnFail — workers arm independently after exec.
+    FaultInjector::global().armFromEnv();
+
     IgnoreSigpipe sigpipe_guard;
-    Coordinator coord{spec, options, farm.campaign, cache,
-                      {}, {}, &farm, 0, 0, 0, 0};
+    Coordinator coord{spec, options, farm.campaign, cache};
+    coord.farm = &farm;
+    coord.binary = binary;
     coord.jobsTotal = jobs.size();
 
     // Contiguous shards over the deduped job list (grid order).
@@ -484,14 +746,35 @@ runFarm(const CampaignSpec &spec, const FarmOptions &options)
     if (const char *env = std::getenv("RATSIM_FARM_TEST_KILL_AFTER"))
         kill_after = parseU64(env, "RATSIM_FARM_TEST_KILL_AFTER");
 
-    coord.workers.reserve(nworkers);
+    // Pre-size the slot table so worker slot N is always workers[N],
+    // even when some initial spawns fail; failed slots become respawn
+    // candidates instead of silently shrinking the pool.
+    coord.workers.resize(nworkers);
     for (unsigned w = 0; w < nworkers; ++w) {
-        if (!coord.spawnWorker(w, binary, w == 0 ? kill_after : 0))
-            break;
+        coord.workers[w].slot = w;
+        coord.workers[w].shard = w % nshards;
     }
-    farm.workersSpawned = static_cast<unsigned>(coord.workers.size());
-    if (coord.workers.empty()) {
-        farm.error = "could not spawn any farm worker";
+    unsigned spawned = 0;
+    for (unsigned w = 0; w < nworkers; ++w) {
+        if (coord.spawnWorker(w, w == 0 ? kill_after : 0)) {
+            ++spawned;
+        } else if (options.respawn) {
+            coord.workers[w].respawnPending = true;
+            coord.workers[w].respawnAt =
+                std::chrono::steady_clock::now() + respawnBackoff(0);
+        }
+    }
+    farm.workersSpawned = spawned;
+    if (spawned == 0) {
+        // Total spawn failure (fork exhaustion, unusable binary):
+        // rather than giving up with zero results, degrade to the
+        // in-process runner — slower, single-process, but it finishes
+        // the campaign with the exact same bytes.
+        warn("farm: could not spawn any worker — "
+             "falling back to in-process execution");
+        farm.inProcessFallback = true;
+        farm.campaign = runCampaign(spec);
+        farm.completed = true;
         return farm;
     }
 
@@ -523,12 +806,22 @@ runFarm(const CampaignSpec &spec, const FarmOptions &options)
 
     farm.campaign.simulated = coord.simulated;
     farm.campaign.failedStores = coord.failedStores;
-    farm.completed =
-        coord.jobsDone >= coord.jobsTotal && farm.failedCells == 0;
-    if (!farm.completed && farm.error.empty())
-        farm.error = "all workers died before the grid finished; "
-                     "completed cells are in the result cache — "
-                     "re-run to resume";
+    farm.completed = coord.jobsDone >= coord.jobsTotal &&
+                     farm.failedCells == 0 &&
+                     farm.quarantinedCells.empty();
+    if (!farm.completed && farm.error.empty()) {
+        if (!farm.quarantinedCells.empty())
+            farm.error =
+                std::to_string(farm.quarantinedCells.size()) +
+                " cell(s) quarantined after exhausting their retry "
+                "budget (first: '" +
+                farm.quarantinedCells.front() +
+                "'); every other cell is in the result cache";
+        else
+            farm.error = "all workers died before the grid finished; "
+                         "completed cells are in the result cache — "
+                         "re-run to resume";
+    }
     fanOutDuplicates(farm.campaign, plan.pending);
     return farm;
 }
@@ -550,6 +843,14 @@ farmWorkerMain(const std::string &cache_dir, unsigned worker_id,
     setLogLevelFromEnv();
     inform("worker %u up (pid %d)", worker_id,
            static_cast<int>(::getpid()));
+
+    // Chaos harness: RATSIM_FAULT (inherited across fork/exec) arms
+    // deterministic fault injection for this worker's job loop, its
+    // frame writes and its cache stores.
+    auto &injector = FaultInjector::global();
+    if (injector.armFromEnv())
+        inform("fault schedule armed: %s",
+               injector.schedule().spec.c_str());
 
     const report::ResultCache cache(cache_dir);
     report::FrameReader job_stream(STDIN_FILENO);
@@ -576,6 +877,16 @@ farmWorkerMain(const std::string &cache_dir, unsigned worker_id,
             warn("farm worker: job frame missing fields");
             return 1;
         }
+        const report::Json *attempt_json = doc->find("attempt");
+        const std::uint64_t attempt =
+            attempt_json && attempt_json->isU64() ? attempt_json->asU64()
+                                                  : 0;
+
+        // Fault context for this job: every injection decision below
+        // (frame writes, the kill/hang/slow points, the cache store)
+        // hashes against (cell index, attempt), so retries of a cell
+        // redraw their faults instead of failing identically forever.
+        injector.setContext(index->asU64(), attempt);
 
         // Typed progress frame before the (long) simulation: tells the
         // coordinator which cell this worker is busy on and doubles as
@@ -587,6 +898,19 @@ farmWorkerMain(const std::string &cache_dir, unsigned worker_id,
         progress["index"] = report::Json(index->asU64());
         if (!report::writeFrame(result_fd, progress.dump()))
             return 1; // coordinator went away
+
+        // Lethal / latency faults, after the heartbeat so the
+        // coordinator knows which cell is held. Kill models a crash
+        // (the original kill_after semantics, made probabilistic);
+        // hang models a wedge only the --job-timeout watchdog can
+        // clear; slow models contention without being lethal.
+        if (injector.fire(FaultKind::Kill))
+            ::raise(SIGKILL);
+        if (injector.fire(FaultKind::Hang))
+            for (;;)
+                ::pause();
+        if (injector.fire(FaultKind::Slow))
+            std::this_thread::sleep_for(injector.slowDelay());
 
         report::Json reply = report::Json::object();
         reply["index"] = report::Json(index->asU64());
@@ -616,6 +940,7 @@ farmWorkerMain(const std::string &cache_dir, unsigned worker_id,
         }
         if (!report::writeFrame(result_fd, reply.dump()))
             return 1; // coordinator went away
+        injector.clearContext();
         ++completed;
     }
     return job_stream.truncated() ? 1 : 0;

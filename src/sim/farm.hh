@@ -55,6 +55,28 @@ struct FarmOptions {
      * scripted captures of stderr stay stable.
      */
     bool progress = false;
+    /**
+     * Hung-worker watchdog: a worker with a job in flight that has
+     * produced no frame for this many seconds is presumed wedged,
+     * SIGKILLed and reaped, and its job requeued (counted in
+     * FarmOutcome::workersTimedOut). 0 disables the watchdog.
+     */
+    unsigned jobTimeoutSec = 0;
+    /**
+     * Per-cell retry budget: a cell whose worker dies while holding it
+     * is requeued up to this many times; one more death quarantines
+     * the cell (FarmOutcome::quarantinedCells) instead of letting a
+     * poisoned job murder worker after worker until the farm starves.
+     */
+    unsigned maxRetries = 2;
+    /**
+     * Respawn dead workers (with exponential backoff per slot) while
+     * undone work remains, so a crash is lost capacity for
+     * milliseconds instead of the rest of the campaign. A crash-loop
+     * breaker stops respawning when repeated respawns make no
+     * progress.
+     */
+    bool respawn = true;
 };
 
 /** A finished (or aborted) farm run. */
@@ -72,6 +94,16 @@ struct FarmOutcome {
     /** Cells whose simulation failed inside a worker (reported as an
      * error frame; not retried). */
     std::uint64_t failedCells = 0;
+    /** Dead workers respawned into their slot. */
+    std::uint64_t workersRespawned = 0;
+    /** Workers SIGKILLed by the --job-timeout watchdog. */
+    std::uint64_t workersTimedOut = 0;
+    /** Cache keys of cells quarantined after exhausting their retry
+     * budget (each killed its worker --max-retries + 1 times). */
+    std::vector<std::string> quarantinedCells;
+    /** True when no worker could be spawned and the campaign ran
+     * in-process instead (degraded but complete). */
+    bool inProcessFallback = false;
     /** True when every grid cell has a result. */
     bool completed = false;
     /** Diagnostic when !completed (or failedCells > 0). */

@@ -121,6 +121,15 @@ usage()
         "                            resumable after a crash or kill -9)\n"
         "  --progress                live progress line on stderr (cells\n"
         "                            done/total, steals, deaths, ETA)\n"
+        "  --job-timeout N           SIGKILL + requeue a worker whose\n"
+        "                            cell produced no frame for N s\n"
+        "                            (default 0 = watchdog off)\n"
+        "  --max-retries N           requeue budget per cell; one more\n"
+        "                            worker death quarantines the cell\n"
+        "                            (default 2)\n"
+        "  --no-respawn              do not refill dead worker slots\n"
+        "                            (respawn with backoff is on by\n"
+        "                            default)\n"
         "\n"
         "discovery:\n"
         "  --list-programs           print modelled SPEC2000 programs\n"
@@ -534,6 +543,14 @@ sweepCommand(const std::vector<std::string> &args, bool farm_mode)
                 parseU64(next(), "--sample-window");
         } else if (farm_mode && arg == "--progress") {
             farm_options.progress = true;
+        } else if (farm_mode && arg == "--job-timeout") {
+            farm_options.jobTimeoutSec =
+                parseUnsigned(next(), "--job-timeout");
+        } else if (farm_mode && arg == "--max-retries") {
+            farm_options.maxRetries =
+                parseUnsigned(next(), "--max-retries");
+        } else if (farm_mode && arg == "--no-respawn") {
+            farm_options.respawn = false;
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());
@@ -583,6 +600,24 @@ sweepCommand(const std::vector<std::string> &args, bool farm_mode)
                     static_cast<unsigned long long>(farm.workerDeaths),
                     static_cast<unsigned long long>(farm.jobsRequeued),
                     static_cast<unsigned long long>(farm.jobsStolen));
+        if (farm.workersRespawned || farm.workersTimedOut ||
+            !farm.quarantinedCells.empty() ||
+            outcome.cacheQuarantined || farm.inProcessFallback)
+            std::printf("farm: %llu respawned, %llu timed out, "
+                        "%zu quarantined cells, %llu quarantined "
+                        "cache files%s\n",
+                        static_cast<unsigned long long>(
+                            farm.workersRespawned),
+                        static_cast<unsigned long long>(
+                            farm.workersTimedOut),
+                        farm.quarantinedCells.size(),
+                        static_cast<unsigned long long>(
+                            outcome.cacheQuarantined),
+                        farm.inProcessFallback
+                            ? ", in-process fallback"
+                            : "");
+        for (const std::string &key : farm.quarantinedCells)
+            warn("farm: quarantined cell %s", key.c_str());
         if (!farm.completed) {
             warn("farm did not complete: %s", farm.error.c_str());
             // Completed cells are durable in the cache; a re-run of

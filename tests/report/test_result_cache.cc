@@ -12,6 +12,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -74,7 +75,7 @@ TEST(ResultCacheFailure, SuccessfulStoreReturnsTrueAndLeavesNoTmp)
     EXPECT_EQ(tmps, 0u); // renamed, not lingering
 }
 
-TEST(ResultCacheFailure, TruncatedCellFileIsAMissNotACrash)
+TEST(ResultCacheFailure, TruncatedCellFileIsQuarantinedNotACrash)
 {
     TempDir dir("rc_truncated");
     const ResultCache cache(dir.path.string());
@@ -83,15 +84,21 @@ TEST(ResultCacheFailure, TruncatedCellFileIsAMissNotACrash)
     ASSERT_TRUE(cache.load(key));
 
     // Chop the tail off the stored cell — the short-write shape a
-    // crashed writer without stream checking used to publish.
+    // crashed writer without stream checking used to publish. The
+    // load must miss AND move the damage aside (quarantine) so it is
+    // paid for exactly once.
     const fs::path cell = dir.path / ResultCache::fileNameFor(key);
     const auto size = fs::file_size(cell);
     fs::resize_file(cell, size / 2);
     EXPECT_FALSE(cache.load(key));
+    EXPECT_EQ(cache.quarantined(), 1u);
+    EXPECT_FALSE(fs::exists(cell));
+    EXPECT_TRUE(fs::exists(cell.string() + ".bad"));
 
     // Zero-byte cell (open() succeeded, nothing was flushed).
-    fs::resize_file(cell, 0);
+    std::ofstream(cell).flush();
     EXPECT_FALSE(cache.load(key));
+    EXPECT_EQ(cache.quarantined(), 2u);
 }
 
 TEST(ResultCacheFailure, KeyCollisionMismatchIsAMiss)
@@ -103,10 +110,14 @@ TEST(ResultCacheFailure, KeyCollisionMismatchIsAMiss)
     ASSERT_TRUE(cache.store(key_a, sampleResult("art", 0.5)));
 
     // Simulate FNV collision: key_b's file name holds key_a's cell.
+    // A *valid* cell for the wrong key is a miss, never a quarantine
+    // candidate — it may be somebody else's good data.
     fs::copy_file(dir.path / ResultCache::fileNameFor(key_a),
                   dir.path / ResultCache::fileNameFor(key_b));
     EXPECT_FALSE(cache.load(key_b));
     EXPECT_TRUE(cache.load(key_a)); // the real cell still hits
+    EXPECT_EQ(cache.quarantined(), 0u);
+    EXPECT_TRUE(fs::exists(dir.path / ResultCache::fileNameFor(key_b)));
 }
 
 TEST(ResultCacheFailure, UnwritableCacheDirFailsStoreWithoutGarbage)
@@ -213,6 +224,96 @@ TEST(ResultCacheFailure, StaleTmpFilesAreReapedOnOpenFreshOnesKept)
     ASSERT_TRUE(cache.store(key, sampleResult("art", 0.5)));
     const ResultCache reopened(dir.path.string());
     EXPECT_TRUE(reopened.load(key));
+}
+
+TEST(ResultCacheChecksum, BitRotInsideTheResultIsCaughtAndQuarantined)
+{
+    // Flip one digit of a numeric field inside the stored result:
+    // the cell still parses, the key still matches — only the FNV-1a
+    // payload checksum can catch it.
+    TempDir dir("rc_bitrot");
+    const ResultCache cache(dir.path.string());
+    const std::string key = sampleKey(20);
+    ASSERT_TRUE(cache.store(key, sampleResult("art", 0.5)));
+
+    const fs::path cell = dir.path / ResultCache::fileNameFor(key);
+    std::string text;
+    {
+        std::ifstream in(cell);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    // The sample result has cycles = 4242; rot it to 4243 in place.
+    const auto pos = text.rfind("4242");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 4, "4243");
+    std::ofstream(cell, std::ios::trunc) << text;
+
+    EXPECT_FALSE(cache.load(key));
+    EXPECT_EQ(cache.quarantined(), 1u);
+    EXPECT_TRUE(fs::exists(cell.string() + ".bad"));
+    EXPECT_FALSE(fs::exists(cell));
+}
+
+TEST(ResultCacheChecksum, MissingChecksumFieldIsQuarantined)
+{
+    // A hand-built cell with a valid key and result but no checksum
+    // member (the v1 shape smuggled under a v2 name) must not load.
+    TempDir dir("rc_nochecksum");
+    const ResultCache cache(dir.path.string());
+    const std::string key = sampleKey(21);
+
+    Json cell = Json::object();
+    cell["key"] = Json(key);
+    cell["result"] = toJson(sampleResult("art", 0.5));
+    fs::create_directories(dir.path);
+    std::ofstream(dir.path / ResultCache::fileNameFor(key))
+        << cell.dump(2);
+
+    EXPECT_FALSE(cache.load(key));
+    EXPECT_EQ(cache.quarantined(), 1u);
+}
+
+TEST(ResultCacheChecksum, QuarantinedCellHealsOnTheNextStore)
+{
+    // The self-healing cycle: damage -> quarantined miss -> caller
+    // re-simulates -> store -> clean hit; the .bad corpse stays for
+    // post-mortem but is invisible to lookups.
+    TempDir dir("rc_heal");
+    const ResultCache cache(dir.path.string());
+    const std::string key = sampleKey(22);
+    ASSERT_TRUE(cache.store(key, sampleResult("art", 0.5)));
+
+    const fs::path cell = dir.path / ResultCache::fileNameFor(key);
+    std::ofstream(cell, std::ios::trunc) << "not even json";
+    EXPECT_FALSE(cache.load(key));
+    EXPECT_EQ(cache.quarantined(), 1u);
+
+    ASSERT_TRUE(cache.store(key, sampleResult("art", 0.5)));
+    const auto healed = cache.load(key);
+    ASSERT_TRUE(healed);
+    EXPECT_EQ(healed->threads.at(0).ipc, 0.5);
+    EXPECT_EQ(cache.quarantined(), 1u); // no new quarantine
+    EXPECT_TRUE(fs::exists(cell.string() + ".bad"));
+}
+
+TEST(ResultCacheChecksum, StoredCellsRoundTripThroughTheChecksum)
+{
+    // The checksum is computed over the compact re-dump of the parsed
+    // result, so it only works if dump(parse(dump(x))) is stable —
+    // exercised here across integer and floating payload fields.
+    TempDir dir("rc_roundtrip");
+    const ResultCache cache(dir.path.string());
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        const std::string key = sampleKey(100 + i);
+        ASSERT_TRUE(cache.store(
+            key, sampleResult("art", 0.1 + 0.037 * static_cast<double>(i))));
+        EXPECT_TRUE(cache.load(key)) << "cell " << i;
+    }
+    EXPECT_EQ(cache.quarantined(), 0u);
+    EXPECT_EQ(cache.stats().hits, 16u);
+    EXPECT_EQ(cache.stats().quarantined, 0u);
 }
 
 } // namespace

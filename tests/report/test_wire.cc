@@ -8,12 +8,15 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
 #include "report/wire.hh"
 
 namespace rat::report {
@@ -141,6 +144,186 @@ TEST(Wire, BufferFlagsInsaneLengthPrefixAsCorrupt)
     const char more[] = {1, 0, 0, 0, 'y'};
     buf.feed(more, sizeof(more));
     EXPECT_FALSE(buf.pop());
+}
+
+/**
+ * Seeded adversarial fuzz over the frame decoders. Deterministic
+ * (fixed seeds, stateless splitmix64 draws): any failure replays
+ * exactly. Three properties must hold for every input, however
+ * mangled: no crash, every delivered frame is one that was actually
+ * written (no mis-framing, no duplicates), and corruption beyond
+ * repair latches corrupt()/truncated() instead of resyncing.
+ */
+
+std::uint64_t
+fuzzDraw(std::uint64_t seed, std::uint64_t n)
+{
+    return splitmix64(hashCombine(seed, n));
+}
+
+/** A well-formed multi-frame stream plus the payloads it encodes. */
+std::string
+buildStream(std::uint64_t seed, std::vector<std::string> *payloads)
+{
+    std::string stream;
+    const std::size_t nframes = 1 + fuzzDraw(seed, 0) % 8;
+    for (std::size_t f = 0; f < nframes; ++f) {
+        const std::size_t len = fuzzDraw(seed, 100 + f) % 2000;
+        std::string payload(len, '\0');
+        for (std::size_t i = 0; i < len; ++i)
+            payload[i] = static_cast<char>(
+                fuzzDraw(seed, (f << 16) ^ i) & 0xff);
+        const std::uint32_t n = static_cast<std::uint32_t>(len);
+        stream.push_back(static_cast<char>(n & 0xff));
+        stream.push_back(static_cast<char>((n >> 8) & 0xff));
+        stream.push_back(static_cast<char>((n >> 16) & 0xff));
+        stream.push_back(static_cast<char>((n >> 24) & 0xff));
+        stream += payload;
+        payloads->push_back(std::move(payload));
+    }
+    return stream;
+}
+
+/** Feed @p stream to a FrameBuffer in random chunk sizes; collect
+ * every popped frame. */
+std::vector<std::string>
+decodeChunked(const std::string &stream, std::uint64_t seed,
+              FrameBuffer *buf)
+{
+    std::vector<std::string> got;
+    std::size_t pos = 0, step = 0;
+    while (pos < stream.size()) {
+        const std::size_t chunk = std::min(
+            stream.size() - pos,
+            static_cast<std::size_t>(1 +
+                                     fuzzDraw(seed, 5000 + step) % 97));
+        buf->feed(stream.data() + pos, chunk);
+        pos += chunk;
+        ++step;
+        while (auto frame = buf->pop())
+            got.push_back(std::move(*frame));
+    }
+    return got;
+}
+
+TEST(WireFuzz, RandomChunkSplitsNeverDuplicateOrDropFrames)
+{
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        std::vector<std::string> sent;
+        const std::string stream = buildStream(seed, &sent);
+        FrameBuffer buf;
+        const auto got = decodeChunked(stream, seed, &buf);
+        EXPECT_FALSE(buf.corrupt()) << "seed " << seed;
+        EXPECT_EQ(buf.pendingBytes(), 0u) << "seed " << seed;
+        ASSERT_EQ(got.size(), sent.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < sent.size(); ++i)
+            EXPECT_EQ(got[i], sent[i]) << "seed " << seed;
+    }
+}
+
+TEST(WireFuzz, CorruptedLengthPrefixesLatchNotCrash)
+{
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        std::vector<std::string> sent;
+        std::string stream = buildStream(seed, &sent);
+        // Smash one byte of the first frame's length prefix with a
+        // high byte: the decoded length either balloons past the
+        // 64 MiB bound (corrupt must latch) or mis-frames the rest of
+        // the stream (decoder must never deliver more frames than
+        // were sent, and must never crash).
+        stream[fuzzDraw(seed, 7) % 4] = '\xff';
+        FrameBuffer buf;
+        const auto got = decodeChunked(stream, seed, &buf);
+        // The protocol does not checksum payloads, so an in-bounds
+        // mangled length mis-frames (the farm's JSON layer rejects
+        // those frames). What the decoder must guarantee: every
+        // delivered byte is consumed exactly once (no duplication —
+        // total delivered + overhead never exceeds the stream), and
+        // an out-of-bounds length latches corrupt() permanently.
+        std::size_t bytes = 0;
+        for (const auto &f : got)
+            bytes += 4 + f.size();
+        EXPECT_LE(bytes, stream.size()) << "seed " << seed;
+        if (buf.corrupt()) {
+            const char more[] = {1, 0, 0, 0, 'z'};
+            buf.feed(more, sizeof(more));
+            EXPECT_FALSE(buf.pop()) << "seed " << seed;
+        }
+    }
+}
+
+TEST(WireFuzz, OversizeFrameIsRejectedByEveryDecoder)
+{
+    // 64 MiB + 1 length prefix, no payload behind it.
+    const std::uint32_t len = kMaxFramePayload + 1;
+    const char prefix[4] = {
+        static_cast<char>(len & 0xff),
+        static_cast<char>((len >> 8) & 0xff),
+        static_cast<char>((len >> 16) & 0xff),
+        static_cast<char>((len >> 24) & 0xff),
+    };
+    FrameBuffer buf;
+    buf.feed(prefix, sizeof(prefix));
+    EXPECT_FALSE(buf.pop());
+    EXPECT_TRUE(buf.corrupt());
+
+    Pipe pipe;
+    ASSERT_EQ(::write(pipe.wr, prefix, sizeof(prefix)),
+              static_cast<ssize_t>(sizeof(prefix)));
+    pipe.closeWrite();
+    FrameReader reader(pipe.rd);
+    EXPECT_FALSE(reader.next());
+    EXPECT_TRUE(reader.truncated());
+}
+
+TEST(WireFuzz, MidFrameTruncationIsDetectedAtEveryCutPoint)
+{
+    for (std::uint64_t seed = 60; seed <= 80; ++seed) {
+        std::vector<std::string> sent;
+        const std::string stream = buildStream(seed, &sent);
+        // Cut the stream mid-way; everything up to the cut decodes,
+        // the torn tail is reported as pending bytes, and a
+        // FrameReader over the same bytes flags truncation unless the
+        // cut landed exactly on a frame boundary.
+        const std::size_t cut = 1 + fuzzDraw(seed, 9) % (stream.size() - 1);
+        const std::string torn = stream.substr(0, cut);
+
+        FrameBuffer buf;
+        const auto got = decodeChunked(torn, seed, &buf);
+        EXPECT_FALSE(buf.corrupt()) << "seed " << seed;
+        EXPECT_LE(got.size(), sent.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], sent[i]) << "seed " << seed;
+        std::size_t decoded = 0;
+        for (const auto &f : got)
+            decoded += 4 + f.size();
+        EXPECT_EQ(buf.pendingBytes(), torn.size() - decoded)
+            << "seed " << seed;
+
+        Pipe pipe;
+        ASSERT_EQ(::write(pipe.wr, torn.data(), torn.size()),
+                  static_cast<ssize_t>(torn.size()));
+        pipe.closeWrite();
+        FrameReader reader(pipe.rd);
+        std::size_t read_frames = 0;
+        while (reader.next())
+            ++read_frames;
+        EXPECT_EQ(read_frames, got.size()) << "seed " << seed;
+        EXPECT_EQ(reader.truncated(), decoded != torn.size())
+            << "seed " << seed;
+    }
+}
+
+TEST(WireFuzz, GarbageBurstFromInjectedFaultLatchesCorrupt)
+{
+    // The exact burst the garbage-frame fault writes (0xff * 12) must
+    // deterministically latch the receiving buffer as corrupt — the
+    // farm's recovery path depends on detection being immediate.
+    FrameBuffer buf;
+    const std::string junk(12, '\xff');
+    buf.feed(junk.data(), junk.size());
+    EXPECT_FALSE(buf.pop());
+    EXPECT_TRUE(buf.corrupt());
 }
 
 } // namespace

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Chaos smoke test: the >=100-cell farm campaign from farm_smoke.sh,
+# re-run under several deterministic RATSIM_FAULT schedules (worker
+# kills, hangs, garbage frames, torn cache stores, latency). Every
+# chaotic run must finish with JSON and CSV reports byte-identical to
+# the fault-free single-process sweep; a poisoned cell must be
+# quarantined with a non-zero exit instead of stalling the farm; and a
+# clean re-run must heal the cache and complete.
+#
+# On failure the offending fault schedule is printed — rerunning with
+# that exact RATSIM_FAULT value reproduces the run bit-for-bit.
+#
+# Usage: chaos_smoke.sh /path/to/ratsim
+set -u
+
+RATSIM=${1:?usage: chaos_smoke.sh /path/to/ratsim}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ratsim_chaos_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "FAIL: fault schedule was RATSIM_FAULT='${RATSIM_FAULT:-}'" >&2
+    exit 1
+}
+
+# 2 policies x 2 workloads x 26 seeds = 104 cells.
+SEEDS=$(seq -s, 1 26)
+GRID=(--policies ICOUNT,RaT --workloads "art,mcf;swim,twolf"
+      --seeds "$SEEDS" --measure 400 --warmup 100 --prewarm 2000)
+FARM=(--workers 3 --job-timeout 2 --max-retries 5)
+
+echo "== reference sweep (single process, fault-free) =="
+"$RATSIM" sweep "${GRID[@]}" \
+    --json "$WORK/ref.json" --csv "$WORK/ref.csv" \
+    > "$WORK/sweep.log" 2>&1 || fail "reference sweep failed"
+grep -q "sweep: 104 cells" "$WORK/sweep.log" \
+    || fail "expected a 104-cell grid, got: $(cat "$WORK/sweep.log")"
+
+# Every fault class at once, at rates that kill a handful of workers
+# per run on a 104-cell grid. Several seeds so the schedule shape —
+# not one lucky draw — is what passes.
+FAULTS="kill@p0.02,hang@p0.01,garbage-frame@p0.005,torn-store@p0.01,slow@p0.05"
+for seed in 3 7 11; do
+    export RATSIM_FAULT="seed=${seed}:${FAULTS}"
+    echo "== chaotic farm, RATSIM_FAULT=$RATSIM_FAULT =="
+    rm -rf "$WORK/cache"
+    "$RATSIM" farm "${GRID[@]}" "${FARM[@]}" --cache "$WORK/cache" \
+        --json "$WORK/chaos.json" --csv "$WORK/chaos.csv" \
+        > "$WORK/chaos_${seed}.log" 2>&1 \
+        || fail "chaotic farm failed: $(cat "$WORK/chaos_${seed}.log")"
+    cmp "$WORK/chaos.json" "$WORK/ref.json" \
+        || fail "JSON differs from fault-free sweep"
+    cmp "$WORK/chaos.csv" "$WORK/ref.csv" \
+        || fail "CSV differs from fault-free sweep"
+    rm -f "$WORK/chaos.json" "$WORK/chaos.csv"
+done
+unset RATSIM_FAULT
+
+echo "== poisoned cell: quarantined, not fatal to the campaign =="
+# Cell 5 kills its worker on every attempt: after --max-retries 2 the
+# farm must quarantine it, keep going, and exit non-zero (no reports).
+export RATSIM_FAULT="seed=1:kill@x5"
+rm -rf "$WORK/cache"
+if "$RATSIM" farm "${GRID[@]}" \
+    --workers 3 --max-retries 2 --cache "$WORK/cache" \
+    --json "$WORK/poison.json" --csv "$WORK/poison.csv" \
+    > "$WORK/poison.log" 2>&1; then
+    fail "farm must exit non-zero when a cell is quarantined"
+fi
+grep -q "quarantin" "$WORK/poison.log" \
+    || fail "quarantine not reported: $(cat "$WORK/poison.log")"
+grep -q "103 simulated" "$WORK/poison.log" \
+    || fail "other cells must still land: $(cat "$WORK/poison.log")"
+[ ! -e "$WORK/poison.json" ] || fail "quarantined farm must not write reports"
+unset RATSIM_FAULT
+
+echo "== clean re-run heals the poisoned campaign from cache =="
+"$RATSIM" farm "${GRID[@]}" --workers 3 --cache "$WORK/cache" \
+    --json "$WORK/healed.json" --csv "$WORK/healed.csv" \
+    > "$WORK/heal.log" 2>&1 || fail "heal run failed: $(cat "$WORK/heal.log")"
+grep -q "farm: 104 cells (1 simulated, 103 from cache, 0 failed stores)" \
+    "$WORK/heal.log" \
+    || fail "heal accounting wrong: $(cat "$WORK/heal.log")"
+cmp "$WORK/healed.json" "$WORK/ref.json" || fail "healed JSON differs"
+cmp "$WORK/healed.csv" "$WORK/ref.csv" || fail "healed CSV differs"
+
+echo "PASS: chaos runs matched the fault-free sweep byte-for-byte"

@@ -26,8 +26,10 @@ grep -q "sweep: 104 cells" "$WORK/sweep.log" \
     || fail "expected a 104-cell grid, got: $(cat "$WORK/sweep.log")"
 
 echo "== farm run 1: sole worker killed after 30 cells =="
+# --no-respawn: this leg's premise is the abort-then-resume path; with
+# respawning (the default) the farm would just heal and finish.
 if RATSIM_FARM_TEST_KILL_AFTER=30 "$RATSIM" farm "${GRID[@]}" \
-    --workers 1 --cache "$WORK/cache" \
+    --workers 1 --no-respawn --cache "$WORK/cache" \
     --json "$WORK/dead.json" --csv "$WORK/dead.csv" \
     > "$WORK/farm1.log" 2>&1; then
     fail "farm must exit non-zero when its only worker is killed"

@@ -124,9 +124,13 @@ TEST(Farm, KilledSoleWorkerAbortsWithPartialCacheThenResumes)
     // those two cells must already be durable in the shared cache.
     // The worker dies holding its third job, so the coordinator must
     // also requeue that in-flight cell (with no survivor to take it).
+    // Respawning is disabled so the abort-and-resume path stays
+    // reachable — with it on, the farm would just heal and finish.
     {
         KillAfter kill("2");
-        const FarmOutcome crashed = runFarm(spec, farmOptions(1));
+        FarmOptions no_respawn = farmOptions(1);
+        no_respawn.respawn = false;
+        const FarmOutcome crashed = runFarm(spec, no_respawn);
         EXPECT_FALSE(crashed.completed);
         EXPECT_FALSE(crashed.error.empty());
         EXPECT_EQ(crashed.workerDeaths, 1u);
@@ -167,6 +171,31 @@ TEST(Farm, SurvivorsDrainAKilledWorkersShards)
     EXPECT_EQ(farm.workerDeaths, 1u);
     EXPECT_GE(farm.jobsRequeued, 1u);
     EXPECT_EQ(farm.campaign.simulated, 12u);
+
+    CampaignSpec uncached = spec;
+    uncached.cacheDir.clear();
+    const CampaignOutcome sweep = runCampaign(uncached);
+    EXPECT_EQ(reportJson(farm.campaign, spec),
+              reportJson(sweep, uncached));
+}
+
+TEST(Farm, RespawnRefillsAKilledSlotAndCompletes)
+{
+    TempCacheDir cache("farm_respawn");
+    const CampaignSpec spec = smallSpec(cache.path.string());
+
+    // The sole worker dies holding its third job. With respawning on
+    // (the default) the slot is refilled after backoff — the respawned
+    // process does not inherit the kill hook, which models a single
+    // operator kill -9 — and the campaign completes in one run.
+    KillAfter kill("2");
+    const FarmOutcome farm = runFarm(spec, farmOptions(1));
+    ASSERT_TRUE(farm.completed) << farm.error;
+    EXPECT_EQ(farm.workerDeaths, 1u);
+    EXPECT_EQ(farm.workersRespawned, 1u);
+    EXPECT_EQ(farm.jobsRequeued, 1u);
+    EXPECT_EQ(farm.campaign.simulated, 6u);
+    EXPECT_TRUE(farm.quarantinedCells.empty());
 
     CampaignSpec uncached = spec;
     uncached.cacheDir.clear();
