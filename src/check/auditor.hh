@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Runtime invariant auditor: the read-only cross-checker behind
+ * `--check-level`. At a tick boundary every redundant encoding the
+ * core maintains for speed — occupancy counters, free-list counts,
+ * intrusive list links, back-pointer indices, the MSHR line index,
+ * the engine's episode state — must agree with the ground truth it
+ * summarizes. The auditor walks the ground truth (the ROB, the rename
+ * maps, the pipeline lists) and recomputes each summary; any mismatch
+ * becomes a structured AuditFailure naming the cycle, thread and
+ * structure, instead of a silently wrong number thousands of cycles
+ * later.
+ *
+ * The audit never mutates simulator state (it is `const` all the way
+ * down and calls no lazily-mutating accessors), so enabling it cannot
+ * perturb results — checked runs are bit-identical to unchecked runs.
+ */
+
+#ifndef RAT_CHECK_AUDITOR_HH
+#define RAT_CHECK_AUDITOR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rat::core {
+class SmtCore;
+}
+
+namespace rat::check {
+
+/** One invariant violation, localized for a bug report. */
+struct AuditFailure {
+    /** Cycle the audit ran at. */
+    Cycle cycle = 0;
+    /** Offending thread, or -1 for core-wide structures. */
+    int tid = -1;
+    /**
+     * Structure tag, one of: "rob", "occupancy", "regfile", "map",
+     * "lsq", "iq", "mshr", "runahead", "pool", "sched".
+     */
+    std::string structure;
+    /** Human-readable diagnostic with the mismatching values. */
+    std::string detail;
+};
+
+/** The result of one audit pass. */
+struct AuditReport {
+    std::vector<AuditFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+    /** All failures formatted one per line. */
+    std::string format() const;
+};
+
+/**
+ * The auditor itself is stateless; it is a class (not free functions)
+ * only to be nameable as a friend of the structures it inspects.
+ */
+class Auditor
+{
+  public:
+    /** Run every invariant check against @p core's current state. */
+    static AuditReport audit(const core::SmtCore &core);
+
+  private:
+    static void auditRob(const core::SmtCore &core, AuditReport &report);
+    static void auditOccupancy(const core::SmtCore &core,
+                               AuditReport &report);
+    static void auditRegisters(const core::SmtCore &core,
+                               AuditReport &report);
+    static void auditLsq(const core::SmtCore &core, AuditReport &report);
+    static void auditIssueQueues(const core::SmtCore &core,
+                                 AuditReport &report);
+    static void auditMshrs(const core::SmtCore &core, AuditReport &report);
+    static void auditRunahead(const core::SmtCore &core,
+                              AuditReport &report);
+};
+
+} // namespace rat::check
+
+#endif // RAT_CHECK_AUDITOR_HH

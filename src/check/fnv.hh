@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Incremental 64-bit FNV-1a hasher for the self-checking subsystem's
+ * state digests. The same constants as report::fnv1a64 (the cache-key
+ * hash), but fed field-by-field: every value is decomposed into its 8
+ * little-endian bytes, so a digest is a pure function of the visited
+ * value sequence — independent of struct padding, host endianness and
+ * compiler layout.
+ */
+
+#ifndef RAT_CHECK_FNV_HH
+#define RAT_CHECK_FNV_HH
+
+#include <cstdint>
+
+namespace rat::check {
+
+class Fnv64
+{
+  public:
+    static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+    /** Fold one 64-bit value, little-endian byte by byte. */
+    void
+    u64(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash_ ^= (v >> (8 * i)) & 0xFF;
+            hash_ *= kPrime;
+        }
+    }
+
+    void b(bool v) { u64(v ? 1 : 0); }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = kOffsetBasis;
+};
+
+} // namespace rat::check
+
+#endif // RAT_CHECK_FNV_HH

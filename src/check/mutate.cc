@@ -1,0 +1,118 @@
+#include "check/mutate.hh"
+
+#include "core/smt_core.hh"
+
+namespace rat::check {
+
+const char *
+Mutator::kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::RobOrder: return "rob-order";
+      case Kind::Icount: return "icount";
+      case Kind::RegsHeld: return "regs-held";
+      case Kind::MapFreeReg: return "map-free-reg";
+      case Kind::LsqChain: return "lsq-chain";
+      case Kind::IqPos: return "iq-pos";
+      case Kind::MshrMin: return "mshr-min";
+      case Kind::RunaheadFlag: return "runahead-flag";
+      case Kind::PoolLeak: return "pool-leak";
+    }
+    return "?";
+}
+
+const char *
+Mutator::structureOf(Kind kind)
+{
+    switch (kind) {
+      case Kind::RobOrder: return "rob";
+      case Kind::Icount: return "occupancy";
+      case Kind::RegsHeld: return "regfile";
+      case Kind::MapFreeReg: return "map";
+      case Kind::LsqChain: return "lsq";
+      case Kind::IqPos: return "iq";
+      case Kind::MshrMin: return "mshr";
+      case Kind::RunaheadFlag: return "runahead";
+      case Kind::PoolLeak: return "pool";
+    }
+    return "?";
+}
+
+bool
+Mutator::apply(core::SmtCore &core, Kind kind)
+{
+    switch (kind) {
+      case Kind::RobOrder:
+        for (ThreadId tid = 0; tid < core.config_.numThreads; ++tid) {
+            core::DynInst *head = core.rob_.head(tid);
+            if (head && head->seqNext) {
+                head->uid = head->seqNext->uid + 1;
+                return true;
+            }
+        }
+        return false;
+
+      case Kind::Icount:
+        core.threads_[0].icount += 1;
+        return true;
+
+      case Kind::RegsHeld:
+        core.threads_[0].intRegsHeld += 1;
+        return true;
+
+      case Kind::MapFreeReg:
+        for (PhysReg r = 0; r < core.intRegs_.size(); ++r) {
+            if (!core.intRegs_.isAllocated(r)) {
+                core.threads_[0].intMap.set(
+                    0, static_cast<core::MapEntry>(r));
+                return true;
+            }
+        }
+        return false;
+
+      case Kind::LsqChain:
+        for (ThreadId tid = 0; tid < core.config_.numThreads; ++tid) {
+            if (core::DynInst *head = core.lsq_.head(tid)) {
+                head->inLsq = false;
+                return true;
+            }
+        }
+        return false;
+
+      case Kind::IqPos:
+        for (auto &iq : core.iqs_) {
+            if (!iq.entries().empty()) {
+                iq.entries().front()->iqPos += 1;
+                return true;
+            }
+        }
+        return false;
+
+      case Kind::MshrMin: {
+        mem::MshrFile &file = core.mem_.l1dMshrs_;
+        if (file.active_.empty())
+            file.minComplete_ = 12345;
+        else
+            file.minComplete_ += 1;
+        return true;
+      }
+
+      case Kind::RunaheadFlag:
+        for (ThreadId tid = 0; tid < core.config_.numThreads; ++tid) {
+            if (core.raEngine_.inRunahead(tid))
+                continue;
+            if (core::DynInst *head = core.rob_.head(tid)) {
+                head->runahead = true;
+                return true;
+            }
+        }
+        return false;
+
+      case Kind::PoolLeak:
+        core.pool_.alloc(0);
+        return true;
+    }
+    return false;
+}
+
+} // namespace rat::check

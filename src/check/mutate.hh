@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Seeded fault injection for the self-checking subsystem's own tests:
+ * each Kind deliberately corrupts one redundant encoding the auditor
+ * cross-checks (ROB order, occupancy tallies, free-list conservation,
+ * rename-map entries, LSQ chains, iqPos back-pointers, the MSHR index,
+ * runahead episode state, pool conservation). The MutationCheck suite
+ * applies every kind to a warmed-up core and asserts the auditor
+ * reports a failure tagged with exactly `structureOf(kind)` — no
+ * false negatives.
+ *
+ * Strictly a test hook: nothing in the simulator calls this.
+ */
+
+#ifndef RAT_CHECK_MUTATE_HH
+#define RAT_CHECK_MUTATE_HH
+
+namespace rat::core {
+class SmtCore;
+}
+
+namespace rat::check {
+
+class Mutator
+{
+  public:
+    enum class Kind {
+        RobOrder,     ///< break ROB age ordering
+        Icount,       ///< desync a thread's icount tally
+        RegsHeld,     ///< break regsHeld vs free-list conservation
+        MapFreeReg,   ///< point a rename-map entry at a free register
+        LsqChain,     ///< corrupt a LSQ chain membership flag
+        IqPos,        ///< break an iqPos back-pointer
+        MshrMin,      ///< corrupt the MSHR tracked minimum
+        RunaheadFlag, ///< leak a runahead flag outside an episode
+        PoolLeak,     ///< allocate a pooled inst onto no list
+    };
+    static constexpr unsigned kNumKinds = 9;
+
+    static const char *kindName(Kind kind);
+
+    /** Structure tag the auditor must report for this kind. */
+    static const char *structureOf(Kind kind);
+
+    /**
+     * Corrupt @p core. Returns false (core untouched) when the state
+     * the mutation needs is not currently present — callers run the
+     * core further and retry.
+     */
+    static bool apply(core::SmtCore &core, Kind kind);
+};
+
+} // namespace rat::check
+
+#endif // RAT_CHECK_MUTATE_HH

@@ -10,10 +10,13 @@ namespace {
 
 LogLevel g_level = LogLevel::Info;
 std::string g_prefix;
+void (*g_preLine)() = nullptr;
 
 void
 vreport(const char *severity, const char *fmt, va_list args)
 {
+    if (g_preLine)
+        g_preLine();
     std::fprintf(stderr, "%s%s: ", g_prefix.c_str(), severity);
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");
@@ -57,6 +60,12 @@ void
 setLogPrefix(const std::string &prefix)
 {
     g_prefix = prefix;
+}
+
+void
+setLogPreLineHook(void (*hook)())
+{
+    g_preLine = hook;
 }
 
 void
@@ -105,6 +114,8 @@ void
 panicAssert(const char *cond, const char *file, int line,
             const char *fmt, ...)
 {
+    if (g_preLine)
+        g_preLine();
     std::fprintf(stderr, "%spanic: assertion '%s' failed at %s:%d",
                  g_prefix.c_str(), cond, file, line);
     if (fmt && fmt[0] != '\0') {

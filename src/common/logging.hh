@@ -46,6 +46,15 @@ void setLogLevelFromEnv();
  */
 void setLogPrefix(const std::string &prefix);
 
+/**
+ * Hook invoked immediately before any log line is printed (every
+ * severity, assertion failures included). The farm's `--progress`
+ * display registers one that erases its in-place live line, so
+ * advisory output never lands mid-way through a half-repainted
+ * progress line. nullptr (the default) disables the hook.
+ */
+void setLogPreLineHook(void (*hook)());
+
 /** Print a formatted bug message and abort(). Never returns. */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

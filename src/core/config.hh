@@ -14,6 +14,21 @@
 
 namespace rat::core {
 
+/**
+ * How aggressively the self-checking auditor (src/check/auditor.hh)
+ * runs at tick boundaries. `Off` costs one predicted branch per tick;
+ * `Sampled` audits every `checkInterval` cycles (cheap enough for
+ * sweeps); `Full` audits every tick (tests / bug hunts).
+ */
+enum class CheckLevel : std::uint8_t {
+    Off,
+    Sampled,
+    Full,
+};
+
+/** Canonical check-level name ("off" / "sampled" / "full"). */
+const char *checkLevelName(CheckLevel level);
+
 /** Which long-latency-load handling scheme the core runs. */
 enum class PolicyKind : std::uint8_t {
     RoundRobin,   ///< round-robin fetch, no long-latency handling
@@ -171,6 +186,17 @@ struct CoreConfig {
      * keys).
      */
     bool cycleSkipping = true;
+
+    /**
+     * Runtime invariant audits (src/check/): `Off` by default. Like
+     * `broadcastScheduler` and `cycleSkipping` this is a host-side
+     * observation knob — audits either pass (no state change) or abort
+     * the run, so it is deliberately NOT part of the serialized
+     * configuration (it cannot affect results or cache keys).
+     */
+    CheckLevel checkLevel = CheckLevel::Off;
+    /** Cycles between audits at CheckLevel::Sampled. */
+    unsigned checkInterval = 64;
 
     branch::PerceptronConfig predictor{};
 };

@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "check/auditor.hh"
+#include "check/digest.hh"
 #include "common/logging.hh"
 
 namespace rat::core {
+
+const char *
+checkLevelName(CheckLevel level)
+{
+    switch (level) {
+      case CheckLevel::Off:
+        return "off";
+      case CheckLevel::Sampled:
+        return "sampled";
+      case CheckLevel::Full:
+        return "full";
+    }
+    return "?";
+}
 
 const char *
 policyName(PolicyKind kind)
@@ -255,6 +271,21 @@ SmtCore::skipTo(Cycle target)
     while (sampler_ && sampler_->nextAt() <= target)
         takeTelemetrySample();
 
+    // Digest boundaries crossed by the span. The enumeration the
+    // digest hashes excludes everything skipTo changed above (the
+    // per-cycle integrals, cursors and scan counters are host-mode
+    // artifacts), so the digest a ticked run would have produced at
+    // each boundary is exactly the current state's. The armed fault
+    // injection replays with tick semantics: a boundary B reflects the
+    // mutation iff a tick at cycle B-1 would have applied it.
+    while (digests_ && digests_->nextAt() <= target) {
+        if (mutateAt_ != kNoCycle && mutateAt_ < digests_->nextAt())
+            applyMutation();
+        digests_->sampleAt(*this);
+    }
+    if (mutateAt_ != kNoCycle && mutateAt_ < target)
+        applyMutation();
+
     if (traceMask_ & obs::kCatSched)
         tracer_->recordCore(obs::EventKind::CycleSkip, cycle_, target);
 
@@ -312,6 +343,17 @@ SmtCore::prewarm(InstSeq insts)
 void
 SmtCore::tick()
 {
+    // Verify-mode hooks (both disarmed in normal runs): the fault
+    // injection fires at the first tick at or after its cycle, and the
+    // save/restore leg round-trips the engine's episode checkpoint.
+    if (mutateAt_ != kNoCycle && cycle_ >= mutateAt_)
+        applyMutation();
+    if (ckptEvery_ && cycle_ % ckptEvery_ == 0) {
+        const bool ok =
+            raEngine_.decodeEpisodes(raEngine_.encodeEpisodes());
+        RAT_ASSERT(ok, "episode checkpoint blob failed to decode");
+    }
+
     tickActivity_ = false;
     policy_.beginCycle(*this);
     processCompletions();
@@ -321,7 +363,39 @@ SmtCore::tick()
     renameStage();
     fetchStage();
     sampleCycle();
+    if (auditDue())
+        runAudit();
     ++cycle_;
+}
+
+void
+SmtCore::runAudit()
+{
+    const check::AuditReport report = check::Auditor::audit(*this);
+    if (report.ok())
+        return;
+    fatal("invariant audit failed at cycle %llu "
+          "(%zu violation%s):\n%s",
+          static_cast<unsigned long long>(cycle_),
+          report.failures.size(),
+          report.failures.size() == 1 ? "" : "s",
+          report.format().c_str());
+}
+
+void
+SmtCore::applyMutation()
+{
+    // Single-bit and behaviour-neutral by construction: the committed
+    // counter feeds results and digests, never a scheduling decision,
+    // so the injected fault is visible to `ratsim verify` alone.
+    stats_[0].committedInsts ^= 1;
+    mutateAt_ = kNoCycle;
+}
+
+void
+SmtCore::setDigestCollector(check::DigestCollector *collector)
+{
+    digests_ = collector;
 }
 
 void
@@ -1670,6 +1744,8 @@ SmtCore::sampleCycle()
     // ending at nextAt is fully simulated once this tick retires.
     if (sampler_ && cycle_ + 1 >= sampler_->nextAt())
         takeTelemetrySample();
+    if (digests_ && cycle_ + 1 >= digests_->nextAt())
+        digests_->sampleAt(*this);
 }
 
 void

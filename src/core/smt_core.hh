@@ -60,6 +60,13 @@
 #include "trace/generator.hh"
 #include "trace/source.hh"
 
+namespace rat::check {
+class Auditor;
+class DigestCollector;
+class Mutator;
+class StateHasher;
+}
+
 namespace rat::core {
 
 /**
@@ -224,6 +231,34 @@ class SmtCore
         sampler_ = sampler;
     }
 
+    // --- self-checking (src/check/): observation & verify hooks -----------
+
+    /**
+     * Attach/detach the state-digest collector (nullptr = off). Driven
+     * at the same window boundaries as the telemetry sampler, in both
+     * ticked and skipped spans, so digest streams line up cycle-exact
+     * across the host-side mode grid.
+     */
+    void setDigestCollector(check::DigestCollector *collector);
+
+    /**
+     * Verify-mode fault injection: flip one bit of serialized state
+     * (ThreadStats) at the first tick boundary at or after @p at.
+     * Behaviour-neutral by construction — it perturbs only a counter —
+     * so the *only* observable effect is a digest divergence, which
+     * `ratsim verify --mutate-at` must bisect to this exact window.
+     */
+    void armMutationAt(Cycle at) { mutateAt_ = at; }
+
+    /**
+     * Verify-mode save/restore leg: every @p n cycles, round-trip the
+     * runahead engine's episode state through encode/decodeEpisodes().
+     * A lossless codec makes this a perfect no-op (digest streams stay
+     * identical to an untouched run); any dropped state shows up as a
+     * bisected divergence. 0 disables.
+     */
+    void setEngineCheckpointInterval(Cycle n) { ckptEvery_ = n; }
+
     /**
      * Print a one-line diagnostic description of a thread's ROB head to
      * stderr (debugging aid; stable API for tooling and tests).
@@ -239,6 +274,13 @@ class SmtCore
     void squashYoungerThan(ThreadId tid, InstSeq seq);
 
   private:
+    // The self-checking subsystem (src/check/) enumerates and audits
+    // private core state read-only; the Mutator is the MutationCheck
+    // test hook that deliberately corrupts it.
+    friend class ::rat::check::Auditor;
+    friend class ::rat::check::StateHasher;
+    friend class ::rat::check::Mutator;
+
     // Per-thread microarchitectural state.
     struct ThreadState {
         const trace::TraceSource *gen = nullptr;
@@ -431,6 +473,28 @@ class SmtCore
      */
     void takeTelemetrySample();
 
+    // --- self-checking plumbing (src/check/) ------------------------------
+
+    /**
+     * Run the invariant auditor and abort with its structured
+     * diagnostics on any violation. Called from tick() under the
+     * CheckLevel gate; out of line so smt_core.hh need not see the
+     * auditor's definition.
+     */
+    void runAudit();
+    /** True when the CheckLevel gate fires for the tick just ended. */
+    bool
+    auditDue() const
+    {
+        if (config_.checkLevel == CheckLevel::Off)
+            return false;
+        return config_.checkLevel == CheckLevel::Full ||
+               config_.checkInterval == 0 ||
+               cycle_ % config_.checkInterval == 0;
+    }
+    /** Apply the armed single-bit mutation (verify fault injection). */
+    void applyMutation();
+
     // --- members ----------------------------------------------------------
     CoreConfig config_;
     mem::MemoryHierarchy &mem_;
@@ -481,6 +545,13 @@ class SmtCore
     obs::Tracer *tracer_ = nullptr;
     unsigned traceMask_ = 0;
     obs::WindowSampler *sampler_ = nullptr;
+
+    // Self-checking (src/check/). The collector pointer is driven at
+    // sampler boundaries; mutateAt_/ckptEvery_ are verify-mode hooks
+    // (kNoCycle / 0 = disarmed, each one predictable branch per tick).
+    check::DigestCollector *digests_ = nullptr;
+    Cycle mutateAt_ = kNoCycle;
+    Cycle ckptEvery_ = 0;
     /** Episode-entry records for runahead span events + histograms. */
     struct EpisodeTraceEntry {
         Cycle enteredAt = 0;

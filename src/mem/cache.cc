@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "common/intmath.hh"
@@ -243,6 +244,80 @@ MshrFile::earliestCompletion(Cycle now) const
 {
     expire(now);
     return active_.empty() ? kNoCycle : minComplete_;
+}
+
+bool
+MshrFile::auditIndexConsistent(std::string *why) const
+{
+    // Deliberately does not expire(): lazily-unexpired entries are
+    // legal state, and every invariant below holds at all times.
+    const auto fail = [why](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    if (active_.size() > entries_) {
+        std::ostringstream os;
+        os << "mshr: " << active_.size() << " live fills exceed capacity "
+           << entries_;
+        return fail(os.str());
+    }
+
+    Cycle min = kNoCycle;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(active_.size()); ++i) {
+        const Entry &e = active_[i];
+        min = std::min(min, e.completeAt);
+        const std::uint32_t slot = findSlot(e.lineAddr);
+        if (table_[slot] == kEmptySlot) {
+            std::ostringstream os;
+            os << "mshr: live fill #" << i << " (line 0x" << std::hex
+               << e.lineAddr << ") unreachable through the line index";
+            return fail(os.str());
+        }
+        // The index must name the oldest live record of the line.
+        std::uint32_t oldest = i;
+        for (std::uint32_t j = 0; j < i; ++j) {
+            if (active_[j].lineAddr == e.lineAddr) {
+                oldest = j;
+                break;
+            }
+        }
+        if (table_[slot] != oldest) {
+            std::ostringstream os;
+            os << "mshr: index slot " << slot << " for line 0x" << std::hex
+               << e.lineAddr << std::dec << " points at record "
+               << table_[slot] << ", expected oldest record " << oldest;
+            return fail(os.str());
+        }
+    }
+    if (min != minComplete_) {
+        std::ostringstream os;
+        os << "mshr: tracked min completion " << minComplete_
+           << " != actual min " << min << " over " << active_.size()
+           << " live fills";
+        return fail(os.str());
+    }
+
+    for (std::uint32_t slot = 0; slot < tableSize_; ++slot) {
+        const std::uint32_t idx = table_[slot];
+        if (idx == kEmptySlot)
+            continue;
+        if (idx >= active_.size()) {
+            std::ostringstream os;
+            os << "mshr: index slot " << slot << " points at record " << idx
+               << " beyond the " << active_.size() << " live fills";
+            return fail(os.str());
+        }
+        if (findSlot(active_[idx].lineAddr) != slot) {
+            std::ostringstream os;
+            os << "mshr: index slot " << slot << " not on line 0x"
+               << std::hex << active_[idx].lineAddr << "'s probe chain";
+            return fail(os.str());
+        }
+    }
+    return true;
 }
 
 } // namespace rat::mem

@@ -21,6 +21,10 @@
 
 #include "common/types.hh"
 
+namespace rat::check {
+class Mutator;
+}
+
 namespace rat::mem {
 
 /** Geometry and timing of one cache level. */
@@ -191,7 +195,19 @@ class MshrFile
      */
     Cycle earliestCompletion(Cycle now) const;
 
+    /**
+     * Self-check: the line-address index, the entry list and the
+     * tracked minimum must agree — every occupied table slot points at
+     * the oldest live record of its line, every live record is
+     * reachable through the index, and `minComplete_` is exactly the
+     * minimum completion cycle (kNoCycle when empty). Returns false
+     * and fills @p why with a diagnostic on the first violation.
+     */
+    bool auditIndexConsistent(std::string *why) const;
+
   private:
+    /** Test hook (MutationCheck) — corrupts index/minimum state. */
+    friend class ::rat::check::Mutator;
     void expire(Cycle now) const;
     /** Rebuild the line index and tracked minimum from active_. */
     void reindex() const;

@@ -109,6 +109,11 @@ class MemoryHierarchy
     /** Unified L2. */
     Cache &l2() { return l2_; }
 
+    /** MSHR files (self-checking audits and digests; read-only). */
+    const MshrFile &l1iMshrs() const { return l1iMshrs_; }
+    const MshrFile &l1dMshrs() const { return l1dMshrs_; }
+    const MshrFile &l2Mshrs() const { return l2Mshrs_; }
+
     /** Per-thread statistics. */
     const ThreadMemStats &threadStats(ThreadId tid) const
     {
@@ -144,6 +149,9 @@ class MemoryHierarchy
     }
 
   private:
+    /** Test hook (MutationCheck) — corrupts MSHR index state. */
+    friend class ::rat::check::Mutator;
+
     /** Record a miss-duration event plus the MSHR occupancy counter. */
     void traceMiss(ThreadId tid, Addr addr, Cycle now,
                    const AccessResult &result);

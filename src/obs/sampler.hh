@@ -119,6 +119,43 @@ struct TelemetryResult {
 };
 
 /**
+ * One state-digest sample: the FNV-1a digest of the core's canonical
+ * state enumeration (src/check/digest.hh) at a window boundary. Like
+ * WindowSample, `cycle` is the window end (exclusive).
+ */
+struct DigestSample {
+    Cycle cycle = 0;
+    std::uint64_t digest = 0;
+
+    bool
+    operator==(const DigestSample &o) const
+    {
+        return cycle == o.cycle && digest == o.digest;
+    }
+};
+
+/**
+ * The digest stream carried inside SimResult when `digestWindow` is
+ * non-zero. Serialized alongside telemetry (digests change the result
+ * payload, so — exactly like `sampleWindow` — a digest-bearing config
+ * serializes its window and gets its own cache key). `ratsim verify`
+ * compares these streams across the host-side mode grid.
+ */
+struct DigestTrack {
+    /** The configured digest window, in cycles (0 = disabled). */
+    Cycle window = 0;
+    std::vector<DigestSample> samples;
+
+    bool enabled() const { return window != 0; }
+
+    bool
+    operator==(const DigestTrack &o) const
+    {
+        return window == o.window && samples == o.samples;
+    }
+};
+
+/**
  * The sampler the core drives during the measured window. The core
  * calls `boundary()` to learn the next window-end cycle, and
  * `sampleAt()` with its current cumulative counters when the clock

@@ -32,9 +32,11 @@ constexpr unsigned kCacheFormatVersion = 2;
  * A `*.tmp` file this old cannot belong to a live writer (one cell
  * writes in milliseconds); anything older was orphaned by a crash or
  * kill -9 and is safe to reap. The age gate keeps the open-time GC
- * from unlinking a temp another process is writing right now.
+ * from unlinking a temp another process is writing right now. The same
+ * gate bounds how long a quarantined `*.bad` cell is kept for
+ * post-mortem before the GC reclaims it.
  */
-constexpr auto kStaleTmpAge = std::chrono::minutes(10);
+constexpr auto kStaleFileAge = std::chrono::minutes(10);
 
 /**
  * Serializes cell renames (and the GC's unlinks) across every process
@@ -83,11 +85,11 @@ fnv1a64(const std::string &text)
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
 {
     if (enabled())
-        gcStaleTmpFiles();
+        gcStaleFiles();
 }
 
 void
-ResultCache::gcStaleTmpFiles()
+ResultCache::gcStaleFiles()
 {
     std::error_code ec;
     std::filesystem::directory_iterator it(dir_, ec);
@@ -96,15 +98,46 @@ ResultCache::gcStaleTmpFiles()
     const auto now = std::filesystem::file_time_type::clock::now();
     const DirLock lock(dir_);
     for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const auto ext = entry.path().extension();
+        const bool tmp = ext == ".tmp";
+        if (!tmp && ext != ".bad")
+            continue;
+        const auto mtime = entry.last_write_time(ec);
+        if (ec || now - mtime < kStaleFileAge)
+            continue;
+        if (std::filesystem::remove(entry.path(), ec) && !ec)
+            ++(tmp ? reapedTmp_ : reapedBad_);
+    }
+}
+
+std::uint64_t
+ResultCache::removeTmpFilesOfPid(long pid) const
+{
+    if (!enabled())
+        return 0;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir_, ec);
+    if (ec)
+        return 0;
+    // Temp names are <hash>.json.<pid>.<seq>.tmp (see store()); match
+    // the pid field exactly so a seq number that happens to equal
+    // another worker's pid cannot cause a cross-worker unlink.
+    const std::string marker = ".json." + std::to_string(pid) + ".";
+    std::uint64_t removed = 0;
+    const DirLock lock(dir_);
+    for (const auto &entry : it) {
         if (!entry.is_regular_file(ec) ||
             entry.path().extension() != ".tmp")
             continue;
-        const auto mtime = entry.last_write_time(ec);
-        if (ec || now - mtime < kStaleTmpAge)
+        if (entry.path().filename().string().find(marker) ==
+            std::string::npos)
             continue;
         if (std::filesystem::remove(entry.path(), ec) && !ec)
-            ++reapedTmp_;
+            ++removed;
     }
+    return removed;
 }
 
 std::string

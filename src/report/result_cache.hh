@@ -54,6 +54,7 @@ struct CacheStats {
     std::uint64_t storeFailures = 0;
     std::uint64_t quarantined = 0; ///< cells renamed to *.bad
     std::uint64_t reapedTmpFiles = 0;
+    std::uint64_t reapedBadFiles = 0;
 };
 
 class ResultCache
@@ -62,8 +63,10 @@ class ResultCache
     /**
      * @param dir Cache directory; an empty string disables caching.
      * Opening an existing directory garbage-collects stale `*.tmp`
-     * files left behind by killed writers (age-gated, so temps of
-     * concurrently live writers are never touched).
+     * files left behind by killed writers and `*.bad` quarantine
+     * files whose post-mortem window has passed (both age-gated, so
+     * temps of concurrently live writers — and freshly quarantined
+     * cells someone may still want to inspect — are never touched).
      */
     explicit ResultCache(std::string dir);
 
@@ -109,19 +112,31 @@ class ResultCache
     std::uint64_t quarantined() const { return quarantined_.load(); }
     /** Stale temp files removed by the open-time GC. */
     std::uint64_t reapedTmpFiles() const { return reapedTmp_; }
+    /** Aged-out quarantine (*.bad) files removed by the open-time GC. */
+    std::uint64_t reapedBadFiles() const { return reapedBad_; }
     /** All counters in one snapshot. */
     CacheStats stats() const
     {
         return {hits(), misses(), storeFailures(), quarantined(),
-                reapedTmpFiles()};
+                reapedTmpFiles(), reapedBadFiles()};
     }
 
+    /**
+     * Unlink every temp file written by process @p pid, regardless of
+     * age. Only safe once @p pid is known dead — the farm coordinator
+     * calls this for workers it just killed and reaped on SIGINT, so
+     * an interrupted campaign leaves no half-written cells behind.
+     * Returns the number of files removed.
+     */
+    std::uint64_t removeTmpFilesOfPid(long pid) const;
+
   private:
-    void gcStaleTmpFiles();
+    void gcStaleFiles();
     void quarantineCell(const std::string &path, const char *why) const;
 
     std::string dir_;
     std::uint64_t reapedTmp_ = 0;
+    std::uint64_t reapedBad_ = 0;
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};
     mutable std::atomic<std::uint64_t> storeFailures_{0};

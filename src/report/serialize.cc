@@ -273,6 +273,9 @@ toJson(const sim::SimConfig &config)
     // default-config key (and golden file) byte-identical.
     if (config.sampleWindow)
         j["sampleWindow"] = Json(std::uint64_t{config.sampleWindow});
+    // Same deal for state digests: part of the key only when enabled.
+    if (config.digestWindow)
+        j["digestWindow"] = Json(std::uint64_t{config.digestWindow});
     return j;
 }
 
@@ -281,9 +284,12 @@ fromJson(const Json &json, sim::SimConfig &config)
 {
     const Json *core = json.find("core");
     const Json *mem = json.find("mem");
-    // sampleWindow is optional (absent = off) — see toJson above.
+    // sampleWindow/digestWindow are optional (absent = off) — see
+    // toJson above.
     config.sampleWindow = 0;
     getU64(json, "sampleWindow", config.sampleWindow);
+    config.digestWindow = 0;
+    getU64(json, "digestWindow", config.digestWindow);
     return core && fromJson(*core, config.core) && mem &&
            fromJson(*mem, config.mem) &&
            getU64(json, "prewarmInsts", config.prewarmInsts) &&
@@ -516,6 +522,20 @@ toJson(const sim::SimResult &result)
     // (goldens, existing cache cells) serialize exactly as before.
     if (result.telemetry.enabled)
         j["telemetry"] = toJson(result.telemetry);
+    // Digest streams likewise appear only for digest-enabled runs.
+    // Each sample is a [cycle, digest] pair.
+    if (result.digest.enabled()) {
+        Json digest = Json::object();
+        digest["window"] = Json(std::uint64_t{result.digest.window});
+        Json samples = Json::array();
+        for (const obs::DigestSample &s : result.digest.samples) {
+            Json row = Json::array();
+            row.push(Json(std::uint64_t{s.cycle})).push(Json(s.digest));
+            samples.push(std::move(row));
+        }
+        digest["samples"] = std::move(samples);
+        j["digest"] = std::move(digest);
+    }
     return j;
 }
 
@@ -540,6 +560,25 @@ fromJson(const Json &json, sim::SimResult &result)
         (!telemetry->isObject() ||
          !fromJson(*telemetry, result.telemetry)))
         return false;
+    result.digest = obs::DigestTrack{};
+    if (const Json *digest = json.find("digest")) {
+        if (!digest->isObject() ||
+            !getU64(*digest, "window", result.digest.window) ||
+            result.digest.window == 0)
+            return false;
+        const Json *samples = digest->find("samples");
+        if (!samples || !samples->isArray())
+            return false;
+        for (const Json &row : samples->elements()) {
+            if (!row.isArray() || row.elements().size() != 2 ||
+                !row.elements()[0].isU64() || !row.elements()[1].isU64())
+                return false;
+            obs::DigestSample s;
+            s.cycle = row.elements()[0].asU64();
+            s.digest = row.elements()[1].asU64();
+            result.digest.samples.push_back(s);
+        }
+    }
     return true;
 }
 

@@ -32,6 +32,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_set>
 
 #include "common/types.hh"
@@ -164,6 +165,48 @@ class RunaheadEngine
     }
 
     // --- introspection ----------------------------------------------------
+
+    /**
+     * Read-only snapshot of one thread's episode state for the
+     * self-checking subsystem (src/check/): the auditor cross-checks it
+     * against the pipeline, and the state digest folds it in. The
+     * suppression set is summarized order-independently (size + a
+     * commutative per-element hash) so the view is deterministic even
+     * though the underlying container is unordered.
+     */
+    struct EpisodeView {
+        bool active = false;
+        bool drainOnly = false;
+        bool pendingDrain = false;
+        Cycle exitAt = 0;
+        Cycle fillAt = 0;
+        InstSeq resumeSeq = 0;
+        Addr entryPc = 0;
+        std::uint64_t histCheckpoint = 0;
+        std::uint64_t prefetchSnapshot = 0;
+        InstSeq lastVetoSeq = 0;
+        std::uint64_t suppressedLoads = 0;
+        /** Commutative FNV mix of the suppression set's elements. */
+        std::uint64_t suppressedHash = 0;
+    };
+
+    EpisodeView episodeView(ThreadId tid) const;
+
+    /**
+     * Serialize every thread's episode state into a deterministic text
+     * blob (the suppression sets are emitted sorted). Together with
+     * decodeEpisodes() this is the engine half of ROADMAP item 1's
+     * checkpoint/restore: `ratsim verify`'s save/restore leg round-trips
+     * the blob mid-run and proves via digest identity that nothing was
+     * lost.
+     */
+    std::string encodeEpisodes() const;
+
+    /**
+     * Restore episode state from an encodeEpisodes() blob. Returns
+     * false (leaving the engine untouched) on a malformed blob.
+     */
+    bool decodeEpisodes(const std::string &blob);
 
     const EngineStats &stats() const { return stats_; }
     /** Reset engine counters (episode state is preserved). */

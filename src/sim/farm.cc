@@ -78,6 +78,75 @@ class IgnoreSigpipe
     struct sigaction old_ = {};
 };
 
+/** Set by the SIGINT/SIGTERM handler; the coordinator's run loop polls
+ * it and winds the farm down instead of dying with live children. */
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void
+farmInterruptHandler(int)
+{
+    g_interrupted = 1;
+}
+
+/** Scoped SIGINT/SIGTERM capture. Installed without SA_RESTART on
+ * purpose: the signal must interrupt a blocking poll() (EINTR) so the
+ * run loop notices the flag promptly. Restores the previous handlers
+ * on destruction, so a farm embedded in a larger program (or the test
+ * binary) does not permanently steal Ctrl-C. */
+class InterruptGuard
+{
+  public:
+    InterruptGuard()
+    {
+        g_interrupted = 0;
+        struct sigaction sa = {};
+        sa.sa_handler = farmInterruptHandler;
+        ::sigaction(SIGINT, &sa, &oldInt_);
+        ::sigaction(SIGTERM, &sa, &oldTerm_);
+    }
+    ~InterruptGuard()
+    {
+        ::sigaction(SIGINT, &oldInt_, nullptr);
+        ::sigaction(SIGTERM, &oldTerm_, nullptr);
+    }
+    InterruptGuard(const InterruptGuard &) = delete;
+    InterruptGuard &operator=(const InterruptGuard &) = delete;
+
+  private:
+    struct sigaction oldInt_ = {};
+    struct sigaction oldTerm_ = {};
+};
+
+/** Log pre-line hook while the --progress live line is on screen:
+ * erase the in-place line so warn()/inform() output starts on a clean
+ * column instead of interleaving with a half-repainted progress line. */
+void
+eraseProgressLine()
+{
+    std::fprintf(stderr, "\r\033[K");
+}
+
+/** Scoped registration of eraseProgressLine for --progress runs. */
+class ProgressLineGuard
+{
+  public:
+    explicit ProgressLineGuard(bool active) : active_(active)
+    {
+        if (active_)
+            setLogPreLineHook(eraseProgressLine);
+    }
+    ~ProgressLineGuard()
+    {
+        if (active_)
+            setLogPreLineHook(nullptr);
+    }
+    ProgressLineGuard(const ProgressLineGuard &) = delete;
+    ProgressLineGuard &operator=(const ProgressLineGuard &) = delete;
+
+  private:
+    bool active_;
+};
+
 /** One worker slot as the coordinator sees it. A slot outlives any
  * single worker process: when respawning is on, a dead slot is
  * refilled (after backoff) by a fresh process with the same slot id. */
@@ -370,12 +439,17 @@ Coordinator::printProgress()
             .count();
     char eta[32];
     if (jobsDone > 0 && jobsDone < jobsTotal) {
+        // Guarded by jobsDone > 0: before the first cell lands there
+        // is no rate to extrapolate from, and elapsed/0 would print
+        // garbage (inf/nan) on the live line.
         const double remaining =
             elapsed * static_cast<double>(jobsTotal - jobsDone) /
             static_cast<double>(jobsDone);
-        std::snprintf(eta, sizeof(eta), "ETA %.0fs", remaining);
+        const auto whole = static_cast<unsigned long long>(remaining);
+        std::snprintf(eta, sizeof(eta), "ETA %llu:%02llu", whole / 60,
+                      whole % 60);
     } else {
-        std::snprintf(eta, sizeof(eta), "ETA --");
+        std::snprintf(eta, sizeof(eta), "ETA --:--");
     }
     // \r + no newline: the line repaints in place on a terminal.
     std::fprintf(stderr,
@@ -605,6 +679,8 @@ Coordinator::run()
     if (options.progress)
         printProgress();
     while (jobsDone < jobsTotal) {
+        if (g_interrupted)
+            break; // runFarm() kills, reaps and cleans up after us
         maybeRespawn();
         bool any_alive = false;
         for (std::size_t wi = 0; wi < workers.size(); ++wi) {
@@ -729,6 +805,8 @@ runFarm(const CampaignSpec &spec, const FarmOptions &options)
     FaultInjector::global().armFromEnv();
 
     IgnoreSigpipe sigpipe_guard;
+    InterruptGuard interrupt_guard;
+    ProgressLineGuard progress_guard(options.progress);
     Coordinator coord{spec, options, farm.campaign, cache};
     coord.farm = &farm;
     coord.binary = binary;
@@ -780,28 +858,90 @@ runFarm(const CampaignSpec &spec, const FarmOptions &options)
 
     coord.run();
 
-    // Retire the pool: close job pipes (workers exit on EOF) and reap.
-    for (std::size_t wi = 0; wi < coord.workers.size(); ++wi) {
-        WorkerProc &w = coord.workers[wi];
-        if (!w.alive)
-            continue;
-        ::close(w.jobFd);
-        w.jobFd = -1;
-        // Collect any result frames still in flight before reaping.
-        ::fcntl(w.resFd, F_SETFL, 0); // back to blocking for the tail
-        report::FrameReader tail(w.resFd);
-        while (auto frame = tail.next())
-            coord.handleFrame(wi, *frame);
-        ::close(w.resFd);
-        w.resFd = -1;
-        int status = 0;
-        ::waitpid(w.pid, &status, 0);
-        w.alive = false;
-        // A worker that died before its EOF was seen in the run loop
-        // (e.g. the grid finished first) still counts as a death.
-        if (WIFSIGNALED(status) ||
-            (WIFEXITED(status) && WEXITSTATUS(status) != 0))
+    const bool interrupted = g_interrupted != 0;
+    if (interrupted) {
+        // SIGINT/SIGTERM arrived mid-campaign: wind down instead of
+        // dying with live children. Forward the termination to every
+        // worker, reap each one (with escalation — an operator's
+        // Ctrl-C must never hang behind a wedged child), and unlink
+        // the temp cells the dead workers had in flight. Completed
+        // cells are already durable in the cache, so a re-run resumes
+        // from here; returning normally (rather than re-raising) lets
+        // the cache DirLock and every other RAII guard release on the
+        // way out.
+        std::uint64_t tmps_removed = 0;
+        unsigned terminated = 0;
+        for (WorkerProc &w : coord.workers) {
+            if (!w.alive)
+                continue;
+            ::close(w.jobFd);
+            w.jobFd = -1;
+            ::kill(w.pid, SIGTERM);
+            ++terminated;
+        }
+        for (WorkerProc &w : coord.workers) {
+            if (!w.alive)
+                continue;
+            int status = 0;
+            bool escalated = false;
+            const auto start = std::chrono::steady_clock::now();
+            for (;;) {
+                const pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+                if (got == w.pid || (got < 0 && errno != EINTR))
+                    break;
+                const auto waited =
+                    std::chrono::steady_clock::now() - start;
+                if (waited > std::chrono::seconds(3)) {
+                    warn("farm: worker %d unreapable on interrupt",
+                         static_cast<int>(w.pid));
+                    break;
+                }
+                if (!escalated && waited > std::chrono::seconds(1)) {
+                    ::kill(w.pid, SIGKILL);
+                    escalated = true;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            }
+            ::close(w.resFd);
+            w.resFd = -1;
+            w.alive = false;
             ++farm.workerDeaths;
+            if (cache.enabled())
+                tmps_removed += cache.removeTmpFilesOfPid(w.pid);
+        }
+        farm.error = "interrupted; completed cells are in the result "
+                     "cache — re-run to resume";
+        inform("farm: interrupted — %u worker(s) terminated, "
+               "%llu in-flight temp file(s) removed",
+               terminated,
+               static_cast<unsigned long long>(tmps_removed));
+    } else {
+        // Retire the pool: close job pipes (workers exit on EOF) and
+        // reap.
+        for (std::size_t wi = 0; wi < coord.workers.size(); ++wi) {
+            WorkerProc &w = coord.workers[wi];
+            if (!w.alive)
+                continue;
+            ::close(w.jobFd);
+            w.jobFd = -1;
+            // Collect any result frames still in flight before reaping.
+            ::fcntl(w.resFd, F_SETFL, 0); // blocking for the tail
+            report::FrameReader tail(w.resFd);
+            while (auto frame = tail.next())
+                coord.handleFrame(wi, *frame);
+            ::close(w.resFd);
+            w.resFd = -1;
+            int status = 0;
+            ::waitpid(w.pid, &status, 0);
+            w.alive = false;
+            // A worker that died before its EOF was seen in the run
+            // loop (e.g. the grid finished first) still counts as a
+            // death.
+            if (WIFSIGNALED(status) ||
+                (WIFEXITED(status) && WEXITSTATUS(status) != 0))
+                ++farm.workerDeaths;
+        }
     }
 
     farm.campaign.simulated = coord.simulated;

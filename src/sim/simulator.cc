@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "check/digest.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "policy/factory.hh"
@@ -116,6 +117,18 @@ Simulator::run(PhaseTiming *timing)
         sampler.reset(core_->cycle());
         core_->setSampler(&sampler);
     }
+    check::DigestCollector digests(config_.digestWindow);
+    if (config_.digestWindow) {
+        digests.reset(core_->cycle());
+        if (config_.captureStateAtCycle)
+            digests.setCaptureAt(config_.captureStateAtCycle);
+        core_->setDigestCollector(&digests);
+    }
+    // Verify-only hooks; both default off and cannot fire otherwise.
+    if (config_.mutateAtCycle)
+        core_->armMutationAt(core_->cycle() + config_.mutateAtCycle);
+    if (config_.engineCheckpointEvery)
+        core_->setEngineCheckpointInterval(config_.engineCheckpointEvery);
 
     t0 = Clock::now();
     const Cycle start = core_->cycle();
@@ -127,12 +140,17 @@ Simulator::run(PhaseTiming *timing)
         timing->measureSkipSpans = core_->skipStats().skipSpans;
     }
     core_->setSampler(nullptr);
+    core_->setDigestCollector(nullptr);
 
     SimResult result;
     result.cycles = elapsed;
     result.engine = core_->runaheadEngine().stats();
     if (config_.sampleWindow)
         result.telemetry = sampler.result();
+    if (config_.digestWindow) {
+        result.digest = digests.track();
+        result.stateDump = digests.capturedDump();
+    }
     for (std::size_t i = 0; i < programs_.size(); ++i) {
         const auto tid = static_cast<ThreadId>(i);
         ThreadResult tr;

@@ -51,6 +51,14 @@ struct SimConfig {
      * cache keys and golden serializations unchanged).
      */
     Cycle sampleWindow = 0;
+    /**
+     * State-digest window in cycles; 0 = off. Non-zero windows add a
+     * `digest` block to the SimResult, so — exactly like sampleWindow —
+     * this field is serialized only when non-zero (default configs keep
+     * their cache keys and golden serializations unchanged). This is
+     * what `ratsim verify` compares across the host-side mode grid.
+     */
+    Cycle digestWindow = 0;
 
     // ---- host-side observability; cannot affect results ------------
     // Like CoreConfig::broadcastScheduler and cycleSkipping, the
@@ -64,6 +72,25 @@ struct SimConfig {
     unsigned traceCategories = obs::kCatAll;
     /** Events retained per trace track (ring capacity). */
     std::size_t traceBufferCapacity = obs::Tracer::kDefaultRingCapacity;
+
+    // ---- host-side verify hooks; NOT serialized --------------------
+    /**
+     * Fault injection for `ratsim verify --mutate-at`: flip one bit of
+     * serialized state at the first measured-window tick at or after
+     * this cycle offset (relative to measurement start). 0 = off.
+     */
+    Cycle mutateAtCycle = 0;
+    /**
+     * Save/restore leg: round-trip the runahead engine's episode
+     * checkpoints every N measured cycles (must be digest-invisible;
+     * see SmtCore::setEngineCheckpointInterval). 0 = off.
+     */
+    Cycle engineCheckpointEvery = 0;
+    /**
+     * Capture a full state dump at this absolute digest boundary
+     * (the verify bisector's final pass). 0 = off.
+     */
+    Cycle captureStateAtCycle = 0;
 };
 
 /** Measured results for one hardware thread. */
@@ -94,6 +121,16 @@ struct SimResult {
      * separate `engine` block on always-fresh runs.
      */
     runahead::EngineStats engine;
+    /**
+     * Per-window state digests, populated when SimConfig::digestWindow
+     * is non-zero. Serialized only when enabled (window != 0).
+     */
+    obs::DigestTrack digest;
+    /**
+     * Full state dump captured at SimConfig::captureStateAtCycle (the
+     * verify bisector's final pass). Host-side; never serialized.
+     */
+    std::string stateDump;
 
     /** Sum of per-thread IPC. */
     double totalIpc() const;

@@ -10,6 +10,9 @@
  *   ratsim farm   [options]   the same campaign grid, sharded across
  *                             worker processes with a shared cache;
  *                             crash-safe and resumable
+ *   ratsim verify [options]   determinism audit: one config across the
+ *                             host-mode grid + save/restore leg, digest
+ *                             streams compared, divergences bisected
  *
  * `ratsim --farm-worker` is the internal worker-process entry point
  * the farm coordinator fork/execs; it speaks length-prefixed JSON on
@@ -33,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "check/verify.hh"
 #include "common/logging.hh"
 #include "common/parse.hh"
 #include "obs/trace.hh"
@@ -57,7 +61,7 @@ usage()
     std::printf(
         "ratsim — Runahead Threads SMT simulator (HPCA 2008 reproduction)\n"
         "\n"
-        "usage: ratsim [run|report|sweep|farm] [options]\n"
+        "usage: ratsim [run|report|sweep|farm|verify] [options]\n"
         "\n"
         "run/report options:\n"
         "  --workload P1,P2[,P3,P4]  programs to co-run (default art,mcf)\n"
@@ -93,8 +97,24 @@ usage()
         "                            runahead,all (default all)\n"
         "  --sample-window N         record windowed telemetry every N\n"
         "                            cycles into the result (default off)\n"
+        "  --digest-window N         record a deterministic state digest\n"
+        "                            every N cycles into the result\n"
+        "                            (default off; what verify compares)\n"
+        "  --check-level LEVEL       runtime invariant audits: off\n"
+        "                            sampled full (default off)\n"
+        "  --check-interval N        cycles between sampled audits\n"
+        "                            (default 64)\n"
         "  --json PATH               (report) write JSON ('-' = stdout)\n"
         "  --csv PATH                (report) write CSV ('-' = stdout)\n"
+        "\n"
+        "verify options (all run options, plus):\n"
+        "  --mutate-at N             seed a single-bit state corruption\n"
+        "                            N cycles into the measured window;\n"
+        "                            verify must detect and bisect it\n"
+        "                            (exit 1 on detection, 2 if missed)\n"
+        "  --checkpoint-every N      save/restore leg: round-trip the\n"
+        "                            engine episode checkpoints every N\n"
+        "                            cycles (default 61)\n"
         "\n"
         "sweep options (comma-separated axes):\n"
         "  --policies A,B,...        techniques (default ICOUNT,RaT)\n"
@@ -337,6 +357,23 @@ parseRunOption(const std::vector<std::string> &args, std::size_t &i,
                   list, obs::traceCategoryNames());
     } else if (arg == "--sample-window") {
         opt.cfg.sampleWindow = parseU64(next(), "--sample-window");
+    } else if (arg == "--digest-window") {
+        opt.cfg.digestWindow = parseU64(next(), "--digest-window");
+    } else if (arg == "--check-level") {
+        const std::string level = next();
+        if (level == "off")
+            opt.cfg.core.checkLevel = core::CheckLevel::Off;
+        else if (level == "sampled")
+            opt.cfg.core.checkLevel = core::CheckLevel::Sampled;
+        else if (level == "full")
+            opt.cfg.core.checkLevel = core::CheckLevel::Full;
+        else
+            fatal("--check-level: unknown level '%s' (off, sampled, "
+                  "full)",
+                  level.c_str());
+    } else if (arg == "--check-interval") {
+        opt.cfg.core.checkInterval =
+            parseUnsigned(next(), "--check-interval");
     } else if (structured && arg == "--json") {
         opt.jsonPath = next();
     } else if (structured && arg == "--csv") {
@@ -441,6 +478,90 @@ runCommand(const std::vector<std::string> &args, bool structured)
                 static_cast<unsigned long long>(opt.cfg.measureCycles));
     printRun(r, opt.withFairness, &runner, &w);
     return 0;
+}
+
+/**
+ * `ratsim verify`: run one configuration across the host-side mode
+ * grid (cycle-skip x scheduler x ra-variant) plus a save/restore leg
+ * and compare state-digest streams; bisect any divergence to the
+ * first differing cycle. Exit 0 = consistent; 1 = divergence found
+ * (including a deliberately seeded one); 2 = a seeded mutation went
+ * undetected (the digest itself is broken).
+ */
+int
+verifyCommand(const std::vector<std::string> &args)
+{
+    RunOptions opt;
+    check::VerifyOptions vopt;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= args.size())
+                fatal("option %s needs a value", arg.c_str());
+            return args[++i].c_str();
+        };
+        if (arg == "--mutate-at") {
+            vopt.mutateAt = parseU64(next(), "--mutate-at");
+        } else if (arg == "--checkpoint-every") {
+            vopt.checkpointEvery =
+                parseU64(next(), "--checkpoint-every");
+            if (!vopt.checkpointEvery)
+                fatal("--checkpoint-every needs a non-zero interval");
+        } else if (!parseRunOption(args, i, opt, false)) {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (!opt.groupName.empty())
+        fatal("verify audits one workload (--workload), not a group");
+    opt.cfg.core.policy = parsePolicy(opt.policyName);
+    vopt.base = opt.cfg;
+    vopt.programs = splitPrograms(opt.workloadList);
+    if (opt.cfg.digestWindow)
+        vopt.digestWindow = opt.cfg.digestWindow;
+    vopt.base.digestWindow = 0; // per-leg windows are set by the driver
+
+    std::printf("verify: workload %s under %s (%llu measured cycles, "
+                "digest window %llu%s)\n",
+                opt.workloadList.c_str(), opt.policyName.c_str(),
+                static_cast<unsigned long long>(
+                    vopt.base.measureCycles),
+                static_cast<unsigned long long>(vopt.digestWindow),
+                vopt.mutateAt ? ", seeded mutation" : "");
+    const check::VerifyOutcome outcome = check::runVerify(vopt);
+
+    int exit_code = 0;
+    if (!outcome.gridConsistent) {
+        for (const check::Divergence &d : outcome.divergences)
+            std::printf("%s", check::formatDivergence(d).c_str());
+        std::printf("verify: FAILED — %zu of %u legs diverged from "
+                    "the reference\n",
+                    outcome.divergences.size(), outcome.legsCompared);
+        exit_code = 1;
+    } else {
+        std::printf("verify: mode grid consistent (%u legs, identical "
+                    "digest streams)\n",
+                    outcome.legsCompared);
+    }
+    if (vopt.mutateAt) {
+        if (outcome.mutationDetected) {
+            std::printf("%s",
+                        check::formatDivergence(outcome.mutation)
+                            .c_str());
+            std::printf("verify: seeded mutation detected and "
+                        "bisected to cycle %llu\n",
+                        static_cast<unsigned long long>(
+                            outcome.mutation.cycle));
+            exit_code = exit_code ? exit_code : 1;
+        } else {
+            std::printf("verify: FAILED — seeded mutation at cycle "
+                        "%llu was NOT detected\n",
+                        static_cast<unsigned long long>(
+                            vopt.mutateAt));
+            exit_code = 2;
+        }
+    }
+    return exit_code;
 }
 
 /**
@@ -699,6 +820,8 @@ main(int argc, char **argv)
         return sweepCommand({args.begin() + 1, args.end()}, false);
     if (!args.empty() && args[0] == "farm")
         return sweepCommand({args.begin() + 1, args.end()}, true);
+    if (!args.empty() && args[0] == "verify")
+        return verifyCommand({args.begin() + 1, args.end()});
     if (!args.empty() && args[0] == "--farm-worker")
         return farmWorkerCommand({args.begin() + 1, args.end()});
     if (!args.empty() && !args[0].empty() && args[0][0] != '-') {

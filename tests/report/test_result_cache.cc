@@ -226,6 +226,51 @@ TEST(ResultCacheFailure, StaleTmpFilesAreReapedOnOpenFreshOnesKept)
     EXPECT_TRUE(reopened.load(key));
 }
 
+TEST(ResultCacheFailure, AgedOutBadFilesAreReapedFreshOnesKept)
+{
+    TempDir dir("rc_gc_bad");
+    fs::create_directories(dir.path);
+
+    // A quarantined cell whose post-mortem window has long passed...
+    const fs::path stale = dir.path / "deadbeef.json.bad";
+    std::ofstream(stale) << "{ rotted";
+    fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(2));
+    // ...and one quarantined moments ago, still worth inspecting.
+    const fs::path fresh = dir.path / "cafef00d.json.bad";
+    std::ofstream(fresh) << "{ rotted";
+
+    const ResultCache cache(dir.path.string());
+    EXPECT_EQ(cache.reapedBadFiles(), 1u);
+    EXPECT_EQ(cache.reapedTmpFiles(), 0u);
+    EXPECT_EQ(cache.stats().reapedBadFiles, 1u);
+    EXPECT_FALSE(fs::exists(stale));
+    EXPECT_TRUE(fs::exists(fresh));
+}
+
+TEST(ResultCacheFailure, TmpFilesOfADeadPidAreRemovedRegardlessOfAge)
+{
+    TempDir dir("rc_pid_tmp");
+    fs::create_directories(dir.path);
+
+    // Fresh temps of the dead worker (pid 999)...
+    const fs::path mine1 = dir.path / "deadbeef.json.999.0.tmp";
+    const fs::path mine2 = dir.path / "cafef00d.json.999.7.tmp";
+    // ...a live sibling's temp, and a seq field that happens to equal
+    // the dead pid (must NOT match: the pid field is position-exact).
+    const fs::path other = dir.path / "deadbeef.json.998.1.tmp";
+    const fs::path decoy = dir.path / "deadbeef.json.998.999.tmp";
+    for (const fs::path &p : {mine1, mine2, other, decoy})
+        std::ofstream(p) << "{ in-flight";
+
+    const ResultCache cache(dir.path.string());
+    EXPECT_EQ(cache.removeTmpFilesOfPid(999), 2u);
+    EXPECT_FALSE(fs::exists(mine1));
+    EXPECT_FALSE(fs::exists(mine2));
+    EXPECT_TRUE(fs::exists(other));
+    EXPECT_TRUE(fs::exists(decoy));
+}
+
 TEST(ResultCacheChecksum, BitRotInsideTheResultIsCaughtAndQuarantined)
 {
     // Flip one digit of a numeric field inside the stored result:
