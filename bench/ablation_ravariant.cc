@@ -19,6 +19,7 @@
 
 #include "bench/bench_util.hh"
 #include "runahead/variant.hh"
+#include "sim/metrics.hh"
 #include "sim/simulator.hh"
 
 namespace {
@@ -32,18 +33,6 @@ struct VariantTotals {
     std::uint64_t episodes = 0;
     std::uint64_t drainEpisodes = 0;
 };
-
-double
-hmeanIpc(const sim::SimResult &r)
-{
-    double inv = 0.0;
-    for (const sim::ThreadResult &t : r.threads) {
-        if (t.ipc <= 0.0)
-            return 0.0;
-        inv += 1.0 / t.ipc;
-    }
-    return static_cast<double>(r.threads.size()) / inv;
-}
 
 } // namespace
 

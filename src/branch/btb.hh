@@ -45,6 +45,28 @@ class Btb
     std::uint64_t misses() const { return misses_; }
     void resetStats();
 
+    /**
+     * Checkpoint enumeration (sim/checkpoint.hh): one template drives
+     * both encode and decode — every entry, the LRU use clock and the
+     * statistics counters. The size marker turns a geometry mismatch
+     * into a decode error.
+     */
+    template <typename IO>
+    void
+    ckptVisit(IO &io)
+    {
+        io.size(entries_.size());
+        for (Entry &e : entries_) {
+            io.scalar(e.tag);
+            io.scalar(e.target);
+            io.scalar(e.lastUse);
+            io.scalar(e.valid);
+        }
+        io.scalar(useClock_);
+        io.scalar(lookups_);
+        io.scalar(misses_);
+    }
+
   private:
     struct Entry {
         Addr tag = 0;
@@ -89,6 +111,27 @@ class ReturnAddressStack
 
     /** Empty the stack (context squash). */
     void clear() { stack_.clear(); }
+
+    /**
+     * Checkpoint enumeration (sim/checkpoint.hh). The stack is the
+     * only variable-length structure in a checkpoint, so its length is
+     * serialized explicitly and validated against the fixed depth on
+     * decode (io.fail() rejects a corrupt length).
+     */
+    template <typename IO>
+    void
+    ckptVisit(IO &io)
+    {
+        std::uint64_t n = stack_.size();
+        io.scalar(n);
+        if (n > depth_) {
+            io.fail();
+            return;
+        }
+        stack_.resize(static_cast<std::size_t>(n));
+        for (Addr &a : stack_)
+            io.scalar(a);
+    }
 
   private:
     unsigned depth_;

@@ -80,6 +80,25 @@ class PerceptronPredictor
     /** Reset statistics only. */
     void resetStats();
 
+    /**
+     * Checkpoint enumeration (sim/checkpoint.hh): one template drives
+     * both encode and decode — weight table, per-thread histories and
+     * the statistics counters. The size marker turns a table-geometry
+     * mismatch into a decode error.
+     */
+    template <typename IO>
+    void
+    ckptVisit(IO &io)
+    {
+        io.size(weights_.size());
+        for (std::int8_t &w : weights_)
+            io.scalar(w);
+        for (std::uint64_t &h : history_)
+            io.scalar(h);
+        io.scalar(lookups_);
+        io.scalar(mispredicts_);
+    }
+
   private:
     std::int32_t dot(const std::int8_t *w, std::uint64_t hist) const;
     unsigned indexOf(Addr pc) const;

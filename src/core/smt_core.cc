@@ -308,7 +308,8 @@ SmtCore::prewarm(InstSeq insts)
         for (unsigned t = 0; t < config_.numThreads; ++t) {
             ThreadState &ts = threads_[t];
             const trace::MicroOp op = ts.gen->at(ts.nextSeq + i);
-            const Cycle pseudo_now = i;
+            const Cycle pseudo_now =
+                static_cast<Cycle>(prewarmedInsts_) + i;
 
             l1i.install(l1i.lineAlign(op.pc), pseudo_now, pseudo_now,
                         evicted);
@@ -334,10 +335,11 @@ SmtCore::prewarm(InstSeq insts)
     }
     for (unsigned t = 0; t < config_.numThreads; ++t)
         threads_[t].nextSeq += insts;
+    prewarmedInsts_ += insts;
 
     // The pseudo-time used for LRU stamps must lie in the past of all
     // timing cycles, so fast-forward the core clock past it.
-    cycle_ = std::max(cycle_, static_cast<Cycle>(insts) + 1);
+    cycle_ = std::max(cycle_, static_cast<Cycle>(prewarmedInsts_) + 1);
 }
 
 void

@@ -67,6 +67,10 @@ class Mutator;
 class StateHasher;
 }
 
+namespace rat::sim {
+class CheckpointCodec;
+}
+
 namespace rat::core {
 
 /**
@@ -280,6 +284,9 @@ class SmtCore
     friend class ::rat::check::Auditor;
     friend class ::rat::check::StateHasher;
     friend class ::rat::check::Mutator;
+    // The sampled-simulation checkpoint codec (sim/checkpoint.hh)
+    // saves/restores the functional post-prewarm state.
+    friend class ::rat::sim::CheckpointCodec;
 
     // Per-thread microarchitectural state.
     struct ThreadState {
@@ -501,6 +508,16 @@ class SmtCore
     SchedulingPolicy &policy_;
 
     Cycle cycle_ = 0;
+    /**
+     * Instructions functionally walked by prewarm() so far (per
+     * thread). Makes prewarm incremental: the pseudo-time LRU stamps of
+     * a second call continue where the first stopped, so walking N
+     * instructions in any number of calls leaves state bit-identical
+     * to one prewarm(N) — the property the checkpoint walker relies
+     * on. A single call from reset is unchanged (the counter starts
+     * at zero).
+     */
+    InstSeq prewarmedInsts_ = 0;
 
     InstPool pool_;
     Rob rob_;

@@ -103,6 +103,31 @@ class Cache
     /** Reset statistics (not contents). */
     void resetStats();
 
+    /**
+     * Checkpoint enumeration (sim/checkpoint.hh): the one template
+     * below drives both encode (the IO reads every field) and decode
+     * (the IO assigns it), so the two directions cannot drift apart.
+     * Covers the full replacement state plus the statistics counters —
+     * a restored cache is indistinguishable from the walked original,
+     * including in state digests. The leading size marker makes a
+     * geometry mismatch a decode error instead of silent corruption.
+     */
+    template <typename IO>
+    void
+    ckptVisit(IO &io)
+    {
+        io.size(lines_.size());
+        for (Line &l : lines_) {
+            io.scalar(l.tag);
+            io.scalar(l.valid);
+            io.scalar(l.lastUse);
+            io.scalar(l.readyAt);
+        }
+        io.scalar(hits_);
+        io.scalar(misses_);
+        io.scalar(evictions_);
+    }
+
   private:
     struct Line {
         Addr tag = 0;

@@ -276,6 +276,22 @@ toJson(const sim::SimConfig &config)
     // Same deal for state digests: part of the key only when enabled.
     if (config.digestWindow)
         j["digestWindow"] = Json(std::uint64_t{config.digestWindow});
+    // Sampled simulation changes what a result *means* (estimate vs
+    // exact), so all its parameters are key material — but, like the
+    // windows above, only when enabled. sampleIndex makes every
+    // per-sample campaign cell a distinct cache entry.
+    if (config.sampled) {
+        Json s = Json::object();
+        s["phases"] = Json(std::uint64_t{config.samplePhases});
+        s["phaseWindow"] = Json(config.phaseWindow);
+        s["spanWindows"] = Json(std::uint64_t{config.phaseSpanWindows});
+        s["warmupCycles"] = Json(config.sampleWarmupCycles);
+        s["measureCycles"] = Json(config.sampleMeasureCycles);
+        if (config.sampleIndex >= 0)
+            s["sampleIndex"] =
+                Json(std::int64_t{config.sampleIndex});
+        j["sampled"] = std::move(s);
+    }
     return j;
 }
 
@@ -290,6 +306,20 @@ fromJson(const Json &json, sim::SimConfig &config)
     getU64(json, "sampleWindow", config.sampleWindow);
     config.digestWindow = 0;
     getU64(json, "digestWindow", config.digestWindow);
+    // Sampled block optional (absent = exact mode) — see toJson above.
+    config.sampled = false;
+    config.sampleIndex = -1;
+    if (const Json *s = json.find("sampled")) {
+        if (!s->isObject() ||
+            !getUnsigned(*s, "phases", config.samplePhases) ||
+            !getU64(*s, "phaseWindow", config.phaseWindow) ||
+            !getUnsigned(*s, "spanWindows", config.phaseSpanWindows) ||
+            !getU64(*s, "warmupCycles", config.sampleWarmupCycles) ||
+            !getU64(*s, "measureCycles", config.sampleMeasureCycles))
+            return false;
+        getInt(*s, "sampleIndex", config.sampleIndex);
+        config.sampled = true;
+    }
     return core && fromJson(*core, config.core) && mem &&
            fromJson(*mem, config.mem) &&
            getU64(json, "prewarmInsts", config.prewarmInsts) &&
@@ -536,6 +566,27 @@ toJson(const sim::SimResult &result)
         digest["samples"] = std::move(samples);
         j["digest"] = std::move(digest);
     }
+    // Sampling metadata appears only on sampled results — exact-mode
+    // serializations (goldens, existing cache cells) are unchanged.
+    // Needed for the cache round-trip of per-sample cells: the merge
+    // step reads each cell's weight back out of its cached result.
+    if (result.sampled.enabled) {
+        Json s = Json::object();
+        s["merged"] = Json(result.sampled.merged);
+        if (result.sampled.merged) {
+            s["phases"] = Json(std::uint64_t{result.sampled.phases});
+            s["totalWindows"] = Json(result.sampled.totalWindows);
+            s["ipcError"] = Json(result.sampled.ipcError);
+            s["hmeanError"] = Json(result.sampled.hmeanError);
+        } else {
+            s["sampleIndex"] =
+                Json(std::int64_t{result.sampled.sampleIndex});
+            s["windowIndex"] =
+                Json(std::uint64_t{result.sampled.windowIndex});
+            s["weight"] = Json(result.sampled.weight);
+        }
+        j["sampled"] = std::move(s);
+    }
     return j;
 }
 
@@ -578,6 +629,28 @@ fromJson(const Json &json, sim::SimResult &result)
             s.digest = row.elements()[1].asU64();
             result.digest.samples.push_back(s);
         }
+    }
+    result.sampled = sim::SampledMeta{};
+    if (const Json *s = json.find("sampled")) {
+        if (!s->isObject() ||
+            !getBool(*s, "merged", result.sampled.merged))
+            return false;
+        if (result.sampled.merged) {
+            if (!getUnsigned(*s, "phases", result.sampled.phases) ||
+                !getU64(*s, "totalWindows",
+                        result.sampled.totalWindows) ||
+                !getDouble(*s, "ipcError", result.sampled.ipcError) ||
+                !getDouble(*s, "hmeanError", result.sampled.hmeanError))
+                return false;
+        } else {
+            if (!getInt(*s, "sampleIndex",
+                        result.sampled.sampleIndex) ||
+                !getUnsigned(*s, "windowIndex",
+                             result.sampled.windowIndex) ||
+                !getU64(*s, "weight", result.sampled.weight))
+                return false;
+        }
+        result.sampled.enabled = true;
     }
     return true;
 }

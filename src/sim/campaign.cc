@@ -10,6 +10,7 @@
 #include "report/result_cache.hh"
 #include "report/serialize.hh"
 #include "sim/metrics.hh"
+#include "sim/sampled.hh"
 
 namespace rat::sim {
 
@@ -93,6 +94,29 @@ expandCampaign(const CampaignSpec &spec)
                                 cfg.core.robEntries = rob;
                                 cfg.measureCycles = measure;
                                 cfg.seed = seed;
+                                if (cfg.sampled) {
+                                    // One cell per representative
+                                    // window (innermost implicit
+                                    // axis); the memoized plan makes
+                                    // this a pure lookup for every
+                                    // technique after the first.
+                                    const auto &plan = samplePlanFor(
+                                        cfg, cell.programs);
+                                    for (std::size_t s = 0;
+                                         s < plan.samples.size(); ++s) {
+                                        CampaignCell sc = cell;
+                                        sc.sampleIndex =
+                                            static_cast<int>(s);
+                                        sc.config = cfg;
+                                        sc.config.sampleIndex =
+                                            static_cast<int>(s);
+                                        sc.key = report::ResultCache::
+                                            keyFor(sc.config,
+                                                   sc.programs);
+                                        cells.push_back(std::move(sc));
+                                    }
+                                    continue;
+                                }
                                 cell.config = cfg;
                                 cell.key = report::ResultCache::keyFor(
                                     cfg, cell.programs);
@@ -160,14 +184,15 @@ runCampaign(const CampaignSpec &spec)
     // counters are atomics because jobs finish concurrently.
     std::atomic<std::uint64_t> completed{0};
     std::atomic<std::uint64_t> failedStores{0};
+    const std::string ckptDir = checkpointDirFor(spec.cacheDir);
     std::vector<std::function<void()>> jobs;
     jobs.reserve(plan.leads.size());
     for (const std::size_t lead : plan.leads) {
         jobs.emplace_back([&outcome, &cache, &completed, &failedStores,
-                           lead] {
+                           &ckptDir, lead] {
             CampaignCell &cell = outcome.cells[lead];
-            Simulator sim(cell.config, cell.programs);
-            cell.result = sim.run();
+            cell.result =
+                simulateCell(cell.config, cell.programs, ckptDir);
             // Count completion only after the simulation finished: a
             // throwing cell must not inflate the simulated count.
             completed.fetch_add(1);
@@ -186,6 +211,55 @@ runCampaign(const CampaignSpec &spec)
 
     fanOutDuplicates(outcome, plan.pending);
     return outcome;
+}
+
+CampaignOutcome
+mergeSampledOutcome(const CampaignOutcome &outcome)
+{
+    CampaignOutcome merged;
+    merged.cacheHits = outcome.cacheHits;
+    merged.cacheMisses = outcome.cacheMisses;
+    merged.simulated = outcome.simulated;
+    merged.failedStores = outcome.failedStores;
+    merged.cacheQuarantined = outcome.cacheQuarantined;
+
+    // Per-sample cells of one workload coordinate are consecutive
+    // (innermost implicit axis), so one forward scan groups them.
+    const auto sameCoordinate = [](const CampaignCell &a,
+                                   const CampaignCell &b) {
+        return a.technique == b.technique && a.group == b.group &&
+               a.workload == b.workload && a.raVariant == b.raVariant &&
+               a.regs == b.regs && a.rob == b.rob &&
+               a.measureCycles == b.measureCycles && a.seed == b.seed;
+    };
+    for (std::size_t i = 0; i < outcome.cells.size();) {
+        const CampaignCell &cell = outcome.cells[i];
+        if (cell.sampleIndex < 0) {
+            merged.cells.push_back(cell);
+            ++i;
+            continue;
+        }
+        std::vector<SimResult> samples;
+        bool allCached = true;
+        std::size_t j = i;
+        for (; j < outcome.cells.size() &&
+               outcome.cells[j].sampleIndex >= 0 &&
+               sameCoordinate(outcome.cells[j], cell);
+             ++j) {
+            samples.push_back(outcome.cells[j].result);
+            allCached = allCached && outcome.cells[j].fromCache;
+        }
+        CampaignCell row = cell;
+        row.sampleIndex = -1;
+        row.config.sampleIndex = -1;
+        row.key.clear(); // derived data; merged rows are never cached
+        row.fromCache = allCached;
+        row.result =
+            mergeSampledResults(row.config, row.programs, samples);
+        merged.cells.push_back(std::move(row));
+        i = j;
+    }
+    return merged;
 }
 
 report::Json
@@ -207,6 +281,17 @@ campaignJson(const CampaignOutcome &outcome, const CampaignSpec &spec)
         c["rob"] = report::Json(std::uint64_t{cell.rob});
         c["measureCycles"] = report::Json(cell.measureCycles);
         c["seed"] = report::Json(cell.seed);
+        // Sampled coordinate / error metadata only on sampled cells —
+        // exact campaigns serialize exactly as before.
+        if (cell.sampleIndex >= 0)
+            c["sampleIndex"] =
+                report::Json(std::int64_t{cell.sampleIndex});
+        if (cell.result.sampled.enabled && cell.result.sampled.merged) {
+            c["sampled"] = report::Json(true);
+            c["ipcError"] = report::Json(cell.result.sampled.ipcError);
+            c["hmeanError"] =
+                report::Json(cell.result.sampled.hmeanError);
+        }
         c["metrics"] = report::resultMetricsJson(cell.result);
         c["result"] = report::toJson(cell.result);
         cells.push(std::move(c));
@@ -218,10 +303,23 @@ campaignJson(const CampaignOutcome &outcome, const CampaignSpec &spec)
 report::CsvTable
 campaignCsv(const CampaignOutcome &outcome)
 {
+    // Error-bar columns appear only when the campaign has sampled
+    // cells: exact-mode CSV stays byte-identical.
+    bool anySampled = false;
+    for (const CampaignCell &cell : outcome.cells)
+        anySampled = anySampled || cell.result.sampled.enabled;
+
     report::CsvTable csv;
-    csv.setHeader({"technique", "group", "workload", "raVariant",
-                   "regs", "rob", "measureCycles", "seed", "throughput",
-                   "totalIpc", "ed2", "committedTotal", "cycles"});
+    std::vector<std::string> header{
+        "technique", "group", "workload", "raVariant", "regs", "rob",
+        "measureCycles", "seed", "throughput", "totalIpc", "ed2",
+        "committedTotal", "cycles"};
+    if (anySampled) {
+        header.push_back("sampled");
+        header.push_back("ipcError");
+        header.push_back("hmeanError");
+    }
+    csv.setHeader(header);
     for (const CampaignCell &cell : outcome.cells) {
         report::CsvTable::Row row;
         row.add(cell.technique)
@@ -237,6 +335,12 @@ campaignCsv(const CampaignOutcome &outcome)
             .add(ed2(cell.result))
             .add(cell.result.committedTotal())
             .add(cell.result.cycles);
+        if (anySampled) {
+            const SampledMeta &s = cell.result.sampled;
+            row.add(std::uint64_t{s.enabled ? 1u : 0u})
+                .add(s.enabled && s.merged ? s.ipcError : 0.0)
+                .add(s.enabled && s.merged ? s.hmeanError : 0.0);
+        }
         csv.addRow(row.take());
     }
     return csv;

@@ -67,6 +67,13 @@ struct CampaignCell {
     unsigned rob = 0;
     Cycle measureCycles = 0;
     std::uint64_t seed = 0;
+    /**
+     * Sample coordinate of a sampled campaign (-1 = an exact cell or a
+     * merged row). With `base.sampled` set, every workload cell expands
+     * into one cell per representative window — the farm then
+     * parallelizes *within* a workload, not just across the grid.
+     */
+    int sampleIndex = -1;
     SimConfig config; ///< fully resolved configuration of this cell
     std::vector<std::string> programs;
     std::string key;        ///< canonical cache-key string
@@ -135,6 +142,15 @@ void fanOutDuplicates(CampaignOutcome &outcome,
  * cells back, and return everything in grid order.
  */
 CampaignOutcome runCampaign(const CampaignSpec &spec);
+
+/**
+ * Collapse the per-sample cells of a sampled campaign into one merged
+ * (whole-run extrapolated) cell per workload coordinate, in place of
+ * the sample runs. A no-op for exact campaigns — byte-identical
+ * output. Reporting (campaignJson/Csv) is done on the merged outcome;
+ * merged rows are derived data and never cached.
+ */
+CampaignOutcome mergeSampledOutcome(const CampaignOutcome &outcome);
 
 /**
  * Structured report of a finished campaign. Deliberately excludes

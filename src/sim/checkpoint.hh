@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Architectural checkpoint codec for sampled simulation ("ratck2").
+ *
+ * A checkpoint captures the *functional post-prewarm* state of one
+ * simulation: trace positions, branch predictor, BTB, return-address
+ * stacks and all three cache levels, plus the runahead engine's episode
+ * blob (the "ratck1" codec from the verify subsystem, nested whole).
+ * It deliberately captures nothing of the timing pipeline — encoding is
+ * only legal when the pipeline is provably empty (no in-flight
+ * instructions, no outstanding fills, no runahead episodes), which is
+ * exactly the state `SmtCore::prewarm` leaves behind. That restriction
+ * is what lets one checkpoint be restored into simulators with
+ * *different* policy / ROB configurations: the walk that builds it
+ * never touches the structures those knobs size.
+ *
+ * Drift-proofing: every component's state is enumerated by one
+ * `ckptVisit(IO&)` member template that drives both encode and decode,
+ * and the blob embeds the digest subsystem's `StateHasher` hash of the
+ * source core. `restore()` recomputes that hash on the restored target
+ * and refuses on mismatch — so the checkpointed state and the digested
+ * state cannot silently drift apart, and a failed restore falls back
+ * to a (bit-identical) fresh functional walk instead of corrupting a
+ * run.
+ *
+ * Format (all integers u64 little-endian):
+ *   "ratck2" magic | visit(core, mem) fields | engine episode blob
+ *   (length-prefixed "ratck1" text) | StateHasher digest
+ */
+
+#ifndef RAT_SIM_CHECKPOINT_HH
+#define RAT_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rat::core {
+class SmtCore;
+}
+namespace rat::mem {
+class MemoryHierarchy;
+}
+
+namespace rat::sim {
+
+struct SimConfig;
+class Simulator;
+
+/**
+ * Stateless encoder/decoder. A class (not free functions) so it can be
+ * a friend of SmtCore, mirroring check::StateHasher.
+ */
+class CheckpointCodec
+{
+  public:
+    /**
+     * Serialize @p sim's functional state. Returns the empty string if
+     * the pipeline is not empty (in-flight instructions, outstanding
+     * fills or an active runahead episode) — checkpoints are only
+     * defined at functional fast-forward points.
+     */
+    static std::string encode(Simulator &sim);
+
+    /**
+     * Restore @p blob into a freshly constructed @p sim (before its
+     * first run()). Returns false — leaving no partial state the
+     * caller may rely on; fall back to a fresh prewarm walk — on a
+     * malformed blob, a geometry mismatch, or an embedded-digest
+     * mismatch. @p error (optional) receives a diagnostic.
+     */
+    static bool restore(Simulator &sim, const std::string &blob,
+                        std::string *error = nullptr);
+
+    /**
+     * Identity of the checkpoint a given configuration needs at trace
+     * position @p position: a hash over everything the functional walk
+     * (and the restore-time digest) depends on — programs, seed,
+     * thread count, predictor and memory geometry, register-file sizes
+     * and the position itself. Deliberately *excludes* the scheduling
+     * policy, runahead variant and ROB size, so one walk serves a
+     * whole policy sweep.
+     */
+    static std::uint64_t fileKey(const SimConfig &cfg,
+                                 const std::vector<std::string> &programs,
+                                 InstSeq position);
+
+  private:
+    /**
+     * The single state enumeration encode and decode share (friendship
+     * with SmtCore covers member templates). Instantiated only in
+     * checkpoint.cc, once per IO type.
+     */
+    template <typename IO>
+    static void visit(IO &io, core::SmtCore &core,
+                      mem::MemoryHierarchy &mem);
+};
+
+} // namespace rat::sim
+
+#endif // RAT_SIM_CHECKPOINT_HH

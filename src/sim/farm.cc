@@ -24,6 +24,7 @@
 #include "report/result_cache.hh"
 #include "report/serialize.hh"
 #include "report/wire.hh"
+#include "sim/sampled.hh"
 
 namespace rat::sim {
 
@@ -1068,8 +1069,11 @@ farmWorkerMain(const std::string &cache_dir, unsigned worker_id,
             reply["error"] = report::Json("undecodable job config");
         } else {
             try {
-                Simulator sim(config, programs);
-                const SimResult result = sim.run();
+                // Sampled cells restore their shared checkpoints from
+                // the cache-adjacent directory; exact cells dispatch
+                // straight to a Simulator run.
+                const SimResult result = simulateCell(
+                    config, programs, checkpointDirFor(cache_dir));
                 if (cache.enabled())
                     reply["stored"] = report::Json(
                         cache.store(key->asString(), result));

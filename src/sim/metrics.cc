@@ -39,6 +39,20 @@ ed2(const SimResult &result)
 }
 
 double
+hmeanIpc(const SimResult &result)
+{
+    if (result.threads.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (const ThreadResult &t : result.threads) {
+        if (t.ipc <= 0.0)
+            return 0.0;
+        denom += 1.0 / t.ipc;
+    }
+    return static_cast<double>(result.threads.size()) / denom;
+}
+
+double
 mean(const std::vector<double> &values)
 {
     if (values.empty())

@@ -39,6 +39,15 @@ double ed2(const SimResult &result);
 /** Arithmetic mean over a vector; 0 when empty. */
 double mean(const std::vector<double> &values);
 
+/**
+ * Harmonic mean of the per-thread IPCs — the throughput/fairness
+ * balance metric the sampled-simulation error budget is pinned on
+ * (hmean is the most dispersion-sensitive of the summary metrics, so
+ * bounding its error bounds the others in practice). Returns 0 when
+ * any thread's IPC is not positive.
+ */
+double hmeanIpc(const SimResult &result);
+
 } // namespace rat::sim
 
 #endif // RAT_SIM_METRICS_HH

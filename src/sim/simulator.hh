@@ -60,6 +60,31 @@ struct SimConfig {
      */
     Cycle digestWindow = 0;
 
+    // ---- sampled simulation (SimPoint-style; sim/sampled.hh) -------
+    // Sampled runs produce *estimates*, not the exact-mode numbers, so
+    // every field below is part of the serialized configuration — but
+    // (like sampleWindow/digestWindow) only when `sampled` is set, so
+    // exact-mode cache keys and golden serializations are unchanged.
+    /** Enable phase-sampled simulation (exact mode when false). */
+    bool sampled = false;
+    /** Phases (k-means clusters / representative windows) requested. */
+    unsigned samplePhases = 4;
+    /** Phase-profiling window, instructions per thread. */
+    InstSeq phaseWindow = 2048;
+    /** Windows profiled from the post-prewarm point. */
+    unsigned phaseSpanWindows = 64;
+    /** Timed warmup cycles per sample (pipeline/MSHR fill-in). */
+    Cycle sampleWarmupCycles = 1000;
+    /** Measured cycles per sample. */
+    Cycle sampleMeasureCycles = 4000;
+    /**
+     * Which representative to simulate: -1 = all samples merged into
+     * one extrapolated result (the CLI meaning of `--sampled`); >= 0 =
+     * exactly one sample cell (how campaign/farm schedule the samples
+     * of one workload as independent, independently cached cells).
+     */
+    int sampleIndex = -1;
+
     // ---- host-side observability; cannot affect results ------------
     // Like CoreConfig::broadcastScheduler and cycleSkipping, the
     // tracer settings are deliberately NOT part of the serialized
@@ -103,6 +128,33 @@ struct ThreadResult {
     double l2Mpki = 0.0;
 };
 
+/**
+ * Sampling metadata carried by a SimResult (sim/sampled.hh). For a
+ * merged result, `ipcError`/`hmeanError` are the weighted relative
+ * dispersions of the per-sample metrics — the error-bar estimate the
+ * report layer surfaces next to every extrapolated number.
+ */
+struct SampledMeta {
+    /** True when the result came from sampled (not exact) simulation. */
+    bool enabled = false;
+    /** True for a whole-run extrapolation; false for one sample cell. */
+    bool merged = false;
+    /** Sample index of a single-sample cell (-1 when merged). */
+    int sampleIndex = -1;
+    /** Representative window of a single-sample cell. */
+    unsigned windowIndex = 0;
+    /** Cluster weight (windows represented) of a single-sample cell. */
+    std::uint64_t weight = 0;
+    /** Phases actually found (merged results). */
+    unsigned phases = 0;
+    /** Windows profiled (merged results; == sum of sample weights). */
+    std::uint64_t totalWindows = 0;
+    /** Weighted relative dispersion of per-sample total IPC. */
+    double ipcError = 0.0;
+    /** Weighted relative dispersion of per-sample hmean IPC. */
+    double hmeanError = 0.0;
+};
+
 /** Results of one simulation run. */
 struct SimResult {
     Cycle cycles = 0;
@@ -131,6 +183,12 @@ struct SimResult {
      * verify bisector's final pass). Host-side; never serialized.
      */
     std::string stateDump;
+    /**
+     * Sampling metadata, populated when SimConfig::sampled is set.
+     * Serialized only when enabled — exact-mode results stay
+     * byte-identical to pre-sampling ones.
+     */
+    SampledMeta sampled;
 
     /** Sum of per-thread IPC. */
     double totalIpc() const;

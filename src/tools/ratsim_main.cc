@@ -47,6 +47,7 @@
 #include "sim/experiment.hh"
 #include "sim/farm.hh"
 #include "sim/metrics.hh"
+#include "sim/sampled.hh"
 #include "sim/simulator.hh"
 #include "sim/workloads.hh"
 #include "trace/profile.hh"
@@ -104,6 +105,22 @@ usage()
         "                            sampled full (default off)\n"
         "  --check-interval N        cycles between sampled audits\n"
         "                            (default 64)\n"
+        "  --sampled                 phase-sampled simulation: profile\n"
+        "                            the instruction stream into phases,\n"
+        "                            run one checkpointed sample per\n"
+        "                            phase, extrapolate whole-run\n"
+        "                            metrics (statistical; verify and\n"
+        "                            the digest/trace flags refuse it)\n"
+        "  --sample-phases N         phases / representative samples\n"
+        "                            (default 4)\n"
+        "  --phase-window N          instructions per profile window\n"
+        "                            (default 2048)\n"
+        "  --phase-span N            profiled windows past prewarm\n"
+        "                            (default 64)\n"
+        "  --sample-warmup N         detailed warm-up cycles per sample\n"
+        "                            (default 1000)\n"
+        "  --sample-measure N        measured cycles per sample\n"
+        "                            (default 4000)\n"
         "  --json PATH               (report) write JSON ('-' = stdout)\n"
         "  --csv PATH                (report) write CSV ('-' = stdout)\n"
         "\n"
@@ -132,6 +149,10 @@ usage()
         "  --json PATH / --csv PATH  structured output ('-' = stdout)\n"
         "  --no-cycle-skip           tick every cycle in all cells\n"
         "  --sample-window N         windowed telemetry in every cell\n"
+        "  --sampled [...]           phase-sampled cells (all run-side\n"
+        "                            sampling flags apply; each sample\n"
+        "                            is its own schedulable cell and\n"
+        "                            reports collapse to merged rows)\n"
         "\n"
         "farm options (all sweep options, plus):\n"
         "  --workers N               worker processes (default: hardware)\n"
@@ -282,9 +303,59 @@ struct RunOptions {
     std::string policyName = "RaT";
     sim::SimConfig cfg;
     bool withFairness = false;
+    /** A --sample-* / --phase-* tuning flag was given (they require
+     * --sampled; validateSampled diagnoses the orphan case). */
+    bool sampledParams = false;
     std::string jsonPath; ///< report only
     std::string csvPath;  ///< report only
 };
+
+/**
+ * The one home for cross-flag coherence of sampled simulation: every
+ * subcommand (run, report, verify, sweep, farm) funnels its parsed
+ * config through here, so an incoherent combination fails the same
+ * way everywhere instead of half-working in one command and crashing
+ * in another.
+ */
+void
+validateSampled(const sim::SimConfig &cfg, bool sampled_params_given,
+                bool group_or_fairness, bool verify_mode)
+{
+    if (!cfg.sampled) {
+        if (sampled_params_given)
+            fatal("--sample-phases/--phase-window/--phase-span/"
+                  "--sample-warmup/--sample-measure tune sampled "
+                  "simulation and need --sampled");
+        return;
+    }
+    if (verify_mode)
+        fatal("verify audits exact, replayable simulation; --sampled "
+              "is a statistical estimate and cannot be "
+              "digest-verified (drop --sampled)");
+    if (group_or_fairness)
+        fatal("--sampled runs a single workload; --group/--fairness "
+              "need whole-run baselines (drop them or drop "
+              "--sampled)");
+    if (cfg.digestWindow)
+        fatal("--digest-window streams exact-run state digests; they "
+              "are meaningless across sampled fast-forwards (drop it "
+              "or drop --sampled)");
+    if (cfg.sampleWindow)
+        fatal("--sample-window telemetry covers one contiguous "
+              "measured window; sampled runs have none (drop it or "
+              "drop --sampled)");
+    if (!cfg.traceOut.empty())
+        fatal("--trace-out traces one contiguous measured window; "
+              "sampled runs have none (drop it or drop --sampled)");
+    if (!cfg.samplePhases)
+        fatal("--sample-phases needs at least one phase");
+    if (!cfg.phaseWindow)
+        fatal("--phase-window needs a non-zero instruction window");
+    if (!cfg.phaseSpanWindows)
+        fatal("--phase-span needs at least one profiled window");
+    if (!cfg.sampleMeasureCycles)
+        fatal("--sample-measure needs a non-zero measured window");
+}
 
 /**
  * Parse one run/report/common option at @p args[i]; returns false when
@@ -374,6 +445,26 @@ parseRunOption(const std::vector<std::string> &args, std::size_t &i,
     } else if (arg == "--check-interval") {
         opt.cfg.core.checkInterval =
             parseUnsigned(next(), "--check-interval");
+    } else if (arg == "--sampled") {
+        opt.cfg.sampled = true;
+    } else if (arg == "--sample-phases") {
+        opt.cfg.samplePhases = parseUnsigned(next(), "--sample-phases");
+        opt.sampledParams = true;
+    } else if (arg == "--phase-window") {
+        opt.cfg.phaseWindow = parseU64(next(), "--phase-window");
+        opt.sampledParams = true;
+    } else if (arg == "--phase-span") {
+        opt.cfg.phaseSpanWindows =
+            parseUnsigned(next(), "--phase-span");
+        opt.sampledParams = true;
+    } else if (arg == "--sample-warmup") {
+        opt.cfg.sampleWarmupCycles =
+            parseU64(next(), "--sample-warmup");
+        opt.sampledParams = true;
+    } else if (arg == "--sample-measure") {
+        opt.cfg.sampleMeasureCycles =
+            parseU64(next(), "--sample-measure");
+        opt.sampledParams = true;
     } else if (structured && arg == "--json") {
         opt.jsonPath = next();
     } else if (structured && arg == "--csv") {
@@ -396,6 +487,9 @@ runCommand(const std::vector<std::string> &args, bool structured)
         }
     }
     opt.cfg.core.policy = parsePolicy(opt.policyName);
+    validateSampled(opt.cfg, opt.sampledParams,
+                    !opt.groupName.empty() || opt.withFairness,
+                    /*verify_mode=*/false);
     // Structured output defaults to JSON on stdout.
     if (structured && opt.jsonPath.empty() && opt.csvPath.empty())
         opt.jsonPath = "-";
@@ -444,7 +538,17 @@ runCommand(const std::vector<std::string> &args, bool structured)
     sim::ExperimentRunner runner(opt.cfg);
     const sim::TechniqueSpec tech{opt.policyName, opt.cfg.core.policy,
                                   opt.cfg.core.rat};
-    const sim::SimResult r = runner.runWorkload(w, tech);
+    // Sampled runs dispatch through the same cell runner the
+    // campaign/farm use: profile, checkpoint, per-phase samples,
+    // merged extrapolation. Exact runs keep the existing path
+    // bit-for-bit.
+    const sim::SimResult r =
+        opt.cfg.sampled
+            ? sim::simulateCell(
+                  runner.configFor(tech, static_cast<unsigned>(
+                                             w.programs.size())),
+                  w.programs)
+            : runner.runWorkload(w, tech);
 
     if (structured) {
         if (!opt.jsonPath.empty()) {
@@ -473,10 +577,19 @@ runCommand(const std::vector<std::string> &args, bool structured)
         return 0;
     }
 
-    std::printf("workload %s under %s (%llu measured cycles)\n\n",
+    std::printf("workload %s under %s (%llu measured cycles%s)\n\n",
                 w.name.c_str(), opt.policyName.c_str(),
-                static_cast<unsigned long long>(opt.cfg.measureCycles));
+                static_cast<unsigned long long>(opt.cfg.measureCycles),
+                opt.cfg.sampled ? ", sampled" : "");
     printRun(r, opt.withFairness, &runner, &w);
+    if (r.sampled.enabled && r.sampled.merged)
+        std::printf("sampled: %u phases over %llu profiled windows "
+                    "(est. ipc error %.2f%%, hmean error %.2f%%)\n",
+                    r.sampled.phases,
+                    static_cast<unsigned long long>(
+                        r.sampled.totalWindows),
+                    100.0 * r.sampled.ipcError,
+                    100.0 * r.sampled.hmeanError);
     return 0;
 }
 
@@ -514,6 +627,8 @@ verifyCommand(const std::vector<std::string> &args)
     }
     if (!opt.groupName.empty())
         fatal("verify audits one workload (--workload), not a group");
+    validateSampled(opt.cfg, opt.sampledParams,
+                    /*group_or_fairness=*/false, /*verify_mode=*/true);
     opt.cfg.core.policy = parsePolicy(opt.policyName);
     vopt.base = opt.cfg;
     vopt.programs = splitPrograms(opt.workloadList);
@@ -581,6 +696,7 @@ sweepCommand(const std::vector<std::string> &args, bool farm_mode)
     bool workloads_given = false;
     std::string json_path, csv_path;
     core::RatConfig rat_flags;
+    bool sampled_params = false;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
@@ -662,6 +778,27 @@ sweepCommand(const std::vector<std::string> &args, bool farm_mode)
         } else if (arg == "--sample-window") {
             spec.base.sampleWindow =
                 parseU64(next(), "--sample-window");
+        } else if (arg == "--sampled") {
+            spec.base.sampled = true;
+        } else if (arg == "--sample-phases") {
+            spec.base.samplePhases =
+                parseUnsigned(next(), "--sample-phases");
+            sampled_params = true;
+        } else if (arg == "--phase-window") {
+            spec.base.phaseWindow = parseU64(next(), "--phase-window");
+            sampled_params = true;
+        } else if (arg == "--phase-span") {
+            spec.base.phaseSpanWindows =
+                parseUnsigned(next(), "--phase-span");
+            sampled_params = true;
+        } else if (arg == "--sample-warmup") {
+            spec.base.sampleWarmupCycles =
+                parseU64(next(), "--sample-warmup");
+            sampled_params = true;
+        } else if (arg == "--sample-measure") {
+            spec.base.sampleMeasureCycles =
+                parseU64(next(), "--sample-measure");
+            sampled_params = true;
         } else if (farm_mode && arg == "--progress") {
             farm_options.progress = true;
         } else if (farm_mode && arg == "--job-timeout") {
@@ -677,6 +814,9 @@ sweepCommand(const std::vector<std::string> &args, bool farm_mode)
             fatal("unknown option '%s'", arg.c_str());
         }
     }
+
+    validateSampled(spec.base, sampled_params,
+                    /*group_or_fairness=*/false, /*verify_mode=*/false);
 
     spec.base.core.rat = rat_flags;
     for (const std::string &name : splitList(policies, ','))
@@ -756,10 +896,15 @@ sweepCommand(const std::vector<std::string> &args, bool farm_mode)
                     static_cast<unsigned long long>(
                         outcome.failedStores));
     }
+    // Sampled campaigns schedule one cell per representative sample;
+    // reporting collapses them back into one extrapolated row per
+    // workload coordinate. Exact campaigns pass through unchanged.
+    const sim::CampaignOutcome report_outcome =
+        sim::mergeSampledOutcome(outcome);
     std::printf("%-14s %-6s %-28s %-14s %5s %5s %10s %8s\n",
                 "technique", "group", "workload", "ra-variant", "regs",
                 "rob", "seed", "thrpt");
-    for (const sim::CampaignCell &cell : outcome.cells) {
+    for (const sim::CampaignCell &cell : report_outcome.cells) {
         std::printf("%-14s %-6s %-28s %-14s %5u %5u %10llu %8.3f\n",
                     cell.technique.c_str(), cell.group.c_str(),
                     cell.workload.c_str(), cell.raVariant.c_str(),
@@ -769,10 +914,12 @@ sweepCommand(const std::vector<std::string> &args, bool farm_mode)
     }
 
     if (!json_path.empty())
-        writeOutput(json_path, sim::campaignJson(outcome, spec).dump(2),
+        writeOutput(json_path,
+                    sim::campaignJson(report_outcome, spec).dump(2),
                     "JSON");
     if (!csv_path.empty())
-        writeOutput(csv_path, sim::campaignCsv(outcome).dump(), "CSV");
+        writeOutput(csv_path, sim::campaignCsv(report_outcome).dump(),
+                    "CSV");
     return 0;
 }
 
